@@ -1,0 +1,1 @@
+bench/ablation.ml: Abg_cca Abg_core Abg_distance Abg_dsl Abg_enum Abg_netsim Abg_trace Abg_util List Option Printf Runs

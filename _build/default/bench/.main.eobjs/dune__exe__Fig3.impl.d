@@ -1,0 +1,1 @@
+bench/fig3.ml: Abg_core Abg_distance Abg_util Array Float Hashtbl List Option Printf Runs String

@@ -1,0 +1,1 @@
+bench/fig4.ml: Abg_core Abg_dsl Abg_trace List Option Printf Runs String

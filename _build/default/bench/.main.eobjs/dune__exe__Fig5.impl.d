@@ -1,0 +1,1 @@
+bench/fig5.ml: Abg_core Abg_dsl List Option Printf Runs String

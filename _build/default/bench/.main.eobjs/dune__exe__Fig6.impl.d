@@ -1,0 +1,1 @@
+bench/fig6.ml: Abg_core Abg_dsl List Printf Runs String

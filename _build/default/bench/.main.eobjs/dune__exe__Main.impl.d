@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig3 Fig4 Fig5 Fig6 List Micro Mister880_cmp Printf Sec41 Sec61 String Sys Table2 Table3 Table4 Unix

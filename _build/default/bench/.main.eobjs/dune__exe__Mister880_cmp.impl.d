@@ -1,0 +1,1 @@
+bench/mister880_cmp.ml: Abg_cca Abg_core Abg_distance Abg_dsl Abg_netsim Abg_trace Abg_util List Option Printf Runs

@@ -1,0 +1,1 @@
+bench/runs.ml: Abg_cca Abg_classifier Abg_core Abg_dsl Abg_trace Abg_util Hashtbl List Printf String Unix

@@ -1,0 +1,1 @@
+bench/sec41.ml: Abg_dsl Abg_enum List Printf Runs

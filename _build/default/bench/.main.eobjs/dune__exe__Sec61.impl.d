@@ -1,0 +1,1 @@
+bench/sec61.ml: Abg_core Abg_dsl Abg_enum Float List Printf Runs

@@ -1,0 +1,1 @@
+bench/table2.ml: Abg_core List Printf Runs String

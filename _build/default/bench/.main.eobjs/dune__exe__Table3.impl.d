@@ -1,0 +1,1 @@
+bench/table3.ml: Abg_classifier List Option Printf Runs String

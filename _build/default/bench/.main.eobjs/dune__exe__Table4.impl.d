@@ -1,0 +1,1 @@
+bench/table4.ml: Abg_core List Printf Runs String

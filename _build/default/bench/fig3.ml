@@ -1,0 +1,70 @@
+(* Figure 3: distance metrics' tolerance to error in handler constants.
+
+   BBR traces; expert handlers for BBR, Cubic, Reno, Vegas. Every constant
+   of every handler is multiplied by an error factor swept over
+   [0.1, 10] (log scale); for each metric we check whether the *correct*
+   CCA's handler still has the smallest distance to the BBR traces. The
+   paper's result: DTW stays correct over the widest factor range. The
+   series below prints, per metric, the correctness band (the paper's
+   red/white background). *)
+
+let subjects = [ "bbr"; "cubic"; "reno"; "vegas" ]
+
+let handlers =
+  List.map
+    (fun name ->
+      match Abg_core.Fine_tuned.find_fine_tuned name with
+      | Some h -> (name, h)
+      | None -> invalid_arg name)
+    subjects
+
+let run () =
+  Runs.heading "Figure 3: metric tolerance to constant error (BBR traces)";
+  let segments = Runs.segments_for "bbr" in
+  let errors = Abg_util.Floatx.log_grid ~lo:0.1 ~hi:10.0 ~n:21 in
+  let metrics = Abg_distance.Metric.all in
+  let correct_band = Hashtbl.create 7 in
+  List.iter
+    (fun metric ->
+      Printf.printf "\n-- metric: %s --\n" (Abg_distance.Metric.name metric);
+      Printf.printf "%8s | %10s | %10s | %s\n" "error" "d(bbr)" "best other"
+        "verdict";
+      Array.iter
+        (fun err ->
+          let distances =
+            List.map
+              (fun (name, h) ->
+                let h' = Abg_core.Fine_tuned.scale_constants err h in
+                (name, Abg_core.Replay.total_distance ~metric h' segments))
+              handlers
+          in
+          let d_bbr = List.assoc "bbr" distances in
+          let best_other =
+            List.filter (fun (n, _) -> not (String.equal n "bbr")) distances
+            |> List.fold_left (fun acc (_, d) -> Float.min acc d) infinity
+          in
+          let ok = d_bbr <= best_other in
+          if ok then begin
+            let lo, hi =
+              Option.value ~default:(infinity, neg_infinity)
+                (Hashtbl.find_opt correct_band metric)
+            in
+            Hashtbl.replace correct_band metric
+              (Float.min lo err, Float.max hi err)
+          end;
+          Printf.printf "%8.3f | %10.2f | %10.2f | %s\n%!" err d_bbr best_other
+            (if ok then "correct" else "WRONG (red region)"))
+        errors)
+    metrics;
+  Printf.printf "\nCorrect-identification band per metric (wider is better):\n";
+  List.iter
+    (fun metric ->
+      match Hashtbl.find_opt correct_band metric with
+      | Some (lo, hi) when lo <= hi ->
+          Printf.printf "  %-10s [%.3f .. %.3f] (x%.1f span)\n"
+            (Abg_distance.Metric.name metric) lo hi (hi /. lo)
+      | _ ->
+          Printf.printf "  %-10s never correct\n"
+            (Abg_distance.Metric.name metric))
+    metrics;
+  print_newline ()

@@ -1,0 +1,54 @@
+(* Figure 6: impact of the input DSL (§6.3). Student CCAs 1 and 3 are
+   synthesized under three DSLs — Delay-7 (depth 4, 7 nodes), Delay-11
+   (depth 4, 11 nodes) and Vegas-11 (depth 5, 11 nodes, vegas-diff macro).
+   The paper's finding: for student 1 the Vegas-11 macro frees nodes and
+   fits best; for student 3 (whose behavior does not involve vegas-diff)
+   the larger Vegas-11 space only slows the search and Delay-11 wins. *)
+
+let dsls =
+  [ Abg_dsl.Catalog.delay_7; Abg_dsl.Catalog.delay_11;
+    Abg_dsl.Catalog.vegas_11 ]
+
+let run_one name =
+  Printf.printf "\n-- %s --\n" name;
+  Printf.printf "%-10s | %-58s | %10s\n" "DSL" "best handler" "sum DTW";
+  Printf.printf "%s\n" (String.make 86 '-');
+  let results =
+    List.map
+      (fun dsl ->
+        let outcome =
+          Runs.timed
+            (name ^ "/" ^ dsl.Abg_dsl.Catalog.name)
+            (fun () ->
+              Abg_core.Synthesis.run ~config:Runs.config ~dsl ~name
+                (Runs.traces name))
+        in
+        (match outcome with
+        | Some o ->
+            Printf.printf "%-10s | %-58s | %10.2f\n%!"
+              dsl.Abg_dsl.Catalog.name o.Abg_core.Synthesis.pretty
+              o.Abg_core.Synthesis.distance
+        | None ->
+            Printf.printf "%-10s | (no candidate)\n%!" dsl.Abg_dsl.Catalog.name);
+        (dsl.Abg_dsl.Catalog.name, outcome))
+      dsls
+  in
+  let best =
+    List.fold_left
+      (fun acc (dsl_name, o) ->
+        match (acc, o) with
+        | None, Some o -> Some (dsl_name, o.Abg_core.Synthesis.distance)
+        | Some (_, d), Some o when o.Abg_core.Synthesis.distance < d ->
+            Some (dsl_name, o.Abg_core.Synthesis.distance)
+        | acc, _ -> acc)
+      None results
+  in
+  match best with
+  | Some (dsl_name, _) -> Printf.printf "winner: %s\n" dsl_name
+  | None -> ()
+
+let run () =
+  Runs.heading "Figure 6: DSL choice for student CCAs 1 and 3";
+  run_one "student1";
+  run_one "student3";
+  print_newline ()

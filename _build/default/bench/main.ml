@@ -1,0 +1,34 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the search-space statistics of Sec. 4.1/6.1 and a set
+   of Bechamel micro-benchmarks of the hot kernels.
+
+   Usage: dune exec bench/main.exe [-- section ...]
+   Sections: table2 table3 table4 fig3 fig4 fig5 fig6 sec41 sec61
+             mister880 ablation micro
+   With no arguments, every section runs (tables and figures share cached
+   synthesis runs, so the combined run is much cheaper than the sum). *)
+
+let sections =
+  [ ("sec41", Sec41.run); ("table3", Table3.run); ("table2", Table2.run);
+    ("table4", Table4.run); ("fig3", Fig3.run); ("fig4", Fig4.run);
+    ("fig5", Fig5.run); ("fig6", Fig6.run); ("sec61", Sec61.run);
+    ("mister880", Mister880_cmp.run); ("ablation", Ablation.run);
+    ("micro", Micro.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (known: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested;
+  Printf.printf "\n[bench total: %.1fs]\n" (Unix.gettimeofday () -. t0)

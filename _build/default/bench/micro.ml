@@ -1,0 +1,84 @@
+(* Bechamel micro-benchmarks: one per table/figure, measuring the kernel
+   operation that dominates that experiment's runtime, so regressions in
+   the hot paths are visible without re-running whole syntheses. *)
+
+open Bechamel
+open Toolkit
+
+let series n = Array.init n (fun i -> float_of_int (i mod 37) +. (0.3 *. float_of_int i))
+
+let dtw_test =
+  let a = series 128 and b = series 128 in
+  Test.make ~name:"table2/fig4: dtw-128"
+    (Staged.stage (fun () -> ignore (Abg_distance.Dtw.distance ~band:12 a b)))
+
+let euclidean_test =
+  let a = series 128 and b = series 128 in
+  Test.make ~name:"fig3: euclidean-128"
+    (Staged.stage (fun () -> ignore (Abg_distance.Pointwise.euclidean a b)))
+
+let frechet_test =
+  let a = series 128 and b = series 128 in
+  Test.make ~name:"fig3: frechet-128"
+    (Staged.stage (fun () -> ignore (Abg_distance.Frechet.distance a b)))
+
+let replay_test =
+  lazy
+    (let segments = Runs.segments_for "reno" in
+     let seg = List.hd segments in
+     let handler = Option.get (Abg_core.Fine_tuned.find_fine_tuned "reno") in
+     Test.make ~name:"table2: replay-segment"
+       (Staged.stage (fun () -> ignore (Abg_core.Replay.synthesize handler seg))))
+
+let enumerate_test =
+  lazy
+    (let enc = Abg_enum.Encode.create Abg_dsl.Catalog.reno in
+     Test.make ~name:"sec61: sat-enumerate-sketch"
+       (Staged.stage (fun () -> ignore (Abg_enum.Encode.next enc))))
+
+let simulate_test =
+  Test.make ~name:"table3: simulate-1s-reno"
+    (Staged.stage (fun () ->
+         let cfg =
+           Abg_netsim.Config.make ~duration:1.0 ~bandwidth_mbps:10.0
+             ~rtt_ms:50.0 ()
+         in
+         let cca = Abg_cca.Reno.create ~mss:1448.0 () in
+         ignore (Abg_netsim.Sim.run cfg cca)))
+
+let classify_features_test =
+  lazy
+    (let traces = Runs.traces "reno" in
+     Test.make ~name:"table3: extract-features"
+       (Staged.stage (fun () ->
+            ignore (Abg_classifier.Features.extract traces))))
+
+let benchmark test =
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) i raw)
+      instances
+  in
+  results
+
+let print_result test =
+  let results = benchmark test in
+  List.iter
+    (fun result ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+        result)
+    results
+
+let run () =
+  Runs.heading "Micro-benchmarks (Bechamel, monotonic clock)";
+  List.iter print_result
+    [ dtw_test; euclidean_test; frechet_test; Lazy.force replay_test;
+      Lazy.force enumerate_test; simulate_test;
+      Lazy.force classify_features_test ];
+  print_newline ()

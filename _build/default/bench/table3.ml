@@ -1,0 +1,50 @@
+(* Table 3: classifier verdicts. Gordon for the kernel CCAs (its known
+   set); CCAnalyzer for the student dataset (always "Unknown" plus the two
+   closest known CCAs, since these are novel algorithms). The "paper"
+   column shows what the original classifiers reported. *)
+
+let paper_verdicts =
+  [ ("bbr", "BBR"); ("reno", "Reno"); ("westwood", "Vegas");
+    ("scalable", "Scalable"); ("lp", "Unknown (Vegas)"); ("hybla", "BBR");
+    ("htcp", "HTCP"); ("illinois", "Illinois"); ("vegas", "Vegas");
+    ("veno", "YeAH"); ("nv", "Unknown"); ("yeah", "YeAH");
+    ("cubic", "Cubic"); ("bic", "-");
+    ("student1", "Unknown (CDG, Vegas)"); ("student2", "Unknown (CDG, Vegas)");
+    ("student3", "Unknown (Scalable, Vegas)"); ("student4", "Unknown (CDG, NV)");
+    ("student5", "Unknown (CDG, Vegas)"); ("student6", "Unknown (CDG, Vegas)");
+    ("student7", "Unknown (CDG, Vegas)") ]
+
+let correctness name verdict =
+  match verdict with
+  | Abg_classifier.Gordon.Known k ->
+      if String.equal k name then "correct" else "INCORRECT"
+  | Abg_classifier.Gordon.Unknown _ ->
+      if List.mem name Abg_classifier.Gordon.known_set then "unknown(miss)"
+      else "unknown(ok)"
+
+let run () =
+  Runs.heading "Table 3: classifier output per CCA";
+  Printf.printf "%-10s | %-28s | %-13s | paper\n" "CCA" "classifier verdict" "";
+  Printf.printf "%s\n" (String.make 90 '-');
+  List.iter
+    (fun name ->
+      let traces = Runs.traces name in
+      let verdict = Abg_classifier.Gordon.classify traces in
+      Printf.printf "%-10s | %-28s | %-13s | %s\n%!" name
+        (Abg_classifier.Gordon.verdict_to_string verdict)
+        (correctness name verdict)
+        (Option.value ~default:"-" (List.assoc_opt name paper_verdicts)))
+    Runs.kernel_rows;
+  List.iter
+    (fun name ->
+      let traces = Runs.traces name in
+      let result = Abg_classifier.Ccanalyzer.classify traces in
+      let closest =
+        match Abg_classifier.Ccanalyzer.closest_two result with
+        | Some (a, b) -> Printf.sprintf "Unknown (%s, %s)" a b
+        | None -> "Unknown"
+      in
+      Printf.printf "%-10s | %-28s | %-13s | %s\n%!" name closest "unknown(ok)"
+        (Option.value ~default:"-" (List.assoc_opt name paper_verdicts)))
+    Runs.student_rows;
+  print_newline ()

@@ -1,0 +1,38 @@
+(* Table 4: where the refinement loop placed the fine-tuned handler's
+   bucket after iterations 1 and 2 — the search-accuracy instrumentation
+   of §6.2. A rank within the kept set means the "right" bucket survived;
+   beyond it, the bucket was (possibly correctly, per §6.2's discussion of
+   BBR and Vegas) discarded. Reuses the Table 2 synthesis runs. *)
+
+let paper_positions =
+  [ ("bbr", "4/127", "3/5"); ("cubic", "7/27", "-"); ("htcp", "2/31", "4/5");
+    ("hybla", "4/7", "1/5"); ("illinois", "3/63", "3/5"); ("lp", "1/63", "1/6");
+    ("nv", "5/15", "2/5"); ("reno", "3/218", "1/5");
+    ("scalable", "1/218", "1/5"); ("vegas", "5/15", "4/5");
+    ("veno", "1/7", "1/5"); ("westwood", "1/218", "1/5");
+    ("yeah", "1/31", "1/5") ]
+
+let rank_string outcome ~target ~iteration =
+  match
+    Abg_core.Refinement.bucket_rank_of
+      outcome.Abg_core.Synthesis.refinement ~target ~iteration
+  with
+  | Some (rank, total) -> Printf.sprintf "%d/%d" rank total
+  | None -> "-"
+
+let run () =
+  Runs.heading "Table 4: fine-tuned handler's bucket rank per iteration";
+  Printf.printf "%-10s | %-10s | %-10s | paper iter1, iter2\n" "CCA"
+    "after it.1" "after it.2";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, p1, p2) ->
+      match (Runs.synthesis name, Abg_core.Fine_tuned.find_fine_tuned name) with
+      | Some outcome, Some target ->
+          Printf.printf "%-10s | %-10s | %-10s | %s, %s\n%!" name
+            (rank_string outcome ~target ~iteration:1)
+            (rank_string outcome ~target ~iteration:2)
+            p1 p2
+      | _ -> Printf.printf "%-10s | (no synthesis run)\n%!" name)
+    paper_positions;
+  print_newline ()

@@ -1,0 +1,194 @@
+(* The abagnale command-line tool.
+
+   Subcommands mirror the pipeline stages:
+     collect   — simulate a CCA on the testbed grid and save traces
+     classify  — run the Gordon / CCAnalyzer classifiers on saved traces
+     synth     — reverse-engineer a cwnd-ack handler from traces
+     distance  — score a handler expression against traces
+     list      — show the available CCAs and sub-DSLs *)
+
+open Cmdliner
+
+let load_traces paths = List.map Abg_trace.Io.load paths
+
+(* -- shared arguments -- *)
+
+let cca_arg =
+  let doc = "Ground-truth CCA name (see `abagnale list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CCA" ~doc)
+
+let trace_files_arg =
+  let doc = "Trace files produced by `abagnale collect'." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc)
+
+let scenarios_arg =
+  let doc = "Number of testbed scenarios (RTT x bandwidth grid points)." in
+  Arg.(value & opt int 4 & info [ "n"; "scenarios" ] ~doc)
+
+let duration_arg =
+  let doc = "Seconds of simulated flow per scenario." in
+  Arg.(value & opt float 20.0 & info [ "d"; "duration" ] ~doc)
+
+let dsl_arg =
+  let doc =
+    "Sub-DSL to search (reno, cubic, delay, vegas, delay-7, delay-11, \
+     vegas-11). Default: pick from the classifier hint."
+  in
+  Arg.(value & opt (some string) None & info [ "dsl" ] ~doc)
+
+let output_dir_arg =
+  let doc = "Directory for the collected trace files." in
+  Arg.(value & opt string "traces" & info [ "o"; "output" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print refinement-loop progress to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* -- collect -- *)
+
+let collect cca_name scenarios duration output_dir =
+  match Abg_cca.Registry.find cca_name with
+  | None ->
+      Printf.eprintf "unknown CCA %s; try `abagnale list'\n" cca_name;
+      exit 1
+  | Some ctor ->
+      if not (Sys.file_exists output_dir) then Sys.mkdir output_dir 0o755;
+      let traces =
+        Abg_trace.Trace.collect_suite ~duration ~n:scenarios ~name:cca_name ctor
+      in
+      List.iteri
+        (fun i trace ->
+          let path =
+            Filename.concat output_dir
+              (Printf.sprintf "%s-%d.trace" cca_name i)
+          in
+          Abg_trace.Io.save path trace;
+          Printf.printf "%s: %d records, %d losses (%s)\n" path
+            (Abg_trace.Trace.length trace)
+            (Array.length trace.Abg_trace.Trace.loss_times)
+            trace.Abg_trace.Trace.scenario)
+        traces
+
+let collect_cmd =
+  let info =
+    Cmd.info "collect"
+      ~doc:"Simulate a CCA on the testbed grid and save its traces"
+  in
+  Cmd.v info Term.(const collect $ cca_arg $ scenarios_arg $ duration_arg $ output_dir_arg)
+
+(* -- classify -- *)
+
+let classify trace_files =
+  let traces = load_traces trace_files in
+  let verdict = Abg_classifier.Gordon.classify traces in
+  Printf.printf "gordon: %s\n" (Abg_classifier.Gordon.verdict_to_string verdict);
+  let result = Abg_classifier.Ccanalyzer.classify traces in
+  Printf.printf "ccanalyzer: %s\n"
+    (Abg_classifier.Gordon.verdict_to_string result.Abg_classifier.Ccanalyzer.verdict);
+  Printf.printf "closest known CCAs:\n";
+  List.iteri
+    (fun i (name, d) ->
+      if i < 5 then Printf.printf "  %-10s %8.2f\n" name d)
+    result.Abg_classifier.Ccanalyzer.closest;
+  let dsl = Abg_classifier.Dsl_hint.choose verdict in
+  Printf.printf "suggested sub-DSL: %s\n" dsl.Abg_dsl.Catalog.name
+
+let classify_cmd =
+  let info = Cmd.info "classify" ~doc:"Classify the CCA behind saved traces" in
+  Cmd.v info Term.(const classify $ trace_files_arg)
+
+(* -- synth -- *)
+
+let synth dsl_name verbose trace_files =
+  let traces = load_traces trace_files in
+  let dsl =
+    Option.map
+      (fun name ->
+        match Abg_dsl.Catalog.find name with
+        | Some d -> d
+        | None ->
+            Printf.eprintf "unknown DSL %s\n" name;
+            exit 1)
+      dsl_name
+  in
+  let name =
+    match traces with
+    | t :: _ -> t.Abg_trace.Trace.cca_name
+    | [] -> "unknown"
+  in
+  let config = { Abg_core.Refinement.default_config with Abg_core.Refinement.verbose } in
+  match Abg_core.Abagnale.synthesize ~config ?dsl ~name traces with
+  | None ->
+      Printf.eprintf "no candidate handler survived scoring\n";
+      exit 1
+  | Some outcome ->
+      Printf.printf "cca:       %s\n" outcome.Abg_core.Synthesis.cca_name;
+      Printf.printf "dsl:       %s\n" outcome.Abg_core.Synthesis.dsl_name;
+      Printf.printf "handler:   %s\n" outcome.Abg_core.Synthesis.pretty;
+      Printf.printf "distance:  %.2f over %d segments\n"
+        outcome.Abg_core.Synthesis.distance
+        outcome.Abg_core.Synthesis.segments_used;
+      let r = outcome.Abg_core.Synthesis.refinement in
+      Printf.printf "search:    %d sketches, %d handlers scored, %d buckets\n"
+        r.Abg_core.Refinement.total_sketches_scored
+        r.Abg_core.Refinement.total_handlers_scored
+        r.Abg_core.Refinement.buckets_initial
+
+let synth_cmd =
+  let info =
+    Cmd.info "synth"
+      ~doc:"Reverse-engineer a cwnd-ack handler expression from traces"
+  in
+  Cmd.v info Term.(const synth $ dsl_arg $ verbose_arg $ trace_files_arg)
+
+(* -- distance -- *)
+
+let handler_arg =
+  let doc =
+    "Handler to score: a name from Table 2 (e.g. reno, bbr) referring to \
+     the paper's fine-tuned expression."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"HANDLER" ~doc)
+
+let distance_files_arg =
+  let doc = "Trace files to score against." in
+  Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"TRACE" ~doc)
+
+let distance handler_name trace_files =
+  match Abg_core.Fine_tuned.find_fine_tuned handler_name with
+  | None ->
+      Printf.eprintf "no fine-tuned handler named %s\n" handler_name;
+      exit 1
+  | Some handler ->
+      let traces = load_traces trace_files in
+      Printf.printf "handler:  %s\n" (Abg_dsl.Pretty.num handler);
+      Printf.printf "distance: %.2f\n"
+        (Abg_core.Abagnale.handler_distance ~handler traces)
+
+let distance_cmd =
+  let info =
+    Cmd.info "distance" ~doc:"Score a known handler expression against traces"
+  in
+  Cmd.v info Term.(const distance $ handler_arg $ distance_files_arg)
+
+(* -- list -- *)
+
+let list_all () =
+  Printf.printf "kernel CCAs:  %s\n"
+    (String.concat " " (List.map fst Abg_cca.Registry.kernel));
+  Printf.printf "student CCAs: %s\n"
+    (String.concat " " (List.map fst Abg_cca.Registry.student));
+  Printf.printf "sub-DSLs:     %s\n"
+    (String.concat " "
+       (List.map (fun d -> d.Abg_dsl.Catalog.name) Abg_dsl.Catalog.all))
+
+let list_cmd =
+  let info = Cmd.info "list" ~doc:"List available CCAs and sub-DSLs" in
+  Cmd.v info Term.(const list_all $ const ())
+
+let main_cmd =
+  let doc = "reverse-engineer congestion control algorithm behavior" in
+  let info = Cmd.info "abagnale" ~version:"1.0.0" ~doc in
+  Cmd.group info [ collect_cmd; classify_cmd; synth_cmd; distance_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

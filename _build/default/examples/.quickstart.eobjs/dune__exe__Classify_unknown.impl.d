@@ -1,0 +1,1 @@
+examples/classify_unknown.ml: Abg_cca Abg_classifier Abg_dsl Abg_trace List Option Printf

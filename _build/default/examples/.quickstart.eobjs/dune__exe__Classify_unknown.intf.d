@@ -1,0 +1,1 @@
+examples/classify_unknown.mli:

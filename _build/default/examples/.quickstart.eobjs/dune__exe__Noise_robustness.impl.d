@@ -1,0 +1,1 @@
+examples/noise_robustness.ml: Abg_cca Abg_core Abg_trace Abg_util List Option Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abg_cca Abg_core Abg_trace Array List Option Printf

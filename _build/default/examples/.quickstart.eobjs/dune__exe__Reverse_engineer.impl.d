@@ -1,0 +1,1 @@
+examples/reverse_engineer.ml: Abg_cca Abg_classifier Abg_core Abg_trace Float Printf

@@ -1,0 +1,1 @@
+examples/reverse_engineer.mli:

@@ -1,0 +1,1 @@
+examples/student_ccas.ml: Abg_cca Abg_core Abg_dsl Abg_trace List Option Printf

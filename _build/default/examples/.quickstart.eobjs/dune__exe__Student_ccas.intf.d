@@ -1,0 +1,1 @@
+examples/student_ccas.mli:

@@ -1,0 +1,31 @@
+(* Classifier walk-through (the Table 3 machinery).
+
+   Collects traces of three kernel CCAs plus one student CCA, runs both
+   classifiers on each, and shows how the verdict picks the sub-DSL that
+   Abagnale will search (§3.3).
+
+   Run with: dune exec examples/classify_unknown.exe *)
+
+let subjects = [ "reno"; "bbr"; "vegas"; "student2" ]
+
+let () =
+  List.iter
+    (fun name ->
+      let constructor = Option.get (Abg_cca.Registry.find name) in
+      let traces =
+        Abg_trace.Trace.collect_suite ~duration:20.0 ~n:4 ~name constructor
+      in
+      Printf.printf "== %s ==\n" name;
+      Printf.printf "features: %s\n"
+        (Abg_classifier.Features.to_string
+           (Abg_classifier.Features.extract traces));
+      let verdict = Abg_classifier.Gordon.classify traces in
+      Printf.printf "gordon verdict: %s\n"
+        (Abg_classifier.Gordon.verdict_to_string verdict);
+      let result = Abg_classifier.Ccanalyzer.classify traces in
+      (match Abg_classifier.Ccanalyzer.closest_two result with
+      | Some (a, b) -> Printf.printf "ccanalyzer closest: %s, %s\n" a b
+      | None -> ());
+      let dsl = Abg_classifier.Dsl_hint.choose verdict in
+      Printf.printf "sub-DSL hint for synthesis: %s\n\n" dsl.Abg_dsl.Catalog.name)
+    subjects

@@ -1,0 +1,40 @@
+(* Noise robustness: why Abagnale is an optimizer, not a decider (§2.2).
+
+   Mister880 framed synthesis as a decision problem — a candidate either
+   reproduces the trace exactly or is discarded — so any measurement noise
+   rejects even the correct algorithm. Abagnale's distance formulation
+   degrades gracefully instead. This example corrupts Reno traces with
+   increasing observation noise and shows that the correct handler keeps
+   the lowest distance long after exact matching (distance ~ 0) has become
+   impossible.
+
+   Run with: dune exec examples/noise_robustness.exe *)
+
+let () =
+  let constructor = Option.get (Abg_cca.Registry.find "reno") in
+  let traces =
+    Abg_trace.Trace.collect_suite ~duration:15.0 ~n:3 ~name:"reno" constructor
+  in
+  let reno = Option.get (Abg_core.Fine_tuned.find_fine_tuned "reno") in
+  let scalable = Option.get (Abg_core.Fine_tuned.find_fine_tuned "scalable") in
+  let vegas = Option.get (Abg_core.Fine_tuned.find_fine_tuned "vegas") in
+  Printf.printf "%-12s | %10s | %10s | %10s | correct CCA still closest?\n"
+    "noise stddev" "d(reno)" "d(scalable)" "d(vegas)";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun stddev ->
+      let rng = Abg_util.Rng.create 99 in
+      let noisy =
+        List.map (Abg_trace.Noise.observation_noise rng ~stddev) traces
+      in
+      let score h = Abg_core.Abagnale.handler_distance ~handler:h noisy in
+      let d_reno = score reno and d_scal = score scalable and d_veg = score vegas in
+      Printf.printf "%12.2f | %10.2f | %10.2f | %10.2f | %s\n%!" stddev d_reno
+        d_scal d_veg
+        (if d_reno <= d_scal && d_reno <= d_veg then "yes" else "NO")
+    )
+    [ 0.0; 0.02; 0.05; 0.1; 0.2 ];
+  print_endline
+    "\nan exact-match (decision) formulation would reject every handler at\n\
+     any nonzero noise level: no synthesized trace reproduces a corrupted\n\
+     measurement bit-for-bit."

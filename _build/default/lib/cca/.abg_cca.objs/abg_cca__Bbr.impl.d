@@ -1,0 +1,1 @@
+lib/cca/bbr.ml: Array Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/bic.ml: Abg_util Cca_sig

@@ -1,0 +1,1 @@
+lib/cca/cca_sig.ml: Float

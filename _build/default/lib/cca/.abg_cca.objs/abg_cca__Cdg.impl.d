@@ -1,0 +1,1 @@
+lib/cca/cdg.ml: Abg_util Cca_sig Float Rng

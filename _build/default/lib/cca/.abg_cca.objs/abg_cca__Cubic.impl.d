@@ -1,0 +1,1 @@
+lib/cca/cubic.ml: Abg_util Cca_sig Float Floatx

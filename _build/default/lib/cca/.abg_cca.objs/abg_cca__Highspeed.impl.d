@@ -1,0 +1,1 @@
+lib/cca/highspeed.ml: Cca_sig Float

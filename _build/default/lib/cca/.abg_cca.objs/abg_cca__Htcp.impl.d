@@ -1,0 +1,1 @@
+lib/cca/htcp.ml: Abg_util Cca_sig Float

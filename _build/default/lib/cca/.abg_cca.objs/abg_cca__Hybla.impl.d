@@ -1,0 +1,1 @@
+lib/cca/hybla.ml: Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/illinois.ml: Abg_util Cca_sig Float

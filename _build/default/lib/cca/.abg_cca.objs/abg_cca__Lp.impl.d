@@ -1,0 +1,1 @@
+lib/cca/lp.ml: Cca_sig Float

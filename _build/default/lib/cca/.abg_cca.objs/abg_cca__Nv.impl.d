@@ -1,0 +1,1 @@
+lib/cca/nv.ml: Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/registry.ml: Bbr Bic Cca_sig Cdg Cubic Highspeed Htcp Hybla Illinois List Lp Nv Reno Scalable String Student Vegas Veno Westwood Yeah

@@ -1,0 +1,1 @@
+lib/cca/reno.ml: Cca_sig

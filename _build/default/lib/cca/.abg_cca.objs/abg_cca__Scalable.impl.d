@@ -1,0 +1,1 @@
+lib/cca/scalable.ml: Cca_sig

@@ -1,0 +1,1 @@
+lib/cca/student.ml: Cca_sig Float

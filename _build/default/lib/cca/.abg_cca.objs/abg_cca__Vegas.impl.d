@@ -1,0 +1,1 @@
+lib/cca/vegas.ml: Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/veno.ml: Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/westwood.ml: Cca_sig Float

@@ -1,0 +1,1 @@
+lib/cca/yeah.ml: Abg_util Cca_sig Float

@@ -1,0 +1,142 @@
+(** BBR v1 (Cardwell et al., ACM Queue '16), window-driven model.
+
+    BBR estimates the bottleneck bandwidth (windowed max of delivery rate)
+    and the path's minimum RTT, and holds cwnd = cwnd_gain * BDP with
+    cwnd_gain = 2. In PROBE_BW it cycles a pacing gain through
+    [1.25, 0.75, 1, 1, 1, 1, 1, 1], one phase per RTT; since the simulator
+    is window-clocked, the gain is applied to the window, which reproduces
+    the pulsing *visible* CWND that the paper's traces show (§5.2). The
+    pulse is driven by a hidden state variable (the cycle index) — exactly
+    the feature Abagnale cannot model and must approximate. *)
+
+let gain_cycle = [| 1.25; 0.75; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+let cwnd_gain = 2.0
+let startup_gain = 2.885
+
+type mode = Startup | Drain | Probe_bw | Probe_rtt
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let mode = ref Startup in
+  let btl_bw = ref 0.0 in
+  let min_rtt = ref infinity in
+  let cycle_index = ref 0 in
+  let cycle_start = ref 0.0 in
+  let full_bw = ref 0.0 in
+  let full_bw_rounds = ref 0 in
+  let round_start = ref 0.0 in
+  let rate_window_start = ref 0.0 in
+  let rate_window_bytes = ref 0.0 in
+  let rate_window_tainted = ref false in
+  let min_rtt_stamp = ref 0.0 in
+  let probe_rtt_start = ref 0.0 in
+  let prior_mode = ref Probe_bw in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 && rtt < !min_rtt then begin
+      min_rtt := rtt;
+      min_rtt_stamp := now
+    end;
+    (* Delivery rate over >= 5 ms windows: per-ACK instantaneous samples
+       are hopeless under ACK-path jitter (two coalesced arrivals give a
+       near-zero dt and an astronomical rate, which a max filter then
+       remembers forever). Windows containing a cumulative jump from loss
+       recovery (one ACK covering many segments delivered long ago) are
+       discarded outright: that data was not delivered in this window, so
+       counting it would again poison the max filter. A real BBR's per-skb
+       delivered/interval accounting is immune by construction. *)
+    if acked > 1.5 *. mss then rate_window_tainted := true
+    else rate_window_bytes := !rate_window_bytes +. acked;
+    (if !rate_window_start = 0.0 then rate_window_start := now
+     else begin
+       (* Roughly one RTT per window: ACK-arrival clumping under jitter
+          makes millisecond windows systematically over-read the rate. *)
+       let min_span =
+         if Float.is_finite !min_rtt then Float.max 0.005 !min_rtt else 0.005
+       in
+       let span = now -. !rate_window_start in
+       if span >= min_span then begin
+         if not !rate_window_tainted then begin
+           let rate = !rate_window_bytes /. span in
+           (* Windowed max filter: slow decay + instant rise. *)
+           btl_bw := Float.max rate (!btl_bw *. 0.999)
+         end;
+         rate_window_start := now;
+         rate_window_bytes := 0.0;
+         rate_window_tainted := false
+       end
+     end);
+    let bdp () =
+      if Float.is_finite !min_rtt && !btl_bw > 0.0 then !btl_bw *. !min_rtt
+      else !cwnd
+    in
+    begin
+      match !mode with
+      | Startup ->
+          (* Exponential growth, bounded by the startup gain over the
+             current BDP estimate — the window-clocked equivalent of
+             BBR's 2.885x pacing-rate bound, without which a pure
+             window-doubling startup overshoots by orders of magnitude. *)
+          let grown = !cwnd +. acked in
+          cwnd :=
+            if !btl_bw > 0.0 && Float.is_finite !min_rtt then
+              Float.max !cwnd (Float.min grown (startup_gain *. bdp ()))
+            else grown;
+          (* Full pipe: bandwidth stopped growing >= 25% for 3 rounds
+             (one round per min_rtt of wall-clock time). *)
+          if Float.is_finite !min_rtt && now -. !round_start >= !min_rtt then begin
+            round_start := now;
+            if !btl_bw > !full_bw *. 1.25 then begin
+              full_bw := !btl_bw;
+              full_bw_rounds := 0
+            end
+            else begin
+              incr full_bw_rounds;
+              if !full_bw_rounds >= 3 then begin
+                mode := Drain;
+                cycle_start := now
+              end
+            end
+          end
+      | Drain ->
+          cwnd := Float.max (bdp ()) (!cwnd *. 0.9);
+          if !cwnd <= bdp () *. 1.05 then begin
+            mode := Probe_bw;
+            cycle_index := 0;
+            cycle_start := now
+          end
+      | Probe_bw ->
+          if Float.is_finite !min_rtt && now -. !cycle_start >= !min_rtt then begin
+            cycle_index := (!cycle_index + 1) mod Array.length gain_cycle;
+            cycle_start := now
+          end;
+          let gain = gain_cycle.(!cycle_index) in
+          cwnd := cwnd_gain *. gain *. bdp ()
+      | Probe_rtt ->
+          (* Drain to four segments so the queue empties and the next RTT
+             samples measure propagation delay. *)
+          cwnd := 4.0 *. mss;
+          if now -. !probe_rtt_start >= 0.2 then begin
+            min_rtt_stamp := now;
+            mode := !prior_mode;
+            cycle_start := now
+          end
+    end;
+    (* BBRv1's 10-second min_rtt expiry: periodically re-probe the
+       propagation delay (and, as a side effect, drain any standing queue
+       the filter overestimates created). *)
+    (match !mode with
+    | Probe_rtt | Startup | Drain -> ()
+    | Probe_bw ->
+        if now -. !min_rtt_stamp > 10.0 then begin
+          prior_mode := Probe_bw;
+          mode := Probe_rtt;
+          probe_rtt_start := now;
+          min_rtt := infinity
+        end);
+    cwnd := Cca_sig.clamp_cwnd ~mss !cwnd
+  in
+  let on_loss ~now:_ =
+    (* BBRv1 mostly ignores individual losses; it only bounds the window. *)
+    cwnd := Cca_sig.clamp_cwnd ~mss !cwnd
+  in
+  { Cca_sig.name = "bbr"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

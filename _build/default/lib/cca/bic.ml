@@ -1,0 +1,44 @@
+(** BIC (Xu, Harfoush & Rhee, INFOCOM '04).
+
+    Binary-search increase: below the last-loss window [w_max] the window
+    jumps halfway toward it (capped to [s_max] segments per RTT, floored at
+    [s_min]); above [w_max] it probes away slowly then increasingly fast
+    (max probing). Loss sets w_max (with fast convergence) and multiplies
+    the window by beta = 0.8. *)
+
+let s_max = 32.0 (* segments *)
+let s_min = 0.01
+let beta = 0.8
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let w_max = ref 0.0 in
+  let on_ack ~now:_ ~acked ~rtt:_ =
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      let inc_per_rtt_segments =
+        if !w_max <= 0.0 then 1.0
+        else if !cwnd < !w_max then begin
+          (* Binary search toward the last known saturation point. *)
+          let dist = (!w_max -. !cwnd) /. 2.0 /. mss in
+          Abg_util.Floatx.clamp ~lo:s_min ~hi:s_max dist
+        end
+        else begin
+          (* Max probing: slow start-like departure from w_max. *)
+          let dist = (!cwnd -. !w_max) /. mss in
+          Abg_util.Floatx.clamp ~lo:1.0 ~hi:s_max (dist /. 4.0)
+        end
+      in
+      cwnd := !cwnd +. (inc_per_rtt_segments *. mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    (* Fast convergence: if we lost below the previous w_max, the
+       bottleneck share shrank — aim lower. *)
+    if !cwnd < !w_max then w_max := !cwnd *. (1.0 +. beta) /. 2.0
+    else w_max := !cwnd;
+    ssthresh := Cca_sig.clamp_cwnd ~mss (beta *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "bic"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

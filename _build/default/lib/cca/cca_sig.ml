@@ -1,0 +1,33 @@
+(** The congestion-control-algorithm interface the simulator drives.
+
+    A CCA instance is a bundle of closures over private mutable state; the
+    simulator only observes [cwnd] and feeds back ACK and loss events. This
+    mirrors how the paper treats the kernel implementations: black boxes
+    whose externally visible window evolution is the ground truth.
+
+    Times are seconds, sizes are bytes. [on_ack] is invoked once per
+    (possibly cumulative) ACK with the bytes it newly acknowledged and the
+    RTT sample it produced; [on_loss] once per inferred loss event (triple
+    dup-ACK or RTO). *)
+
+type t = {
+  name : string;
+  cwnd : unit -> float;  (** current congestion window, bytes; > 0 *)
+  on_ack : now:float -> acked:float -> rtt:float -> unit;
+  on_loss : now:float -> unit;
+}
+
+(** A CCA constructor: [create ~mss ()] builds a fresh instance in slow
+    start with an initial window of 10 segments (Linux default). *)
+type constructor = mss:float -> unit -> t
+
+let initial_window ~mss = 10.0 *. mss
+
+(** [clamp_cwnd ~mss w] keeps a window at least 2 segments — kernel CCAs
+    never run below that. *)
+let clamp_cwnd ~mss w = Float.max (2.0 *. mss) w
+
+(** Slow-start increment with Appropriate Byte Counting (RFC 3465, L=2):
+    at most two segments of growth per ACK, so the cumulative-ACK jumps
+    that follow loss recovery cannot explode the window. *)
+let ss_increment ~mss ~acked = Float.min acked (2.0 *. mss)

@@ -1,0 +1,56 @@
+(** CAIA Delay-Gradient, CDG (Hayes & Armitage, Networking '11).
+
+    Tracks per-RTT gradients of the minimum and maximum RTT envelopes and
+    *probabilistically* backs off when the gradient is positive, with
+    P[backoff] = 1 - exp(-g / G). The coin flip makes CDG non-deterministic
+    — the paper places it out of Abagnale's scope (§5.5); we implement it
+    (with a seeded PRNG) so the trace-generation substrate is complete. *)
+
+open Abg_util
+
+let g_scale = 3.0 (* G: backoff scaling factor, in RTT-gradient units *)
+
+let create ?(seed = 7) ~mss () : Cca_sig.t =
+  let rng = Rng.create seed in
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let epoch_start = ref 0.0 in
+  let epoch_min = ref infinity in
+  let epoch_max = ref 0.0 in
+  let prev_min = ref nan in
+  let prev_max = ref nan in
+  let smoothed_gradient = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then begin
+      epoch_min := Float.min !epoch_min rtt;
+      epoch_max := Float.max !epoch_max rtt
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      cwnd := !cwnd +. (mss *. acked /. !cwnd);
+      if now -. !epoch_start >= Float.max 0.01 !epoch_min then begin
+        (* Per-RTT gradient of the min/max RTT envelopes. *)
+        if Float.is_finite !prev_min && Float.is_finite !epoch_min then begin
+          let g_min = !epoch_min -. !prev_min in
+          let g_max = !epoch_max -. !prev_max in
+          let g = (g_min +. g_max) /. 2.0 /. Float.max 1e-3 !epoch_min in
+          smoothed_gradient := (0.7 *. !smoothed_gradient) +. (0.3 *. g);
+          if !smoothed_gradient > 0.0 then begin
+            let p = 1.0 -. exp (-.(!smoothed_gradient *. 100.0) /. g_scale) in
+            if Rng.float rng < p then
+              cwnd := Cca_sig.clamp_cwnd ~mss (0.7 *. !cwnd)
+          end
+        end;
+        prev_min := !epoch_min;
+        prev_max := !epoch_max;
+        epoch_min := infinity;
+        epoch_max := 0.0;
+        epoch_start := now
+      end
+    end
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (0.7 *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "cdg"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

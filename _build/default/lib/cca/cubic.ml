@@ -1,0 +1,58 @@
+(** CUBIC (Ha, Rhee & Xu, OSR '08; the Linux default).
+
+    The window is a cubic function of the time since the last loss:
+    W(t) = C (t - K)^3 + w_max, with K = cbrt(w_max * beta / C), so growth
+    is concave up to the previous saturation point w_max, flat near it, and
+    convex beyond (probing). C = 0.4 segments/s^3, multiplicative decrease
+    to 0.7 * cwnd. *)
+
+open Abg_util
+
+let c_scale = 0.4 (* segments per second^3 *)
+let beta = 0.7 (* multiplicative decrease factor (Linux) *)
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let w_max = ref 0.0 in
+  let epoch_start = ref None in
+  let on_ack ~now ~acked ~rtt =
+    if !cwnd < !ssthresh then begin
+      cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked;
+      epoch_start := None
+    end
+    else begin
+      let t0 =
+        match !epoch_start with
+        | Some t0 -> t0
+        | None ->
+            (* New congestion-avoidance epoch: if there is no loss history,
+               treat the current window as the plateau. *)
+            if !w_max <= 0.0 then w_max := !cwnd;
+            epoch_start := Some now;
+            now
+      in
+      let w_max_seg = !w_max /. mss in
+      let k = Floatx.cbrt (w_max_seg *. (1.0 -. beta) /. c_scale) in
+      let t = now -. t0 +. rtt in
+      let target_seg = (c_scale *. Float.pow (t -. k) 3.0) +. w_max_seg in
+      let target = target_seg *. mss in
+      (* Move a fraction of the distance to the cubic target each ACK, as
+         the kernel does (cnt-based pacing of the increase). Byte counting
+         is capped so a cumulative jump after recovery cannot teleport the
+         window to the target in one step. *)
+      let acked = Float.min acked (2.0 *. mss) in
+      if target > !cwnd then
+        cwnd := !cwnd +. ((target -. !cwnd) *. acked /. !cwnd)
+      else cwnd := !cwnd +. (0.01 *. mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    (* Fast convergence. *)
+    if !cwnd < !w_max then w_max := !cwnd *. (1.0 +. beta) /. 2.0
+    else w_max := !cwnd;
+    ssthresh := Cca_sig.clamp_cwnd ~mss (beta *. !cwnd);
+    cwnd := !ssthresh;
+    epoch_start := None
+  in
+  { Cca_sig.name = "cubic"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

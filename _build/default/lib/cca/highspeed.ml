@@ -1,0 +1,45 @@
+(** HighSpeed TCP (Floyd, RFC 3649).
+
+    Reno whose increase a(w) and decrease b(w) depend on the current window
+    through a logarithmic response function; the kernel implements it as a
+    lookup table. We evaluate the RFC's analytic form directly:
+    above W0 = 38 segments,
+      b(w) = 0.1 + (0.4 (log w - log W0)) / (log W1 - log W0),
+      a(w) = w^2 b(w) 2 p(w) / (2 - b(w)) with p(w) from the response
+    function; below W0 it is exactly Reno. This module exists for trace
+    generation; the paper notes HighSpeed's log-based rules are outside the
+    DSL, so synthesis is not attempted on it (§5.5). *)
+
+let w0 = 38.0 (* segments: below this, behave as Reno *)
+let w1 = 83000.0 (* segments at the high end of the response function *)
+
+let b_of w =
+  if w <= w0 then 0.5
+  else 0.1 +. (0.4 *. (log w -. log w0) /. (log w1 -. log w0))
+
+let a_of w =
+  if w <= w0 then 1.0
+  else begin
+    (* RFC 3649 §5: p(w) = 0.078 / w^1.2; a(w) follows from the steady
+       state response. *)
+    let p = 0.078 /. Float.pow w 1.2 in
+    let b = b_of w in
+    Float.max 1.0 (w *. w *. p *. 2.0 *. b /. (2.0 -. b))
+  end
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let on_ack ~now:_ ~acked ~rtt:_ =
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      let w_seg = !cwnd /. mss in
+      cwnd := !cwnd +. (a_of w_seg *. mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    let w_seg = !cwnd /. mss in
+    ssthresh := Cca_sig.clamp_cwnd ~mss ((1.0 -. b_of w_seg) *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "highspeed"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,47 @@
+(** H-TCP (Leith & Shorten, PFLDnet '04).
+
+    The additive-increase factor alpha grows with the time elapsed since
+    the last loss: alpha = 1 for the first Delta_L = 1 s, then
+    1 + 10 (t - Delta_L) + ((t - Delta_L) / 2)^2, scaled by the RTT.
+    The decrease factor is adaptive: beta = RTTmin / RTTmax, clamped to
+    [0.5, 0.8]. *)
+
+let delta_l = 1.0
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let last_loss = ref 0.0 in
+  let min_rtt = ref infinity in
+  let max_rtt = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then begin
+      min_rtt := Float.min !min_rtt rtt;
+      max_rtt := Float.max !max_rtt rtt
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      let t = now -. !last_loss in
+      let alpha =
+        if t <= delta_l then 1.0
+        else begin
+          let dt = t -. delta_l in
+          1.0 +. (10.0 *. dt) +. (dt /. 2.0 *. (dt /. 2.0))
+        end
+      in
+      (* The kernel scales alpha by 2 * (1 - beta) to keep average rate
+         matched to Reno at small windows; we keep the canonical form. *)
+      cwnd := !cwnd +. (alpha *. mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now =
+    let beta =
+      if Float.is_finite !min_rtt && !max_rtt > 0.0 then
+        Abg_util.Floatx.clamp ~lo:0.5 ~hi:0.8 (!min_rtt /. !max_rtt)
+      else 0.5
+    in
+    ssthresh := Cca_sig.clamp_cwnd ~mss (beta *. !cwnd);
+    cwnd := !ssthresh;
+    last_loss := now
+  in
+  { Cca_sig.name = "htcp"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

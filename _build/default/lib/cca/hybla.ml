@@ -1,0 +1,30 @@
+(** TCP Hybla (Caini & Firrincieli, 2004).
+
+    Compensates high-delay links by scaling Reno's increase with
+    rho = RTT / RTT0 (RTT0 = 25 ms): slow start grows by (2^rho - 1)
+    segments per ACK, congestion avoidance by rho^2 segments per window.
+    The result is window growth *in time* independent of RTT. *)
+
+let rtt0 = 0.025
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let min_rtt = ref infinity in
+  let rho = ref 1.0 in
+  let on_ack ~now:_ ~acked ~rtt =
+    if rtt > 0.0 then begin
+      (* rho from the propagation RTT (running minimum), not the inflated
+         sample — otherwise queueing delay feeds back into aggressiveness. *)
+      min_rtt := Float.min !min_rtt rtt;
+      rho := Float.max 1.0 (!min_rtt /. rtt0)
+    end;
+    if !cwnd < !ssthresh then
+      cwnd := !cwnd +. ((Float.pow 2.0 !rho -. 1.0) *. acked)
+    else cwnd := !cwnd +. (!rho *. !rho *. mss *. acked /. !cwnd)
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "hybla"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,46 @@
+(** TCP Illinois (Liu, Basar & Srikant, 2008).
+
+    Loss-based window changes with delay-based *sizing*: the additive
+    increase alpha is a decreasing function of the current average queueing
+    delay (max 10 segments/RTT when the queue is empty, min 0.3 when full),
+    and the multiplicative decrease beta grows with delay (1/8 .. 1/2). *)
+
+let alpha_max = 10.0
+let alpha_min = 0.3
+let beta_min = 0.125
+let beta_max = 0.5
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let max_rtt = ref 0.0 in
+  let avg_rtt = ref 0.0 in
+  let queue_delay_fraction () =
+    (* da / dm: current average queueing delay over the maximum observed. *)
+    let dm = !max_rtt -. !base_rtt in
+    if Float.is_finite !base_rtt && dm > 1e-6 && !avg_rtt > 0.0 then
+      Abg_util.Floatx.clamp ~lo:0.0 ~hi:1.0 ((!avg_rtt -. !base_rtt) /. dm)
+    else 0.0
+  in
+  let on_ack ~now:_ ~acked ~rtt =
+    if rtt > 0.0 then begin
+      base_rtt := Float.min !base_rtt rtt;
+      max_rtt := Float.max !max_rtt rtt;
+      avg_rtt := if !avg_rtt = 0.0 then rtt else (0.875 *. !avg_rtt) +. (0.125 *. rtt)
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      (* Concave interpolation: alpha falls quickly as delay builds. *)
+      let f = queue_delay_fraction () in
+      let alpha = alpha_max /. (1.0 +. (f *. (alpha_max /. alpha_min -. 1.0))) in
+      cwnd := !cwnd +. (alpha *. mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    let f = queue_delay_fraction () in
+    let beta = beta_min +. (f *. (beta_max -. beta_min)) in
+    ssthresh := Cca_sig.clamp_cwnd ~mss ((1.0 -. beta) *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "illinois"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

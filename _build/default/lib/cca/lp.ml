@@ -1,0 +1,39 @@
+(** TCP-LP, Low Priority (Kuzmanovic & Knightly, ToN '06).
+
+    A scavenger CCA: Reno's increase, but an *early congestion inference*
+    from one-way delay — when the smoothed delay exceeds
+    min + 0.15 * (max - min), the window is halved (at most once per RTT)
+    so that LP yields to any competing flow before losses occur. *)
+
+let threshold_fraction = 0.15
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let min_rtt = ref infinity in
+  let max_rtt = ref 0.0 in
+  let srtt = ref 0.0 in
+  let last_backoff = ref neg_infinity in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then begin
+      min_rtt := Float.min !min_rtt rtt;
+      max_rtt := Float.max !max_rtt rtt;
+      srtt := if !srtt = 0.0 then rtt else (0.875 *. !srtt) +. (0.125 *. rtt)
+    end;
+    let threshold = !min_rtt +. (threshold_fraction *. (!max_rtt -. !min_rtt)) in
+    let congested =
+      Float.is_finite !min_rtt && !max_rtt > !min_rtt && !srtt > threshold
+    in
+    if congested && now -. !last_backoff > !srtt then begin
+      cwnd := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+      last_backoff := now
+    end
+    else if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else cwnd := !cwnd +. (mss *. acked /. !cwnd)
+  in
+  let on_loss ~now =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+    cwnd := !ssthresh;
+    last_backoff := now
+  in
+  { Cca_sig.name = "lp"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,37 @@
+(** TCP New Vegas (Brakmo, Linux Plumbers '10).
+
+    The same fundamental logic as Vegas — compare a delay-derived queue
+    estimate to thresholds once per RTT — but the delay measurement is a
+    moving average rather than a per-epoch mean, and updates are gated by a
+    hidden per-RTT counter state variable (§5.4 of the paper notes that
+    Abagnale correctly recovers the *same* handler as Vegas for NV because
+    the differences are measurement detail). *)
+
+let create ?(alpha = 2.0) ?(beta = 4.0) ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let avg_rtt = ref 0.0 in
+  let epoch_start = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then begin
+      base_rtt := Float.min !base_rtt rtt;
+      (* Moving average with NV's fast-start behavior. *)
+      avg_rtt := if !avg_rtt = 0.0 then rtt else (0.875 *. !avg_rtt) +. (0.125 *. rtt)
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else if now -. !epoch_start >= !base_rtt && !avg_rtt > 0.0 then begin
+      let expected = !cwnd /. !base_rtt in
+      let actual = !cwnd /. !avg_rtt in
+      let diff_pkts = (expected -. actual) *. !base_rtt /. mss in
+      if diff_pkts < alpha then cwnd := !cwnd +. mss
+      else if diff_pkts > beta then
+        cwnd := Cca_sig.clamp_cwnd ~mss (!cwnd -. mss);
+      epoch_start := now
+    end
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "nv"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

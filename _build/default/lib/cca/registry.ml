@@ -1,0 +1,32 @@
+(** Registry of all ground-truth CCAs available for trace generation.
+
+    The 16 Linux kernel algorithms of §5 plus the seven student CCAs. Look
+    up by the names used throughout the paper's tables. *)
+
+let kernel : (string * Cca_sig.constructor) list =
+  [
+    ("bbr", fun ~mss () -> Bbr.create ~mss ());
+    ("cubic", fun ~mss () -> Cubic.create ~mss ());
+    ("vegas", fun ~mss () -> Vegas.create ~mss ());
+    ("reno", fun ~mss () -> Reno.create ~mss ());
+    ("bic", fun ~mss () -> Bic.create ~mss ());
+    ("cdg", fun ~mss () -> Cdg.create ~mss ());
+    ("highspeed", fun ~mss () -> Highspeed.create ~mss ());
+    ("htcp", fun ~mss () -> Htcp.create ~mss ());
+    ("hybla", fun ~mss () -> Hybla.create ~mss ());
+    ("illinois", fun ~mss () -> Illinois.create ~mss ());
+    ("lp", fun ~mss () -> Lp.create ~mss ());
+    ("nv", fun ~mss () -> Nv.create ~mss ());
+    ("scalable", fun ~mss () -> Scalable.create ~mss ());
+    ("veno", fun ~mss () -> Veno.create ~mss ());
+    ("westwood", fun ~mss () -> Westwood.create ~mss ());
+    ("yeah", fun ~mss () -> Yeah.create ~mss ());
+  ]
+
+let student = Student.all
+let all = kernel @ student
+
+let find name =
+  List.assoc_opt (String.lowercase_ascii name) all
+
+let names = List.map fst all

@@ -1,0 +1,18 @@
+(** TCP NewReno (Hoe, SIGCOMM '96; RFC 6582).
+
+    Slow start doubles the window each RTT (cwnd += acked); congestion
+    avoidance adds one MSS per window of ACKed data
+    (cwnd += MSS * acked / cwnd); a loss halves ssthresh and the window. *)
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let on_ack ~now:_ ~acked ~rtt:_ =
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else cwnd := !cwnd +. (mss *. acked /. !cwnd)
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "reno"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

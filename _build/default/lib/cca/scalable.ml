@@ -1,0 +1,18 @@
+(** Scalable TCP (Kelly, CCR '03).
+
+    Multiplicative increase: the window grows by a fixed fraction (0.01) of
+    each ACKed byte, so loss-recovery time is independent of window size;
+    the decrease factor is 0.875. *)
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let on_ack ~now:_ ~acked ~rtt:_ =
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else cwnd := !cwnd +. (0.01 *. acked)
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (0.875 *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "scalable"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

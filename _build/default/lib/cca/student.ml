@@ -1,0 +1,123 @@
+(** The seven "student" CCAs (§5.6).
+
+    The paper's second dataset is novel CCAs written for a graduate
+    networking class over a UDP transport (50–150 lines of C++ each). The
+    dataset's code is not distributed with the paper, so these are
+    synthetic equivalents: each implements the *behavior* that Table 2's
+    synthesized handler and §5.6's discussion attribute to it, which is the
+    property the reproduction needs (the synthesized expression for
+    student k should recover the corresponding structure). *)
+
+(** Student 1 — a fixed-target window protocol: after a brief ramp, it sits
+    at a constant window (Table 2 synthesizes the constant [88]). *)
+let student1 ~mss () : Cca_sig.t =
+  let target = 88.0 *. mss in
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let on_ack ~now:_ ~acked ~rtt:_ =
+    if !cwnd < target then cwnd := Float.min target (!cwnd +. acked)
+  in
+  let on_loss ~now:_ = () in
+  { Cca_sig.name = "student1"; cwnd = (fun () -> !cwnd); on_ack; on_loss }
+
+(** Student 2 — AIMD with a delay circuit-breaker: grow one MSS per ACK
+    while the queue estimate is small, collapse to one MSS otherwise
+    (Table 2: [{vegas-diff / minRTT < 5} ? CWND + MSS : MSS]). *)
+let student2 ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let base_rtt = ref infinity in
+  let on_ack ~now:_ ~acked:_ ~rtt =
+    if rtt > 0.0 then base_rtt := Float.min !base_rtt rtt;
+    let queue_score =
+      if Float.is_finite !base_rtt && !base_rtt > 0.0 then
+        (rtt -. !base_rtt) /. !base_rtt *. (!cwnd /. mss) /. 10.0
+      else 0.0
+    in
+    if queue_score < 5.0 then cwnd := !cwnd +. mss
+    else cwnd := Cca_sig.clamp_cwnd ~mss mss
+  in
+  let on_loss ~now:_ = cwnd := Cca_sig.clamp_cwnd ~mss mss in
+  { Cca_sig.name = "student2"; cwnd = (fun () -> !cwnd); on_ack; on_loss }
+
+(** Student 3 — pure rate mirror: window proportional to the measured
+    delivery rate times the minimum RTT (Table 2: [.8 * ACKed / minRTT]
+    summed over an RTT ~ 0.8 * rate * minRTT). *)
+let student3 ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let min_rtt = ref infinity in
+  let last_ack = ref 0.0 in
+  let rate = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then min_rtt := Float.min !min_rtt rtt;
+    let dt = now -. !last_ack in
+    if dt > 1e-9 && !last_ack > 0.0 then
+      rate := (0.8 *. !rate) +. (0.2 *. (acked /. dt));
+    last_ack := now;
+    if Float.is_finite !min_rtt && !rate > 0.0 then
+      cwnd := Cca_sig.clamp_cwnd ~mss (0.8 *. !rate *. !min_rtt)
+    else cwnd := !cwnd +. acked
+  in
+  let on_loss ~now:_ = () in
+  { Cca_sig.name = "student3"; cwnd = (fun () -> !cwnd); on_ack; on_loss }
+
+(** Student 4 — stop-and-wait: a constant one-MSS window. *)
+let student4 ~mss () : Cca_sig.t =
+  let cwnd = 1.0 *. mss in
+  {
+    Cca_sig.name = "student4";
+    cwnd = (fun () -> cwnd);
+    on_ack = (fun ~now:_ ~acked:_ ~rtt:_ -> ());
+    on_loss = (fun ~now:_ -> ());
+  }
+
+(** Student 5 — constant two-MSS window. *)
+let student5 ~mss () : Cca_sig.t =
+  let cwnd = 2.0 *. mss in
+  {
+    Cca_sig.name = "student5";
+    cwnd = (fun () -> cwnd);
+    on_ack = (fun ~now:_ ~acked:_ ~rtt:_ -> ());
+    on_loss = (fun ~now:_ -> ());
+  }
+
+(** Student 6 — delay-gradient divider: a large base window shrunk as the
+    delay gradient grows (Table 2: [(cwnd + 150 * MSS) / delay-gradient]).
+    The gradient estimate is kept >= 1 so the division is meaningful. *)
+let student6 ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let prev_rtt = ref nan in
+  let gradient = ref 1.0 in
+  let on_ack ~now:_ ~acked:_ ~rtt =
+    if rtt > 0.0 then begin
+      if Float.is_finite !prev_rtt then begin
+        let g = (rtt -. !prev_rtt) /. Float.max 1e-4 !prev_rtt in
+        gradient := Float.max 1.0 ((0.9 *. !gradient) +. (0.1 *. (1.0 +. (g *. 50.0))))
+      end;
+      prev_rtt := rtt
+    end;
+    cwnd := Cca_sig.clamp_cwnd ~mss ((!cwnd +. (150.0 *. mss)) /. !gradient /. 2.0)
+  in
+  let on_loss ~now:_ = gradient := !gradient *. 1.5 in
+  { Cca_sig.name = "student6"; cwnd = (fun () -> !cwnd); on_ack; on_loss }
+
+(** Student 7 — additive rate probe: grows by the ACKed bytes scaled by
+    2/RTT per ACK (Table 2: [CWND + 2 * ACKed / RTT], yielding
+    near-linear-in-time growth). *)
+let student7 ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let on_ack ~now:_ ~acked ~rtt =
+    let rtt = Float.max 1e-3 rtt in
+    cwnd := !cwnd +. (2.0 *. acked /. rtt *. 0.001)
+  in
+  let on_loss ~now:_ = cwnd := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0) in
+  { Cca_sig.name = "student7"; cwnd = (fun () -> !cwnd); on_ack; on_loss }
+
+let all : (string * Cca_sig.constructor) list =
+  [
+    ("student1", student1);
+    ("student2", student2);
+    ("student3", student3);
+    ("student4", student4);
+    ("student5", student5);
+    ("student6", student6);
+    ("student7", student7);
+  ]

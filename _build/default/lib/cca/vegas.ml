@@ -1,0 +1,40 @@
+(** TCP Vegas (Brakmo & Peterson, SIGCOMM '94).
+
+    Once per RTT, compares the expected rate (cwnd / baseRTT) to the actual
+    rate (cwnd / RTT). The difference, scaled to packets queued at the
+    bottleneck, drives a three-way decision: grow by one MSS per RTT when
+    below [alpha], shrink by one MSS when above [beta], hold otherwise. *)
+
+let create ?(alpha = 2.0) ?(beta = 4.0) ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let rtt_sum = ref 0.0 in
+  let rtt_cnt = ref 0 in
+  let epoch_start = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then begin
+      base_rtt := Float.min !base_rtt rtt;
+      rtt_sum := !rtt_sum +. rtt;
+      incr rtt_cnt
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else if now -. !epoch_start >= !base_rtt && !rtt_cnt > 0 then begin
+      (* One window-update decision per RTT, from the epoch's mean RTT. *)
+      let rtt_avg = !rtt_sum /. float_of_int !rtt_cnt in
+      let expected = !cwnd /. !base_rtt in
+      let actual = !cwnd /. rtt_avg in
+      let diff_pkts = (expected -. actual) *. !base_rtt /. mss in
+      if diff_pkts < alpha then cwnd := !cwnd +. mss
+      else if diff_pkts > beta then
+        cwnd := Cca_sig.clamp_cwnd ~mss (!cwnd -. mss);
+      epoch_start := now;
+      rtt_sum := 0.0;
+      rtt_cnt := 0
+    end
+  in
+  let on_loss ~now:_ =
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd /. 2.0);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "vegas"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,38 @@
+(** TCP Veno (Fu & Liew, JSAC '03).
+
+    Reno's window evolution modulated by Vegas's queue estimate [diff]:
+    when the path looks uncongested (diff < beta) the full Reno increase
+    applies; when congested, the increase rate is halved. On loss, the
+    decrease is 0.8x if the loss looked random (diff < beta), 0.5x if
+    congestive. *)
+
+let create ?(beta = 3.0) ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let last_rtt = ref 0.0 in
+  let inc_toggle = ref false in
+  let diff_pkts () =
+    if Float.is_finite !base_rtt && !last_rtt > 0.0 then
+      (!cwnd /. !base_rtt -. (!cwnd /. !last_rtt)) *. !base_rtt /. mss
+    else 0.0
+  in
+  let on_ack ~now:_ ~acked ~rtt =
+    if rtt > 0.0 then begin
+      base_rtt := Float.min !base_rtt rtt;
+      last_rtt := rtt
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else if diff_pkts () < beta then cwnd := !cwnd +. (mss *. acked /. !cwnd)
+    else begin
+      (* Congested: increase every other ACK (half of Reno's rate). *)
+      inc_toggle := not !inc_toggle;
+      if !inc_toggle then cwnd := !cwnd +. (mss *. acked /. !cwnd)
+    end
+  in
+  let on_loss ~now:_ =
+    let factor = if diff_pkts () < beta then 0.8 else 0.5 in
+    ssthresh := Cca_sig.clamp_cwnd ~mss (factor *. !cwnd);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "veno"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,34 @@
+(** TCP Westwood+ (Mascolo et al., MobiCom '01).
+
+    Reno's increase, but on loss the window is set from a bandwidth
+    estimate: ssthresh = BWE * RTTmin, where BWE is a low-pass filter over
+    per-ACK delivery samples. *)
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let bw_est = ref 0.0 in
+  let min_rtt = ref infinity in
+  let last_ack_time = ref 0.0 in
+  let on_ack ~now ~acked ~rtt =
+    if rtt > 0.0 then min_rtt := Float.min !min_rtt rtt;
+    let dt = now -. !last_ack_time in
+    if dt > 0.0 then begin
+      (* First-order low-pass filter of the instantaneous delivery rate,
+         as in the Westwood+ kernel module (alpha ~ 0.9). *)
+      let sample = acked /. dt in
+      bw_est := if !bw_est = 0.0 then sample else (0.9 *. !bw_est) +. (0.1 *. sample)
+    end;
+    last_ack_time := now;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else cwnd := !cwnd +. (mss *. acked /. !cwnd)
+  in
+  let on_loss ~now:_ =
+    let target =
+      if Float.is_finite !min_rtt && !bw_est > 0.0 then !bw_est *. !min_rtt
+      else !cwnd /. 2.0
+    in
+    ssthresh := Cca_sig.clamp_cwnd ~mss target;
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "westwood"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

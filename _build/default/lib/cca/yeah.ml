@@ -1,0 +1,57 @@
+(** YeAH-TCP (Baiocchi, Castellani & Vacirca, PFLDnet '07).
+
+    Two modes driven by the Vegas-style queue estimate Q: "fast" mode uses
+    a Scalable-style aggressive increase while Q stays below Q_max (~80
+    packets worth of queue... the published threshold is queue < Q_max and
+    delay ratio < 1/phi); "slow" mode falls back to Reno. A precautionary
+    decongestion step drains the estimated queue. *)
+
+let q_max = 80.0
+let phi = 8.0
+
+let create ~mss () : Cca_sig.t =
+  let cwnd = ref (Cca_sig.initial_window ~mss) in
+  let ssthresh = ref infinity in
+  let base_rtt = ref infinity in
+  let last_rtt = ref 0.0 in
+  let queue_pkts () =
+    if Float.is_finite !base_rtt && !last_rtt > !base_rtt then
+      (!last_rtt -. !base_rtt) *. (!cwnd /. !last_rtt) /. mss
+    else 0.0
+  in
+  let on_ack ~now:_ ~acked ~rtt =
+    if rtt > 0.0 then begin
+      base_rtt := Float.min !base_rtt rtt;
+      last_rtt := rtt
+    end;
+    if !cwnd < !ssthresh then cwnd := !cwnd +. Cca_sig.ss_increment ~mss ~acked
+    else begin
+      let q = queue_pkts () in
+      let delay_ratio =
+        if Float.is_finite !base_rtt && !base_rtt > 0.0 then
+          (!last_rtt -. !base_rtt) /. !base_rtt
+        else 0.0
+      in
+      if q < q_max && delay_ratio < 1.0 /. phi then
+        (* Fast mode: Scalable-style increase. *)
+        cwnd := !cwnd +. (0.01 *. acked)
+      else begin
+        (* Slow mode: Reno, plus precautionary decongestion of the
+           estimated queue once it overflows the budget. *)
+        cwnd := !cwnd +. (mss *. acked /. !cwnd);
+        if q > q_max then
+          cwnd := Cca_sig.clamp_cwnd ~mss (!cwnd -. (q /. 2.0 *. mss))
+      end
+    end
+  in
+  let on_loss ~now:_ =
+    (* YeAH sheds the estimated queue, bounded to [cwnd/8, cwnd/2]: drop
+       less than Reno when the queue (not the pipe) caused the loss. *)
+    let q = queue_pkts () in
+    let reduction =
+      Abg_util.Floatx.clamp ~lo:(!cwnd /. 8.0) ~hi:(!cwnd /. 2.0) (q *. mss)
+    in
+    ssthresh := Cca_sig.clamp_cwnd ~mss (!cwnd -. reduction);
+    cwnd := !ssthresh
+  in
+  { Cca_sig.name = "yeah"; cwnd = (fun () -> !cwnd); on_ack; on_loss }

@@ -1,0 +1,1 @@
+lib/classifier/ccanalyzer.ml: Abg_cca Abg_distance Abg_trace Array Gordon Lazy List

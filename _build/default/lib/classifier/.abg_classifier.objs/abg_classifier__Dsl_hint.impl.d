@@ -1,0 +1,1 @@
+lib/classifier/dsl_hint.ml: Abg_dsl Catalog Gordon

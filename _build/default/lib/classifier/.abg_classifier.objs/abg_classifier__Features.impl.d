@@ -1,0 +1,1 @@
+lib/classifier/features.ml: Abg_trace Abg_util Array Float List Printf Stats Stdlib

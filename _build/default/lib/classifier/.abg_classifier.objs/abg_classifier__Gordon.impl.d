@@ -1,0 +1,1 @@
+lib/classifier/gordon.ml: Abg_cca Abg_netsim Abg_trace Array Features Lazy List Printf

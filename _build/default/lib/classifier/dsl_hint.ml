@@ -1,0 +1,26 @@
+(** From classifier verdict to sub-DSL choice (§3.3).
+
+    "We use existing CCA classifiers to hint which sub-DSL Abagnale should
+    use for a given set of traces." The mapping groups the known CCAs into
+    the families whose signals the sub-DSLs carry: Reno-like loss-based
+    algorithms, Cubic's time-since-loss polynomial family, and the
+    delay/rate family (with the Vegas queue-estimator macro for its
+    conditional members). *)
+
+open Abg_dsl
+
+let family_of_cca = function
+  | "reno" | "westwood" | "scalable" | "lp" | "hybla" -> Catalog.reno
+  | "cubic" | "bic" -> Catalog.cubic
+  | "bbr" -> Catalog.delay
+  | "vegas" | "veno" | "nv" | "yeah" | "illinois" | "htcp" | "cdg" ->
+      Catalog.vegas
+  | _ -> Catalog.vegas
+
+(** [choose verdict] — the sub-DSL Abagnale is invoked with. An unknown
+    CCA falls back to the family of the closest known one; with no hint at
+    all, the most expressive delay DSL is used. *)
+let choose = function
+  | Gordon.Known name -> family_of_cca name
+  | Gordon.Unknown (Some closest) -> family_of_cca closest
+  | Gordon.Unknown None -> Catalog.delay

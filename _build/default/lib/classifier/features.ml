@@ -1,0 +1,208 @@
+(** Trace features for CCA classification.
+
+    The quantities a classifier in the Gordon [51] family derives from the
+    visible-CWND time series: growth shape between losses, loss response,
+    delay sensitivity, and oscillation structure. All features are
+    scale-normalized (per-MSS or per-BDP) so they transfer across
+    scenarios. *)
+
+open Abg_util
+
+type t = {
+  (* Growth shape within loss-free segments. *)
+  growth_slope : float;  (** median window growth, MSS per RTT *)
+  convexity : float;
+      (** late-third slope minus early-third slope, normalized: > 0 convex
+          (accelerating, BIC/HTCP probing), < 0 concave (Cubic approach,
+          Illinois), ~0 linear (Reno family) *)
+  flatness : float;  (** fraction of time with negligible window change *)
+  (* Loss response. *)
+  decrease_factor : float;  (** median cwnd_after / cwnd_before at losses *)
+  loss_rate : float;  (** loss events per second *)
+  (* Delay coupling. *)
+  rtt_growth_correlation : float;
+      (** Pearson correlation between per-record growth and RTT *)
+  (* Oscillation. *)
+  pulse_score : float;
+      (** short-period up-down alternation intensity (BBR's PROBE_BW) *)
+  mean_cwnd_mss : float;  (** mean window in segments *)
+}
+
+let segment_slopes (seg : Abg_trace.Segmentation.segment) =
+  let records = seg.Abg_trace.Segmentation.records in
+  let n = Array.length records in
+  if n < 6 then None
+  else begin
+    let times = Array.map (fun r -> r.Abg_trace.Record.time) records in
+    let cwnds = Array.map Abg_trace.Record.observed_cwnd records in
+    let mss = records.(0).Abg_trace.Record.mss in
+    let rtt = Stats.median (Array.map (fun r -> r.Abg_trace.Record.rtt) records) in
+    let third = n / 3 in
+    let slope_of lo len =
+      let t = Array.sub times lo len and c = Array.sub cwnds lo len in
+      let slope, _ = Stats.linear_regression t c in
+      (* bytes/s -> MSS per RTT *)
+      slope *. rtt /. mss
+    in
+    let early = slope_of 0 third in
+    let late = slope_of (n - third) third in
+    let overall = slope_of 0 n in
+    Some (early, late, overall)
+  end
+
+(** [extract traces] aggregates features over a trace suite (multiple
+    network scenarios of the same CCA). *)
+let extract (traces : Abg_trace.Trace.t list) =
+  (* Slow start is governed by a different handler and would dominate the
+     slope statistics; skip each trace's pre-first-loss segment. *)
+  let segments =
+    Abg_trace.Segmentation.split_all ~min_length:20 ~skip_initial:true traces
+  in
+  let earlies = ref [] and lates = ref [] and overalls = ref [] in
+  List.iter
+    (fun seg ->
+      match segment_slopes seg with
+      | Some (e, l, o) ->
+          earlies := e :: !earlies;
+          lates := l :: !lates;
+          overalls := o :: !overalls
+      | None -> ())
+    segments;
+  let median_of lst = if lst = [] then 0.0 else Stats.median (Array.of_list lst) in
+  let growth_slope = median_of !overalls in
+  let convexity =
+    match (!earlies, !lates) with
+    | [], _ | _, [] -> 0.0
+    | es, ls ->
+        let e = median_of es and l = median_of ls in
+        let scale = Float.max 1.0 (Float.abs e +. Float.abs l) in
+        (l -. e) /. scale
+  in
+  (* Loss response: the window just before a loss vs the *post-recovery
+     minimum* shortly after it. Reading the window immediately after the
+     loss would still see the pre-loss flight draining out. *)
+  let decreases = ref [] in
+  let losses = ref 0 in
+  let duration = ref 0.0 in
+  List.iter
+    (fun tr ->
+      let records = tr.Abg_trace.Trace.records in
+      let n = Array.length records in
+      if n > 1 then begin
+        duration :=
+          !duration
+          +. records.(n - 1).Abg_trace.Record.time
+          -. records.(0).Abg_trace.Record.time;
+        Array.iter
+          (fun loss_t ->
+            incr losses;
+            let before = ref nan in
+            let after = ref infinity in
+            Array.iter
+              (fun r ->
+                let t = r.Abg_trace.Record.time in
+                if t < loss_t then before := Abg_trace.Record.observed_cwnd r
+                else if t <= loss_t +. 0.6 then
+                  after := Float.min !after (Abg_trace.Record.observed_cwnd r))
+              records;
+            if Float.is_finite !before && Float.is_finite !after && !before > 0.0
+            then decreases := (!after /. !before) :: !decreases)
+          tr.Abg_trace.Trace.loss_times
+      end)
+    traces;
+  let decrease_factor =
+    if !decreases = [] then 1.0 else Stats.median (Array.of_list !decreases)
+  in
+  let loss_rate =
+    if !duration > 0.0 then float_of_int !losses /. !duration else 0.0
+  in
+  (* Per-record growth vs RTT correlation, and time-resampled flatness and
+     pulse structure. *)
+  let all_growth = ref [] and all_rtt = ref [] in
+  let flat = ref 0 and total = ref 0 in
+  let reversals = ref 0.0 in
+  let cwnd_sum = ref 0.0 and cwnd_n = ref 0 in
+  List.iter
+    (fun tr ->
+      let records = tr.Abg_trace.Trace.records in
+      let n = Array.length records in
+      for i = 1 to n - 1 do
+        let prev = Abg_trace.Record.observed_cwnd records.(i - 1) in
+        let cur = Abg_trace.Record.observed_cwnd records.(i) in
+        let mss = records.(i).Abg_trace.Record.mss in
+        all_growth := ((cur -. prev) /. mss) :: !all_growth;
+        all_rtt := records.(i).Abg_trace.Record.rtt :: !all_rtt;
+        cwnd_sum := !cwnd_sum +. (cur /. mss);
+        incr cwnd_n
+      done;
+      if n > 10 then begin
+        (* Resample the visible window to a 20 Hz step series so the
+           following shape features are invariant to the ACK rate. *)
+        let times = Array.map (fun r -> r.Abg_trace.Record.time) records in
+        let values = Array.map Abg_trace.Record.observed_cwnd records in
+        let span = times.(n - 1) -. times.(0) in
+        let steps = Stdlib.max 10 (int_of_float (span *. 20.0)) in
+        let series = Abg_util.Resample.hold ~times ~values ~n:steps in
+        (* Flatness: fraction of ~0.5 s windows whose relative span is
+           under 1%. A Vegas-style hold is dead flat; any additive
+           increase drifts past the threshold. *)
+        let fwindow = 10 in
+        let i = ref 0 in
+        while !i + fwindow <= steps do
+          let lo = ref infinity and hi = ref neg_infinity in
+          for j = !i to !i + fwindow - 1 do
+            if series.(j) < !lo then lo := series.(j);
+            if series.(j) > !hi then hi := series.(j)
+          done;
+          incr total;
+          if !hi -. !lo < 0.01 *. Float.max 1.0 !lo then incr flat;
+          i := !i + fwindow
+        done;
+        (* Pulse score: significant direction reversals per second. BBR's
+           PROBE_BW cycle reverses every few hundred milliseconds; an
+           AIMD sawtooth reverses once per loss epoch. *)
+        let last_dir = ref 0 in
+        let count = ref 0 in
+        for j = 1 to steps - 1 do
+          let delta = series.(j) -. series.(j - 1) in
+          if Float.abs delta > 0.02 *. Float.max 1.0 series.(j - 1) then begin
+            let dir = if delta > 0.0 then 1 else -1 in
+            if !last_dir <> 0 && dir <> !last_dir then incr count;
+            last_dir := dir
+          end
+        done;
+        if span > 0.0 then reversals := !reversals +. (float_of_int !count /. span)
+      end)
+    traces;
+  let pulse_score =
+    if traces = [] then 0.0
+    else !reversals /. float_of_int (List.length traces)
+  in
+  let flatness =
+    if !total = 0 then 0.0 else float_of_int !flat /. float_of_int !total
+  in
+  let rtt_growth_correlation =
+    let g = Array.of_list !all_growth and r = Array.of_list !all_rtt in
+    if Array.length g > 2 then Stats.pearson g r else 0.0
+  in
+  let mean_cwnd_mss =
+    if !cwnd_n = 0 then 0.0 else !cwnd_sum /. float_of_int !cwnd_n
+  in
+  {
+    growth_slope; convexity; flatness; decrease_factor; loss_rate;
+    rtt_growth_correlation; pulse_score; mean_cwnd_mss;
+  }
+
+let to_string f =
+  Printf.sprintf
+    "slope=%.2f convex=%.2f flat=%.2f dec=%.2f loss/s=%.2f rtt-corr=%.2f \
+     pulse=%.2f mean=%.0f"
+    f.growth_slope f.convexity f.flatness f.decrease_factor f.loss_rate
+    f.rtt_growth_correlation f.pulse_score f.mean_cwnd_mss
+
+(** Feature vector for distance-based comparison (each component roughly
+    unit-scaled). *)
+let to_vector f =
+  [| f.growth_slope /. 5.0; f.convexity; f.flatness; f.decrease_factor;
+     Float.min 2.0 (f.loss_rate /. 2.0); f.rtt_growth_correlation;
+     f.pulse_score; f.mean_cwnd_mss /. 100.0 |]

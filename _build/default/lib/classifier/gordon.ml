@@ -1,0 +1,83 @@
+(** A Gordon-style CCA classifier (Mishra et al., SIGMETRICS '20).
+
+    Gordon probes a server and matches the visible-CWND evolution against
+    its set of known CCAs. This substitute is passive and works from
+    collected traces: it generates reference traces for each known CCA on
+    a small scenario grid, extracts the feature vector of {!Features}, and
+    classifies a query by nearest centroid with a confidence threshold —
+    beyond the threshold the verdict is "Unknown", with the closest match
+    reported in parentheses as the paper's Table 3 does. *)
+
+(** Gordon's known-CCA set (§5.1). *)
+let known_set =
+  [ "bbr"; "cubic"; "bic"; "htcp"; "scalable"; "yeah"; "vegas"; "veno";
+    "reno"; "illinois"; "westwood" ]
+
+type verdict =
+  | Known of string
+  | Unknown of string option  (** closest known CCA, if any stands out *)
+
+let verdict_to_string = function
+  | Known name -> name
+  | Unknown (Some close) -> Printf.sprintf "Unknown (%s)" close
+  | Unknown None -> "Unknown"
+
+(* Gordon actively probes the server through its own bottleneck settings,
+   so references live on the same RTT x bandwidth grid the tool probes
+   with — but with different seeds and durations than any query run, so a
+   classification is never a comparison of two identical simulations. *)
+let reference_scenarios () =
+  [ Abg_netsim.Config.make ~bandwidth_mbps:5.0 ~rtt_ms:10.0 ~duration:15.0
+      ~ack_jitter:0.001 ~seed:201 ();
+    Abg_netsim.Config.make ~bandwidth_mbps:10.0 ~rtt_ms:25.0 ~duration:15.0
+      ~ack_jitter:0.001 ~seed:202 ();
+    Abg_netsim.Config.make ~bandwidth_mbps:12.0 ~rtt_ms:50.0 ~duration:15.0
+      ~ack_jitter:0.001 ~seed:203 ();
+    Abg_netsim.Config.make ~bandwidth_mbps:15.0 ~rtt_ms:75.0 ~duration:15.0
+      ~ack_jitter:0.001 ~seed:204 () ]
+
+(* Reference feature vectors are deterministic; computed once per run. *)
+let references = lazy (
+  List.filter_map
+    (fun name ->
+      match Abg_cca.Registry.find name with
+      | None -> None
+      | Some ctor ->
+          let traces =
+            List.map
+              (fun cfg -> Abg_trace.Trace.collect cfg ~name ctor)
+              (reference_scenarios ())
+          in
+          Some (name, Features.to_vector (Features.extract traces)))
+    known_set)
+
+let vector_distance a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+(** [rank traces] — known CCAs ordered by feature distance to the query
+    traces, closest first. *)
+let rank traces =
+  let query = Features.to_vector (Features.extract traces) in
+  Lazy.force references
+  |> List.map (fun (name, v) -> (name, vector_distance query v))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+(* Confidence thresholds, calibrated on the reference grid: a match is
+   confident when clearly closer than the typical inter-CCA gap. *)
+let match_threshold = 0.5
+let closest_report_threshold = 6.0
+
+(** [classify traces] — the Table 3 verdict for a suite of traces from one
+    (possibly unknown) CCA. *)
+let classify traces =
+  match rank traces with
+  | [] -> Unknown None
+  | (best, d) :: _ ->
+      if d <= match_threshold then Known best
+      else if d <= closest_report_threshold then Unknown (Some best)
+      else Unknown None

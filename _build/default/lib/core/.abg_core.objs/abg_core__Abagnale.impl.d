@@ -1,0 +1,1 @@
+lib/core/abagnale.ml: Abg_trace Refinement Replay Synthesis

@@ -1,0 +1,1 @@
+lib/core/concretize.ml: Abg_dsl Array Env Eval Float List Sketch

@@ -1,0 +1,1 @@
+lib/core/fine_tuned.ml: Abg_dsl List

@@ -1,0 +1,1 @@
+lib/core/mister880.ml: Abg_dsl Abg_enum Abg_trace Abg_util Array Catalog Concretize Float List Replay

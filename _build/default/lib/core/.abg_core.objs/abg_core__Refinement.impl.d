@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Abg_distance Abg_dsl Abg_enum Abg_parallel Abg_trace Abg_util Array Catalog Expr Float List Option Printf Replay Rng Score Simplify Stdlib Unix

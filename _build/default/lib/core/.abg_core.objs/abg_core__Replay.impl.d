@@ -1,0 +1,1 @@
+lib/core/replay.ml: Abg_distance Abg_dsl Abg_trace Array Env Eval Float List

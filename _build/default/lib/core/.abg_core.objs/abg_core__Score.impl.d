@@ -1,0 +1,1 @@
+lib/core/score.ml: Abg_dsl Catalog Concretize Expr List Replay Stdlib

@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Abg_classifier Abg_distance Abg_dsl Abg_trace Abg_util Array Catalog Expr List Pretty Refinement Rng

@@ -1,0 +1,33 @@
+(** Abagnale: reverse-engineering congestion control algorithm behavior.
+
+    Facade over the synthesis pipeline. Typical use:
+
+    {[
+      let traces =
+        Abg_trace.Trace.collect_suite ~n:4 ~name:"mystery" my_cca in
+      match Abg_core.Abagnale.synthesize ~name:"mystery" traces with
+      | Some outcome -> print_endline outcome.Abg_core.Synthesis.pretty
+      | None -> prerr_endline "no candidate found"
+    ]}
+
+    The pipeline stages are available individually: {!Replay} (candidate
+    simulation), {!Concretize} (constant sampling), {!Score},
+    {!Refinement} (Algorithm 1), and {!Fine_tuned} (the paper's Table 2
+    expressions). *)
+
+type outcome = Synthesis.outcome
+
+(** See {!Synthesis.run}. *)
+let synthesize = Synthesis.run
+
+(** See {!Synthesis.collect_and_run}. *)
+let synthesize_from_cca = Synthesis.collect_and_run
+
+(** Default refinement-loop configuration (paper's N=16, k=5). *)
+let default_config = Refinement.default_config
+
+(** Distance between a candidate handler and collected traces — the
+    quantity reported throughout Table 2. *)
+let handler_distance ?metric ~handler traces =
+  let segments = Abg_trace.Segmentation.split_all ~min_length:30 traces in
+  Replay.total_distance ?metric handler segments

@@ -1,0 +1,70 @@
+(** Approximate sketch concretization (§4.2).
+
+    A sketch's constants could take any real value; solving that
+    optimization per sketch is prohibitive, so Abagnale fills holes from a
+    small pool of values observed in known CCAs. Sketches with few
+    completions are enumerated exhaustively; larger ones are sampled. The
+    paper notes this makes the search incomplete but effective.
+
+    Concretization also applies the semantic §4.1 filters that the
+    enumeration formula cannot express, evaluated on a probe grid of
+    window/delay states:
+
+    - a handler that *strictly shrinks* the window in every probed state
+      is no congestion control algorithm (the paper: the window must grow
+      at some point; a flat handler like Student 4's [MSS] is fine, a
+      universally decreasing one is not);
+    - a handler that returns the *current window unchanged* in every
+      probed state is the identity in disguise (e.g.
+      [mss / reno-inc / (1 / acked)] = CWND) — it explains nothing and
+      would otherwise shadow every real candidate on near-flat traces. *)
+
+open Abg_dsl
+
+(* Probe states: windows from one segment up to ~120 segments, across
+   queue-empty and queue-building conditions. The one-MSS probe matters
+   for the decrease filter: a constant-window handler equals (rather than
+   undercuts) the window there. *)
+(* Every probe keeps min_rtt <= rtt <= max_rtt: a physically impossible
+   state would let conditionals that can never fire in reality (e.g.
+   [{max-rtt < rtt} ? x : CWND]) masquerade as non-identity handlers. *)
+let probe_envs =
+  let base = { Env.example with Env.max_rtt = 0.1 } in
+  [ { base with Env.cwnd = base.Env.mss };
+    base;
+    { base with Env.cwnd = 3.0 *. base.Env.mss; time_since_loss = 2.0 };
+    { base with Env.cwnd = 50.0 *. base.Env.mss; rtt = 0.09;
+      time_since_loss = 4.0; ack_rate = 800_000.0 };
+    { base with Env.cwnd = 120.0 *. base.Env.mss; rtt = 0.05;
+      time_since_loss = 8.0 } ]
+
+let relative_tolerance = 1e-6
+
+(** [plausible handler] — the two probe-grid filters above. The *raw*
+    expression value is probed (not the MSS-floored handler output):
+    flooring would disguise a universally shrinking handler as a flat one
+    at the one-MSS probe. *)
+let plausible handler =
+  let always_below = ref true in
+  let always_identity = ref true in
+  List.iter
+    (fun env ->
+      let raw = Eval.num env handler in
+      let v = if Float.is_finite raw then raw else env.Env.mss in
+      let cwnd = env.Env.cwnd in
+      if v >= cwnd -. (relative_tolerance *. cwnd) then always_below := false;
+      if Float.abs (v -. cwnd) > relative_tolerance *. cwnd then
+        always_identity := false)
+    probe_envs;
+  (not !always_below) && not !always_identity
+
+(** [completions rng sketch ~pool ~budget] — concrete handlers for a
+    sketch: exhaustive when the completion count fits in [budget], a
+    random sample otherwise; implausible handlers filtered out. *)
+let completions rng sketch ~pool ~budget =
+  let total = Sketch.num_completions sketch ~pool_size:(Array.length pool) in
+  let handlers =
+    if total <= budget then Sketch.all_completions sketch ~pool ~max_count:budget
+    else Sketch.sample_completions rng sketch ~pool ~n:budget
+  in
+  List.filter plausible handlers

@@ -1,0 +1,139 @@
+(** The paper's Table 2 expressions, transcribed as DSL values.
+
+    Two sets: the handlers Abagnale synthesized (used as regression
+    references and Figure 4/5 material) and the fine-tuned handlers a
+    domain expert wrote from each CCA's source (the accuracy baseline of
+    §6.2 and the error-sweep subjects of Figure 3). Windows are in bytes
+    here, so the paper's bare constants over packet counts (e.g. Student
+    1's "88") appear scaled by MSS. *)
+
+open Abg_dsl.Expr
+
+let c v = Const v
+let mss = Signal Abg_dsl.Signal.Mss
+let acked = Signal Abg_dsl.Signal.Acked_bytes
+let rtt = Signal Abg_dsl.Signal.Rtt
+let min_rtt = Signal Abg_dsl.Signal.Min_rtt
+let ack_rate = Signal Abg_dsl.Signal.Ack_rate
+let time_since_loss = Signal Abg_dsl.Signal.Time_since_loss
+let delay_gradient = Signal Abg_dsl.Signal.Delay_gradient
+let wmax = Signal Abg_dsl.Signal.Wmax
+let reno_inc = Macro Abg_dsl.Macro.Reno_inc
+let vegas_diff = Macro Abg_dsl.Macro.Vegas_diff
+let htcp_diff = Macro Abg_dsl.Macro.Htcp_diff
+let rtts_since_loss = Macro Abg_dsl.Macro.Rtts_since_loss
+
+(** Synthesized cwnd-ack handlers (Table 2, column 2). *)
+let synthesized : (string * num) list =
+  [
+    ( "bbr",
+      Add
+        ( Mul (Mul (c 2.0, ack_rate), min_rtt),
+          Ite (Mod_eq (Cwnd, c 2.7), Mul (c 2.05, Cwnd), mss) ) );
+    ("reno", Add (Cwnd, Mul (c 0.7, reno_inc)));
+    ("westwood", Add (Cwnd, reno_inc));
+    ("scalable", Add (Cwnd, Mul (c 0.37, reno_inc)));
+    ("lp", Add (Cwnd, Mul (c 0.68, reno_inc)));
+    ("hybla", Add (Cwnd, Mul (Mul (c 8.0, rtt), reno_inc)));
+    ("htcp", Add (Cwnd, reno_inc));
+    ("illinois", Add (Cwnd, Mul (c 1.3, reno_inc)));
+    ( "vegas",
+      Add (Cwnd, Ite (Lt (vegas_diff, c 1.0), Mul (c 0.7, reno_inc), c 0.0)) );
+    ( "veno",
+      Add (Cwnd, Mul (reno_inc, Ite (Lt (vegas_diff, c 0.7), c 0.35, c 0.16)))
+    );
+    ( "nv",
+      Add (Cwnd, Ite (Lt (vegas_diff, c 1.0), Mul (c 0.7, reno_inc), c 0.0)) );
+    ( "yeah",
+      Add (Cwnd, Mul (reno_inc, Ite (Gt (vegas_diff, c 5.0), c 0.3, c 1.0))) );
+    ("cubic", Add (Cwnd, Cube time_since_loss));
+    ("student1", Mul (c 88.0, mss));
+    ( "student2",
+      Ite
+        ( Lt (Div (vegas_diff, min_rtt), c 5.0),
+          Add (Cwnd, mss),
+          mss ) );
+    ("student3", Mul (c 0.8, Div (acked, min_rtt)));
+    ("student4", mss);
+    ("student5", Mul (c 2.0, mss));
+    ("student6", Div (Add (Cwnd, Mul (c 150.0, mss)), delay_gradient));
+    ("student7", Add (Cwnd, Div (Mul (c 2.0, acked), rtt)));
+  ]
+
+(** Fine-tuned cwnd-ack handlers (Table 2, column 3; kernel CCAs only). *)
+let fine_tuned : (string * num) list =
+  [
+    ( "bbr",
+      Mul
+        ( Mul (min_rtt, ack_rate),
+          Ite (Mod_eq (rtts_since_loss, c 8.0), c 2.6, c 2.05) ) );
+    ("reno", Add (Cwnd, Mul (c 0.7, reno_inc)));
+    ("westwood", Add (Cwnd, Mul (c 0.68, reno_inc)));
+    ("scalable", Add (Cwnd, Mul (c 0.37, reno_inc)));
+    ( "lp",
+      Add
+        ( Mul (Cwnd, Ite (Gt (htcp_diff, c 0.5), c 0.5, c 1.0)),
+          Mul (c 0.68, reno_inc) ) );
+    ("hybla", Add (Cwnd, Mul (Mul (c 8.0, rtt), reno_inc)));
+    ( "htcp",
+      Add (Cwnd, Mul (reno_inc, Ite (Lt (htcp_diff, c 0.25), c 1.0, c 0.2))) );
+    ( "illinois",
+      Add
+        ( Add (Cwnd, Mul (c 0.3, reno_inc)),
+          Mul (Mul (c 5.0, reno_inc), htcp_diff) ) );
+    ( "vegas",
+      Add
+        ( Cwnd,
+          Ite
+            ( Lt (vegas_diff, c 1.0),
+              Mul (c 0.7, reno_inc),
+              Ite (Gt (vegas_diff, c 5.0), Mul (c (-0.7), reno_inc), c 0.0) )
+        ) );
+    ( "veno",
+      Add (Cwnd, Mul (reno_inc, Ite (Lt (vegas_diff, c 0.7), c 0.35, c 0.16)))
+    );
+    ( "nv",
+      Add
+        ( Cwnd,
+          Ite
+            ( Gt (vegas_diff, c 1.0),
+              Mul (c 0.7, reno_inc),
+              Ite (Gt (vegas_diff, c 5.0), Mul (c (-0.7), reno_inc), c 0.0) )
+        ) );
+    ( "yeah",
+      Add (Cwnd, Mul (reno_inc, Ite (Gt (vegas_diff, c 5.0), c 0.3, c 1.0))) );
+    ( "cubic",
+      Add
+        ( wmax,
+          Cube
+            (Sub
+               ( Mul (c 8.0, time_since_loss),
+                 Cbrt (Mul (c 24.0, wmax)) )) ) );
+  ]
+
+let find_synthesized name = List.assoc_opt name synthesized
+let find_fine_tuned name = List.assoc_opt name fine_tuned
+
+(** Multiply every constant in a handler by [factor] — the error injection
+    of Figure 3's metric-tolerance sweep. *)
+let rec scale_constants factor (e : num) : num =
+  match e with
+  | Const v -> Const (v *. factor)
+  | Cwnd | Signal _ | Macro _ | Hole _ -> e
+  | Add (a, b) -> Add (scale_constants factor a, scale_constants factor b)
+  | Sub (a, b) -> Sub (scale_constants factor a, scale_constants factor b)
+  | Mul (a, b) -> Mul (scale_constants factor a, scale_constants factor b)
+  | Div (a, b) -> Div (scale_constants factor a, scale_constants factor b)
+  | Ite (cond, t, el) ->
+      Ite
+        ( scale_constants_bool factor cond,
+          scale_constants factor t,
+          scale_constants factor el )
+  | Cube a -> Cube (scale_constants factor a)
+  | Cbrt a -> Cbrt (scale_constants factor a)
+
+and scale_constants_bool factor (b : boolean) : boolean =
+  match b with
+  | Lt (a, b) -> Lt (scale_constants factor a, scale_constants factor b)
+  | Gt (a, b) -> Gt (scale_constants factor a, scale_constants factor b)
+  | Mod_eq (a, b) -> Mod_eq (scale_constants factor a, scale_constants factor b)

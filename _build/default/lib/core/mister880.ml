@@ -1,0 +1,73 @@
+(** A Mister880-style decision-procedure baseline (§2.2, §7).
+
+    Mister880 (Ferreira et al., HotNets '21) formulates CCA synthesis as a
+    decision problem: a candidate handler is *correct* only if its
+    simulated trace reproduces the observation (within a small numeric
+    tolerance at every point), and incorrect otherwise — there is no
+    notion of "close". The paper's key comparison claims follow directly:
+    on noiseless traces the decision procedure can accept the true
+    handler, but any measurement noise rejects every candidate including
+    the ground truth.
+
+    This module implements that acceptance test over the same replay
+    machinery Abagnale uses, so the comparison isolates exactly the
+    decision-vs-optimization difference. *)
+
+open Abg_dsl
+
+(** Relative per-point tolerance for "exact" reproduction. Mister880
+    matches SMT-modeled integer traces exactly; replaying float windows,
+    the honest equivalent is a tight relative epsilon. *)
+let default_tolerance = 0.01
+
+(** [accepts ?tolerance handler segment] — the decision procedure: does
+    the candidate reproduce the observed window at *every* ACK? *)
+let accepts ?(tolerance = default_tolerance) handler segment =
+  let truth = Abg_trace.Segmentation.observed segment in
+  let synth = Replay.synthesize handler segment in
+  let n = Array.length truth in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Float.abs (synth.(i) -. truth.(i)) > tolerance *. Float.max 1.0 truth.(i)
+    then ok := false
+  done;
+  !ok
+
+(** [accepts_all ?tolerance handler segments] — accepted on every
+    segment (Mister880 considers a single simulated trace; requiring all
+    segments is the generous multi-trace generalization). *)
+let accepts_all ?tolerance handler segments =
+  List.for_all (fun seg -> accepts ?tolerance handler seg) segments
+
+(** [synthesize ?tolerance ~dsl ~budget segments] — enumerate sketches in
+    DSL order (no buckets, no prioritization: Mister880 attempts full
+    enumeration), concretize each, and return the first handler the
+    decision procedure accepts, with the number of candidates tried.
+    [budget] bounds the sketch enumeration. *)
+let synthesize ?tolerance ~(dsl : Catalog.t) ~budget segments =
+  let enc = Abg_enum.Encode.create dsl in
+  let rng = Abg_util.Rng.create 424242 in
+  let tried = ref 0 in
+  let rec search remaining =
+    if remaining = 0 then (None, !tried)
+    else
+      match Abg_enum.Encode.next enc with
+      | None -> (None, !tried)
+      | Some sketch -> begin
+          let handlers =
+            Concretize.completions rng sketch ~pool:dsl.Catalog.constant_pool
+              ~budget:32
+          in
+          let hit =
+            List.find_opt
+              (fun h ->
+                incr tried;
+                accepts_all ?tolerance h segments)
+              handlers
+          in
+          match hit with
+          | Some h -> (Some h, !tried)
+          | None -> search (remaining - 1)
+        end
+  in
+  search budget

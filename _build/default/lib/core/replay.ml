@@ -1,0 +1,45 @@
+(** Candidate-handler replay (§3.1).
+
+    Given a trace segment collected from the ground-truth CCA, a candidate
+    cwnd-ack handler is executed in simulation over the *same* sequence of
+    events and congestion signals: for every ACK record, the handler
+    computes a new window from the recorded signals and its own current
+    window (statefulness flows only through the window). The resulting
+    series is the candidate's *synthesized trace*, compared against the
+    observed trace with a distance metric. *)
+
+open Abg_dsl
+
+(* Keep candidate windows in a sane numeric range: a wild handler (e.g. a
+   cube of a cube) must score badly, not overflow the distance
+   arithmetic. *)
+let cwnd_ceiling = 1e12
+
+(** [synthesize expr segment] — the candidate's window series over the
+    segment, starting from the ground truth's initial window. *)
+let synthesize expr (segment : Abg_trace.Segmentation.segment) =
+  let records = segment.Abg_trace.Segmentation.records in
+  let n = Array.length records in
+  let out = Array.make n 0.0 in
+  let cwnd = ref (Abg_trace.Record.observed_cwnd records.(0)) in
+  (* One scratch environment for the whole replay (see Env mutability). *)
+  let env = Env.copy Env.example in
+  for i = 0 to n - 1 do
+    Abg_trace.Record.load_env env records.(i) ~cwnd:!cwnd;
+    cwnd := Float.min cwnd_ceiling (Eval.handler expr env);
+    out.(i) <- !cwnd
+  done;
+  out
+
+(** [distance ?metric expr segment] — distance between the synthesized and
+    observed window series of one segment. *)
+let distance ?(metric = Abg_distance.Metric.default) expr segment =
+  let truth = Abg_trace.Segmentation.observed segment in
+  let candidate = synthesize expr segment in
+  Abg_distance.Metric.compute metric ~truth ~candidate
+
+(** [total_distance ?metric expr segments] — the sum used throughout the
+    paper's Table 2 ("sum of DTW distances ... over the trace segments
+    used to synthesize each CCA"). *)
+let total_distance ?metric expr segments =
+  List.fold_left (fun acc seg -> acc +. distance ?metric expr seg) 0.0 segments

@@ -1,0 +1,55 @@
+(** Sketch and handler scoring.
+
+    A handler's score is its summed distance over the current segment
+    subset ({!Replay.total_distance}); a sketch's score is the best score
+    any of its concretizations achieves (§4.2) — that minimum is also what
+    the bucket prioritization of §4.4 aggregates. *)
+
+open Abg_dsl
+
+type scored = {
+  sketch : Expr.num;
+  handler : Expr.num;  (** best concretization found *)
+  distance : float;
+  completions_scored : int;
+}
+
+(** [sketch rng ~dsl ~metric ~budget ~segments sk] — score one sketch:
+    concretize (bounded by [budget]), replay handlers, keep the best.
+    Scoring is two-stage: every completion is scored coarsely on the
+    first segment only, then the best few are scored on the full segment
+    list. The coarse stage is a sound-enough filter because completions of
+    one sketch differ only in constants, and a grossly wrong constant is
+    visible on any single segment; the fine stage breaks remaining ties
+    properly. A sketch with no plausible completion scores infinity. *)
+let sketch rng ~(dsl : Catalog.t) ~metric ~budget ~segments sk =
+  let handlers =
+    Concretize.completions rng sk ~pool:dsl.Catalog.constant_pool ~budget
+  in
+  match (handlers, segments) with
+  | [], _ | _, [] ->
+      { sketch = sk; handler = sk; distance = infinity; completions_scored = 0 }
+  | _, first_segment :: _ ->
+      let coarse =
+        List.map
+          (fun h -> (h, Replay.distance ~metric h first_segment))
+          handlers
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      let finalists =
+        let keep = Stdlib.max 3 (List.length coarse / 4) in
+        List.filteri (fun i _ -> i < keep) coarse
+      in
+      let best_h, best_d =
+        List.fold_left
+          (fun (best_h, best_d) (h, _) ->
+            let d = Replay.total_distance ~metric h segments in
+            if d < best_d then (h, d) else (best_h, best_d))
+          (sk, infinity) finalists
+      in
+      {
+        sketch = sk;
+        handler = best_h;
+        distance = best_d;
+        completions_scored = List.length handlers;
+      }

@@ -1,0 +1,1 @@
+lib/distance/dtw.ml: Array Float List Stdlib

@@ -1,0 +1,1 @@
+lib/distance/frechet.ml: Array Float

@@ -1,0 +1,1 @@
+lib/distance/metric.ml: Dtw Frechet List Pointwise Series Stdlib String

@@ -1,0 +1,1 @@
+lib/distance/pointwise.ml: Array Float

@@ -1,0 +1,1 @@
+lib/distance/series.ml: Abg_util Array

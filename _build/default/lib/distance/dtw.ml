@@ -1,0 +1,77 @@
+(** Dynamic Time Warping distance (Berndt & Clifford, KDD '94) — the
+    paper's primary metric (§4.3).
+
+    DTW finds the minimum-cost monotone alignment between two series, so
+    it forgives temporal shifts — exactly the tolerance needed when a
+    candidate handler reproduces the right window *shape* slightly out of
+    phase with the measured trace (Figure 4's discussion). Cost of a
+    matched pair is |a - b|; the total is the sum along the optimal
+    warping path.
+
+    The optional Sakoe–Chiba [band] constrains |i - j| <= band, cutting
+    cost from O(nm) to O(n*band) and preventing degenerate alignments;
+    [band = None] computes the exact unconstrained distance. *)
+
+let distance ?band a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then infinity
+  else begin
+    let w =
+      match band with
+      | None -> Stdlib.max n m
+      | Some w -> Stdlib.max w (abs (n - m))
+    in
+    (* Rolling two-row DP over the (n+1) x (m+1) cost lattice. *)
+    let prev = Array.make (m + 1) infinity in
+    let cur = Array.make (m + 1) infinity in
+    prev.(0) <- 0.0;
+    for i = 1 to n do
+      Array.fill cur 0 (m + 1) infinity;
+      let lo = Stdlib.max 1 (i - w) and hi = Stdlib.min m (i + w) in
+      for j = lo to hi do
+        let cost = Float.abs (a.(i - 1) -. b.(j - 1)) in
+        let best =
+          Float.min prev.(j) (Float.min cur.(j - 1) prev.(j - 1))
+        in
+        cur.(j) <- cost +. best
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+(** [path a b] additionally returns the optimal warping path as (i, j)
+    index pairs — useful for visualizing which parts of two traces were
+    aligned. Quadratic memory; intended for inspection, not scoring. *)
+let path a b =
+  let n = Array.length a and m = Array.length b in
+  assert (n > 0 && m > 0);
+  let dp = Array.make_matrix (n + 1) (m + 1) infinity in
+  dp.(0).(0) <- 0.0;
+  for i = 1 to n do
+    for j = 1 to m do
+      let cost = Float.abs (a.(i - 1) -. b.(j - 1)) in
+      dp.(i).(j) <-
+        cost
+        +. Float.min dp.(i - 1).(j)
+             (Float.min dp.(i).(j - 1) dp.(i - 1).(j - 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i = 1 && j = 1 then (i - 1, j - 1) :: acc
+    else begin
+      let candidates =
+        List.filter
+          (fun (i', j') -> i' >= 1 && j' >= 1)
+          [ (i - 1, j - 1); (i - 1, j); (i, j - 1) ]
+      in
+      let i', j' =
+        List.fold_left
+          (fun (bi, bj) (ci, cj) ->
+            if dp.(ci).(cj) < dp.(bi).(bj) then (ci, cj) else (bi, bj))
+          (List.hd candidates) (List.tl candidates)
+      in
+      walk i' j' ((i - 1, j - 1) :: acc)
+    end
+  in
+  (dp.(n).(m), walk n m [])

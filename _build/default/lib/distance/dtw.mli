@@ -1,0 +1,15 @@
+(** Dynamic Time Warping distance (Berndt & Clifford, KDD '94) — the
+    paper's primary trace-comparison metric (§4.3). *)
+
+val distance : ?band:int -> float array -> float array -> float
+(** [distance ?band a b] is the minimum total cost of a monotone alignment
+    between the two series, with pairwise cost [|a.(i) - b.(j)|]. [band]
+    is an optional Sakoe–Chiba constraint [|i - j| <= band] (it is widened
+    automatically to at least the length difference); omitting it computes
+    the exact unconstrained distance. Empty input yields [infinity]. *)
+
+val path : float array -> float array -> float * (int * int) list
+(** [path a b] is the exact distance together with the optimal warping
+    path as (i, j) index pairs from (0, 0) to (n-1, m-1). Quadratic
+    memory; intended for inspection rather than scoring. Requires both
+    series non-empty. *)

@@ -1,0 +1,33 @@
+(** Discrete Fréchet distance (the "dog-leash" distance).
+
+    Like DTW it aligns the two series monotonically, but the cost is the
+    *maximum* pointwise gap along the best alignment instead of the sum —
+    one bad excursion dominates the score. Included as the fourth metric
+    of the Figure 3 comparison. Computed with a rolling-row DP, O(nm)
+    time, O(m) space. *)
+
+let distance a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then infinity
+  else begin
+    let prev = Array.make m infinity in
+    let cur = Array.make m infinity in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        let d = Float.abs (a.(i) -. b.(j)) in
+        let reach =
+          if i = 0 && j = 0 then d
+          else begin
+            let best = ref infinity in
+            if i > 0 then best := Float.min !best prev.(j);
+            if j > 0 then best := Float.min !best cur.(j - 1);
+            if i > 0 && j > 0 then best := Float.min !best prev.(j - 1);
+            Float.max d !best
+          end
+        in
+        cur.(j) <- reach
+      done;
+      Array.blit cur 0 prev 0 m
+    done;
+    prev.(m - 1)
+  end

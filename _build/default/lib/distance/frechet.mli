@@ -1,0 +1,6 @@
+(** Discrete Fréchet ("dog-leash") distance: like DTW it aligns the
+    series monotonically, but the cost is the *maximum* pointwise gap
+    along the best alignment — one bad excursion dominates. *)
+
+val distance : float array -> float array -> float
+(** [distance a b]. Empty input yields [infinity]. *)

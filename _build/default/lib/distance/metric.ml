@@ -1,0 +1,37 @@
+(** Unified distance-metric dispatch (§4.3).
+
+    All metrics consume raw (unequal-length) value series; preparation —
+    resampling to a common length and normalizing by the ground truth's
+    mean — happens here so every call site gets identical semantics. DTW
+    is the default; the paper selects it for its tolerance to constant
+    error (Figure 3) and accepts its extra cost. *)
+
+type kind = Dtw | Euclidean | Manhattan | Frechet
+
+let all = [ Dtw; Euclidean; Manhattan; Frechet ]
+
+let name = function
+  | Dtw -> "dtw"
+  | Euclidean -> "euclidean"
+  | Manhattan -> "manhattan"
+  | Frechet -> "frechet"
+
+let of_name s =
+  List.find_opt (fun k -> String.equal (name k) s) all
+
+(* DTW band: 10% of the series length, the standard Sakoe-Chiba default. *)
+let dtw_band length = Stdlib.max 2 (length / 10)
+
+(** [compute kind ~truth ~candidate] is the distance between the
+    ground-truth and candidate visible-CWND value series. Lower is a
+    better match. *)
+let compute ?(length = Series.default_length) kind ~truth ~candidate =
+  let truth', candidate' = Series.prepare ~length ~truth ~candidate () in
+  match kind with
+  | Dtw -> Dtw.distance ~band:(dtw_band length) truth' candidate'
+  | Euclidean -> Pointwise.euclidean truth' candidate'
+  | Manhattan -> Pointwise.manhattan truth' candidate'
+  | Frechet -> Frechet.distance truth' candidate'
+
+(** Default metric used by the synthesis pipeline. *)
+let default = Dtw

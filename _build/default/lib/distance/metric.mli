@@ -1,0 +1,27 @@
+(** Unified distance-metric dispatch (§4.3).
+
+    All metrics consume raw (possibly unequal-length) value series;
+    resampling to a common length and normalization by the ground truth's
+    mean happen inside {!compute}, so every call site gets identical
+    semantics. *)
+
+type kind = Dtw | Euclidean | Manhattan | Frechet
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+
+val dtw_band : int -> int
+(** [dtw_band length] — the Sakoe–Chiba band used for series of the given
+    length (10%, minimum 2). *)
+
+val compute :
+  ?length:int -> kind -> truth:float array -> candidate:float array -> float
+(** [compute kind ~truth ~candidate] is the distance between a
+    ground-truth and a candidate visible-CWND series, after resampling
+    both to [length] points (default {!Series.default_length}) and
+    normalizing by the truth's mean. Lower is a better match. *)
+
+val default : kind
+(** The metric the synthesis pipeline uses unless told otherwise: DTW,
+    per the paper's Figure 3 error-tolerance comparison. *)

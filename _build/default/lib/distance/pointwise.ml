@@ -1,0 +1,31 @@
+(** Point-to-point distances: Euclidean and Manhattan.
+
+    Both compare series position-by-position (no temporal alignment), so
+    they are cheap but sensitive to phase shifts — the weakness Figure 3
+    quantifies against DTW. Series must have equal lengths (use
+    {!Series.prepare}). *)
+
+let euclidean a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  if n = 0 then infinity
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = a.(i) -. b.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt !acc
+  end
+
+let manhattan a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  if n = 0 then infinity
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. Float.abs (a.(i) -. b.(i))
+    done;
+    !acc
+  end

@@ -1,0 +1,9 @@
+(** Point-to-point distances: cheap but phase-sensitive (the weakness
+    Figure 3 quantifies against DTW). Both require equal-length series —
+    use {!Series.prepare}. *)
+
+val euclidean : float array -> float array -> float
+(** L2 distance. Empty input yields [infinity]. *)
+
+val manhattan : float array -> float array -> float
+(** L1 distance. Empty input yields [infinity]. *)

@@ -1,0 +1,36 @@
+(** Preparation of CWND series for distance computation.
+
+    Distances compare a ground-truth visible-CWND series against a
+    synthesized one. Both are resampled to a fixed length and normalized to
+    a common scale so that a distance of "10" means comparable things
+    across scenarios with different bandwidths. Normalization divides by
+    the ground-truth series' mean (never by the candidate's: a candidate
+    must not be able to shrink its own error by inflating its output). *)
+
+let default_length = 128
+
+(** [normalize ~reference xs] scales both series by the reference mean. *)
+let normalize ~reference xs =
+  let n = Array.length reference in
+  assert (n > 0);
+  let mean = Array.fold_left ( +. ) 0.0 reference /. float_of_int n in
+  let scale = if mean > 1e-9 then 1.0 /. mean else 1.0 in
+  (Array.map (fun v -> v *. scale) reference, Array.map (fun v -> v *. scale) xs)
+
+(** [prepare ?length ~truth ~candidate ()] resamples both value series to
+    [length] points and normalizes by the truth's mean, returning
+    [(truth', candidate')]. *)
+let prepare ?(length = default_length) ~truth ~candidate () =
+  let resample xs =
+    let n = Array.length xs in
+    if n = length then Array.copy xs
+    else if n = 0 then Array.make length 0.0
+    else begin
+      (* Index-based linear interpolation handles both up- and
+         down-sampling. *)
+      let times = Array.init n float_of_int in
+      Abg_util.Resample.linear ~times ~values:xs ~n:length
+    end
+  in
+  let truth = resample truth and candidate = resample candidate in
+  normalize ~reference:truth candidate

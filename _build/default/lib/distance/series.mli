@@ -1,0 +1,21 @@
+(** Preparation of CWND series for distance computation: resampling to a
+    fixed length and normalization by the ground-truth mean, so a
+    candidate cannot shrink its own error by inflating its output. *)
+
+val default_length : int
+(** Points per prepared series (128). *)
+
+val normalize :
+  reference:float array -> float array -> float array * float array
+(** [normalize ~reference xs] scales both series by the reference's mean;
+    returns [(reference', xs')]. *)
+
+val prepare :
+  ?length:int ->
+  truth:float array ->
+  candidate:float array ->
+  unit ->
+  float array * float array
+(** [prepare ~truth ~candidate ()] resamples both value series to
+    [length] points (index-based linear interpolation) and normalizes by
+    the truth's mean. *)

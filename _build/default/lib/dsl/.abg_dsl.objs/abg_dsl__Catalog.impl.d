@@ -1,0 +1,1 @@
+lib/dsl/catalog.ml: Component List Macro Signal String

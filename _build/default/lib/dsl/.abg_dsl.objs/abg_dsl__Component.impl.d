@@ -1,0 +1,1 @@
+lib/dsl/component.ml: Format List Macro Signal Stdlib

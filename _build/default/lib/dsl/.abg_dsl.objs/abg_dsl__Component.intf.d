@@ -1,0 +1,1 @@
+lib/dsl/component.mli: Format Macro Signal

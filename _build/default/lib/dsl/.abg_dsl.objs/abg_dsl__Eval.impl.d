@@ -1,0 +1,1 @@
+lib/dsl/eval.ml: Abg_util Env Expr Float Floatx Macro

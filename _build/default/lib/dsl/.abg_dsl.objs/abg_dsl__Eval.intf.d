@@ -1,0 +1,1 @@
+lib/dsl/eval.mli: Env Expr

@@ -1,0 +1,1 @@
+lib/dsl/expr.ml: Float List Macro Signal Stdlib

@@ -1,0 +1,1 @@
+lib/dsl/macro.ml: Abg_util Env Floatx Format List Stdlib String Units

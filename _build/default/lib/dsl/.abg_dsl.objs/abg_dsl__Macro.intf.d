@@ -1,0 +1,1 @@
+lib/dsl/macro.mli: Abg_util Env Format

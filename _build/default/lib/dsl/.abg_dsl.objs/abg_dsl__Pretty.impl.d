@@ -1,0 +1,1 @@
+lib/dsl/pretty.ml: Expr Float Format Macro Printf Signal String

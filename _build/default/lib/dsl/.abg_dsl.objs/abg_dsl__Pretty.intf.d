@@ -1,0 +1,1 @@
+lib/dsl/pretty.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/dsl/signal.ml: Abg_util Format List Stdlib String Units

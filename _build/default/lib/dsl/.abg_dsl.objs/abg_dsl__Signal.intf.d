@@ -1,0 +1,1 @@
+lib/dsl/signal.mli: Abg_util Format

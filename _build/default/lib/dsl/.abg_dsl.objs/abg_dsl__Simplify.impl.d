@@ -1,0 +1,1 @@
+lib/dsl/simplify.ml: Abg_util Expr Float

@@ -1,0 +1,1 @@
+lib/dsl/simplify.mli: Expr

@@ -1,0 +1,1 @@
+lib/dsl/sketch.ml: Abg_util Array Component Expr Float List Stdlib

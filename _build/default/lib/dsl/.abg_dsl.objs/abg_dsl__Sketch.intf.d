@@ -1,0 +1,1 @@
+lib/dsl/sketch.mli: Abg_util Component Expr

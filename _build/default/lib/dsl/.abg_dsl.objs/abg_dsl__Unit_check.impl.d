@@ -1,0 +1,1 @@
+lib/dsl/unit_check.ml: Abg_util Expr List Macro Signal Units

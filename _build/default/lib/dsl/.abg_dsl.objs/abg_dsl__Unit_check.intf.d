@@ -1,0 +1,1 @@
+lib/dsl/unit_check.mli: Abg_util Expr

@@ -1,0 +1,70 @@
+(** DSL components: the vocabulary from which sketches are assembled.
+
+    The enumerator ([Abg_enum]) works over a flat component list; each
+    component knows its sort (num/bool), its children's sorts, and whether
+    it counts as an *operator* for the bucket discriminator of §4.4
+    (buckets partition the space by the exact subset of operators used). *)
+
+type sort = Num | Bool
+
+type t =
+  | Leaf_cwnd
+  | Leaf_signal of Signal.t
+  | Leaf_const  (** a sketch hole, concretized later *)
+  | Leaf_macro of Macro.t
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_div
+  | Op_ite
+  | Op_cube
+  | Op_cbrt
+  | Op_lt
+  | Op_gt
+  | Op_modeq
+
+let sort = function
+  | Leaf_cwnd | Leaf_signal _ | Leaf_const | Leaf_macro _ -> Num
+  | Op_add | Op_sub | Op_mul | Op_div | Op_ite | Op_cube | Op_cbrt -> Num
+  | Op_lt | Op_gt | Op_modeq -> Bool
+
+let child_sorts = function
+  | Leaf_cwnd | Leaf_signal _ | Leaf_const | Leaf_macro _ -> []
+  | Op_add | Op_sub | Op_mul | Op_div -> [ Num; Num ]
+  | Op_ite -> [ Bool; Num; Num ]
+  | Op_cube | Op_cbrt -> [ Num ]
+  | Op_lt | Op_gt | Op_modeq -> [ Num; Num ]
+
+let arity c = List.length (child_sorts c)
+
+(** Operators are the non-leaf components; the bucket discriminator of §4.4
+    is the subset of these a sketch uses. *)
+let is_operator c = arity c > 0
+
+let name = function
+  | Leaf_cwnd -> "cwnd"
+  | Leaf_signal s -> Signal.name s
+  | Leaf_const -> "const"
+  | Leaf_macro m -> Macro.name m
+  | Op_add -> "+"
+  | Op_sub -> "-"
+  | Op_mul -> "*"
+  | Op_div -> "/"
+  | Op_ite -> "?:"
+  | Op_cube -> "^3"
+  | Op_cbrt -> "cbrt"
+  | Op_lt -> "<"
+  | Op_gt -> ">"
+  | Op_modeq -> "%="
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp fmt c = Format.pp_print_string fmt (name c)
+
+(** Commutative operators, used by the enumerator's symmetry-breaking
+    constraint (left argument not structurally greater than right). *)
+let is_commutative = function
+  | Op_add | Op_mul -> true
+  | Leaf_cwnd | Leaf_signal _ | Leaf_const | Leaf_macro _ | Op_sub | Op_div
+  | Op_ite | Op_cube | Op_cbrt | Op_lt | Op_gt | Op_modeq ->
+      false

@@ -1,0 +1,32 @@
+(** DSL components: the flat vocabulary the enumerator assembles sketches
+    from. Each component knows its sort, its children's sorts, and
+    whether it counts as an *operator* for the §4.4 bucket
+    discriminator. *)
+
+type sort = Num | Bool
+
+type t =
+  | Leaf_cwnd
+  | Leaf_signal of Signal.t
+  | Leaf_const  (** a sketch hole, concretized later *)
+  | Leaf_macro of Macro.t
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_div
+  | Op_ite
+  | Op_cube
+  | Op_cbrt
+  | Op_lt
+  | Op_gt
+  | Op_modeq
+
+val sort : t -> sort
+val child_sorts : t -> sort list
+val arity : t -> int
+val is_operator : t -> bool
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val is_commutative : t -> bool

@@ -1,0 +1,48 @@
+(** Expression evaluation.
+
+    Division by (near-)zero yields 0 rather than an infinity: during a
+    search over millions of machine-generated candidates, degenerate
+    arithmetic must not abort a replay — a handler that divides by zero
+    simply scores badly. [Hole]s must be filled before evaluation. *)
+
+open Abg_util
+
+exception Unfilled_hole of int
+
+let rec num (env : Env.t) = function
+  | Expr.Cwnd -> env.cwnd
+  | Expr.Signal s -> Env.signal env s
+  | Expr.Macro m -> Macro.eval env m
+  | Expr.Const c -> c
+  | Expr.Hole i -> raise (Unfilled_hole i)
+  | Expr.Add (a, b) -> num env a +. num env b
+  | Expr.Sub (a, b) -> num env a -. num env b
+  | Expr.Mul (a, b) -> num env a *. num env b
+  | Expr.Div (a, b) -> Floatx.safe_div (num env a) (num env b)
+  | Expr.Ite (c, t, e) -> if boolean env c then num env t else num env e
+  | Expr.Cube a ->
+      let v = num env a in
+      v *. v *. v
+  | Expr.Cbrt a -> Floatx.cbrt (num env a)
+
+and boolean env = function
+  | Expr.Lt (a, b) -> num env a < num env b
+  | Expr.Gt (a, b) -> num env a > num env b
+  | Expr.Mod_eq (a, b) ->
+      (* n1 % n2 = 0, with a small tolerance so that float windows counted
+         in segments (e.g. CWND % 2.7 in the paper's BBR result) still
+         produce a periodic predicate rather than never firing. *)
+      let a_v = num env a and b_v = num env b in
+      if Float.abs b_v < 1e-9 then false
+      else begin
+        let r = Floatx.fmod a_v b_v in
+        let tol = 0.05 *. Float.abs b_v in
+        r <= tol || Float.abs b_v -. r <= tol
+      end
+
+(** [handler expr env] is the handler's proposed new congestion window,
+    guarded to stay finite and at least one MSS (a real sender can never
+    run a window below one segment). *)
+let handler expr (env : Env.t) =
+  let v = num env expr in
+  if not (Float.is_finite v) then env.mss else Float.max env.mss v

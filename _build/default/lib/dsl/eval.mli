@@ -1,0 +1,18 @@
+(** Expression evaluation against a per-ACK environment. Degenerate
+    arithmetic (division by ~0, non-finite results) is absorbed rather
+    than raised: during a search over millions of machine-generated
+    candidates, a wild handler must score badly, not abort the replay. *)
+
+exception Unfilled_hole of int
+(** Raised when evaluating a sketch whose constant holes were never
+    concretized. *)
+
+val num : Env.t -> Expr.num -> float
+val boolean : Env.t -> Expr.boolean -> bool
+(** [boolean] evaluates [n1 % n2 = 0] with a small relative tolerance so
+    the predicate stays periodic on float-valued windows (the paper's
+    synthesized BBR handler relies on [CWND % 2.7]). *)
+
+val handler : Expr.num -> Env.t -> float
+(** [handler expr env] is the handler's proposed new congestion window:
+    the raw value guarded to be finite and at least one MSS. *)

@@ -1,0 +1,133 @@
+(** The CCA expression AST (Listing 1).
+
+    Two sorts, [num] and [boolean], mirror the grammar: a cwnd-ack handler
+    is a [num] expression whose value becomes the new congestion window.
+    Constant positions appear either concretized ([Const]) or as sketch
+    holes ([Hole]) to be filled during concretization (§4.2). *)
+
+type num =
+  | Cwnd
+  | Signal of Signal.t
+  | Macro of Macro.t
+  | Const of float
+  | Hole of int  (** sketch hole, identified by index *)
+  | Add of num * num
+  | Sub of num * num
+  | Mul of num * num
+  | Div of num * num
+  | Ite of boolean * num * num
+  | Cube of num  (** num^3 *)
+  | Cbrt of num  (** cube root *)
+
+and boolean =
+  | Lt of num * num
+  | Gt of num * num
+  | Mod_eq of num * num  (** n1 % n2 = 0 *)
+
+(** Structural equality. *)
+let rec equal_num a b =
+  match (a, b) with
+  | Cwnd, Cwnd -> true
+  | Signal s1, Signal s2 -> Signal.equal s1 s2
+  | Macro m1, Macro m2 -> Macro.equal m1 m2
+  | Const c1, Const c2 -> Float.equal c1 c2
+  | Hole i1, Hole i2 -> i1 = i2
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2) ->
+      equal_num a1 b1 && equal_num a2 b2
+  | Ite (c1, t1, e1), Ite (c2, t2, e2) ->
+      equal_bool c1 c2 && equal_num t1 t2 && equal_num e1 e2
+  | Cube a1, Cube b1 | Cbrt a1, Cbrt b1 -> equal_num a1 b1
+  | ( ( Cwnd | Signal _ | Macro _ | Const _ | Hole _ | Add _ | Sub _ | Mul _
+      | Div _ | Ite _ | Cube _ | Cbrt _ ),
+      _ ) ->
+      false
+
+and equal_bool a b =
+  match (a, b) with
+  | Lt (a1, a2), Lt (b1, b2)
+  | Gt (a1, a2), Gt (b1, b2)
+  | Mod_eq (a1, a2), Mod_eq (b1, b2) ->
+      equal_num a1 b1 && equal_num a2 b2
+  | (Lt _ | Gt _ | Mod_eq _), _ -> false
+
+(** [size e] is the number of AST nodes ("up to 7 or 11 nodes", §6.3). *)
+let rec size = function
+  | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b
+  | Ite (c, t, e) -> 1 + size_bool c + size t + size e
+  | Cube a | Cbrt a -> 1 + size a
+
+and size_bool = function
+  | Lt (a, b) | Gt (a, b) | Mod_eq (a, b) -> 1 + size a + size b
+
+(** [depth e] is the number of levels; leaves (incl. macros) have depth 1. *)
+let rec depth = function
+  | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      1 + Stdlib.max (depth a) (depth b)
+  | Ite (c, t, e) ->
+      1 + Stdlib.max (depth_bool c) (Stdlib.max (depth t) (depth e))
+  | Cube a | Cbrt a -> 1 + depth a
+
+and depth_bool = function
+  | Lt (a, b) | Gt (a, b) | Mod_eq (a, b) ->
+      1 + Stdlib.max (depth a) (depth b)
+
+(** [holes e] is the sorted list of distinct hole indices in [e]. *)
+let holes e =
+  let rec go acc = function
+    | Hole i -> i :: acc
+    | Cwnd | Signal _ | Macro _ | Const _ -> acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> go (go acc a) b
+    | Ite (c, t, el) -> go (go (go_bool acc c) t) el
+    | Cube a | Cbrt a -> go acc a
+  and go_bool acc = function
+    | Lt (a, b) | Gt (a, b) | Mod_eq (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] e)
+
+(** [fill e assignment] replaces each [Hole i] with
+    [Const (assignment i)]. *)
+let rec fill e assignment =
+  match e with
+  | Hole i -> Const (assignment i)
+  | Cwnd | Signal _ | Macro _ | Const _ -> e
+  | Add (a, b) -> Add (fill a assignment, fill b assignment)
+  | Sub (a, b) -> Sub (fill a assignment, fill b assignment)
+  | Mul (a, b) -> Mul (fill a assignment, fill b assignment)
+  | Div (a, b) -> Div (fill a assignment, fill b assignment)
+  | Ite (c, t, el) ->
+      Ite (fill_bool c assignment, fill t assignment, fill el assignment)
+  | Cube a -> Cube (fill a assignment)
+  | Cbrt a -> Cbrt (fill a assignment)
+
+and fill_bool b assignment =
+  match b with
+  | Lt (x, y) -> Lt (fill x assignment, fill y assignment)
+  | Gt (x, y) -> Gt (fill x assignment, fill y assignment)
+  | Mod_eq (x, y) -> Mod_eq (fill x assignment, fill y assignment)
+
+(** [signals e] is the set of congestion signals read by [e], including
+    those read through macros (macros are expanded for this purpose). *)
+let signals e =
+  let of_macro = function
+    | Macro.Reno_inc -> [ Signal.Acked_bytes; Signal.Mss ]
+    | Macro.Vegas_diff ->
+        [ Signal.Rtt; Signal.Min_rtt; Signal.Ack_rate; Signal.Mss ]
+    | Macro.Htcp_diff -> [ Signal.Rtt; Signal.Min_rtt; Signal.Max_rtt ]
+    | Macro.Rtts_since_loss -> [ Signal.Time_since_loss; Signal.Rtt ]
+  in
+  let rec go acc = function
+    | Signal s -> s :: acc
+    | Macro m -> of_macro m @ acc
+    | Cwnd | Const _ | Hole _ -> acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> go (go acc a) b
+    | Ite (c, t, el) -> go (go (go_bool acc c) t) el
+    | Cube a | Cbrt a -> go acc a
+  and go_bool acc = function
+    | Lt (a, b) | Gt (a, b) | Mod_eq (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq Signal.compare (go [] e)

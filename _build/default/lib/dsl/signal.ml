@@ -1,0 +1,48 @@
+(** Congestion signals available to DSL expressions (Listing 1).
+
+    A signal is a per-ACK measurement that the trace-collection substrate
+    records and that a synthesized handler may read. Signals carry units for
+    the dimensional-analysis constraint of §4.1. *)
+
+open Abg_util
+
+type t =
+  | Mss  (** maximum segment size, bytes *)
+  | Acked_bytes  (** bytes newly acknowledged by this ACK *)
+  | Time_since_loss  (** seconds since the last inferred loss event *)
+  | Rtt  (** smoothed round-trip time sample, seconds *)
+  | Min_rtt  (** minimum RTT observed on the connection, seconds *)
+  | Max_rtt  (** maximum RTT observed on the connection, seconds *)
+  | Ack_rate  (** delivery rate estimate, bytes per second *)
+  | Rtt_gradient  (** d(RTT)/dt, dimensionless (s/s) *)
+  | Delay_gradient  (** smoothed queueing-delay gradient, dimensionless *)
+  | Wmax  (** window at the time of the last loss, bytes (Cubic-DSL) *)
+
+let all =
+  [ Mss; Acked_bytes; Time_since_loss; Rtt; Min_rtt; Max_rtt; Ack_rate;
+    Rtt_gradient; Delay_gradient; Wmax ]
+
+let name = function
+  | Mss -> "mss"
+  | Acked_bytes -> "acked"
+  | Time_since_loss -> "time-since-loss"
+  | Rtt -> "rtt"
+  | Min_rtt -> "min-rtt"
+  | Max_rtt -> "max-rtt"
+  | Ack_rate -> "ack-rate"
+  | Rtt_gradient -> "rtt-gradient"
+  | Delay_gradient -> "delay-gradient"
+  | Wmax -> "wmax"
+
+let of_name s =
+  List.find_opt (fun sig_ -> String.equal (name sig_) s) all
+
+let unit_of = function
+  | Mss | Acked_bytes | Wmax -> Units.bytes
+  | Time_since_loss | Rtt | Min_rtt | Max_rtt -> Units.seconds
+  | Ack_rate -> Units.rate
+  | Rtt_gradient | Delay_gradient -> Units.dimensionless
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp fmt s = Format.pp_print_string fmt (name s)

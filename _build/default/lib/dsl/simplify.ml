@@ -1,0 +1,128 @@
+(** Algebraic simplification — the sympy substitute (§4.1).
+
+    The enumerator rejects sketches that are "arithmetically simplifiable":
+    a sketch whose rewritten form has fewer nodes carries redundant
+    structure, and some smaller sketch in the space denotes the same
+    function. The rewriter below implements the local rules that matter for
+    this DSL; like sympy as used by the paper, it performs no interval
+    reasoning, so e.g. a conditional that is only *semantically* vacuous
+    (Student 5, §5.6) is not reduced. *)
+
+open Expr
+
+let is_const = function Const _ -> true | _ -> false
+
+(* One bottom-up rewriting pass. *)
+let rec pass e =
+  match e with
+  | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> e
+  | Add (a, b) -> begin
+      match (pass a, pass b) with
+      | Const x, Const y -> Const (x +. y)
+      | Const 0.0, b' -> b'
+      | a', Const 0.0 -> a'
+      (* a + (b - a) = b, in either operand order. *)
+      | a', Sub (x, y) when equal_num a' y -> x
+      | Sub (x, y), b' when equal_num b' y -> x
+      | a', b' -> Add (a', b')
+    end
+  | Sub (a, b) -> begin
+      match (pass a, pass b) with
+      | Const x, Const y -> Const (x -. y)
+      | a', Const 0.0 -> a'
+      | a', b' when equal_num a' b' -> Const 0.0
+      (* (a + b) - a = b; a - (a - c) = c; a - (a + c) = -... (left out:
+         negative results are rarely sketches' intent and -1 * c is not
+         smaller). *)
+      | Add (x, y), b' when equal_num x b' -> y
+      | Add (x, y), b' when equal_num y b' -> x
+      | a', Sub (x, c) when equal_num a' x -> c
+      | a', b' -> Sub (a', b')
+    end
+  | Mul (a, b) -> begin
+      match (pass a, pass b) with
+      | Const x, Const y -> Const (x *. y)
+      | Const 0.0, _ | _, Const 0.0 -> Const 0.0
+      | Const 1.0, b' -> b'
+      | a', Const 1.0 -> a'
+      (* a * (b / a) = b, in either operand order. *)
+      | a', Div (x, y) when equal_num a' y -> x
+      | Div (x, y), b' when equal_num b' y -> x
+      | a', b' -> Mul (a', b')
+    end
+  | Div (a, b) -> begin
+      match (pass a, pass b) with
+      | Const x, Const y when y <> 0.0 -> Const (x /. y)
+      | Const 0.0, _ -> Const 0.0
+      | a', Const 1.0 -> a'
+      | a', b' when equal_num a' b' && not (is_const a') -> Const 1.0
+      (* Cancellation through a nested quotient/product: a / (a / c) = c,
+         (a * b) / a = b. These are the identity composites the enumerator
+         would otherwise emit to smuggle CWND through a bigger tree. *)
+      | a', Div (x, c) when equal_num a' x -> c
+      | Mul (x, y), b' when equal_num x b' -> y
+      | Mul (x, y), b' when equal_num y b' -> x
+      | a', b' -> Div (a', b')
+    end
+  | Ite (c, t, el) -> begin
+      let t' = pass t and el' = pass el in
+      match pass_bool c with
+      | `Known true -> t'
+      | `Known false -> el'
+      | `Open c' -> if equal_num t' el' then t' else Ite (c', t', el')
+    end
+  | Cube a -> begin
+      match pass a with
+      | Const x -> Const (x *. x *. x)
+      | Cbrt inner -> inner
+      | a' -> Cube a'
+    end
+  | Cbrt a -> begin
+      match pass a with
+      | Const x -> Const (Abg_util.Floatx.cbrt x)
+      | Cube inner -> inner
+      | a' -> Cbrt a'
+    end
+
+and pass_bool b =
+  let fold cmp a b =
+    match (pass a, pass b) with
+    | Const x, Const y -> `Known (cmp x y)
+    | a', b' when equal_num a' b' -> `Known false
+    | a', b' -> `Open (a', b')
+  in
+  match b with
+  | Lt (a, b) -> begin
+      match fold ( < ) a b with
+      | `Known k -> `Known k
+      | `Open (a', b') -> `Open (Lt (a', b'))
+    end
+  | Gt (a, b) -> begin
+      match fold ( > ) a b with
+      | `Known k -> `Known k
+      | `Open (a', b') -> `Open (Gt (a', b'))
+    end
+  | Mod_eq (a, b) -> begin
+      (* x % x = 0 is always true; constants fold. *)
+      match (pass a, pass b) with
+      | Const x, Const y when y <> 0.0 ->
+          `Known (Float.abs (Float.rem x y) < 1e-9)
+      | a', b' when equal_num a' b' -> `Known true
+      | a', b' -> `Open (Mod_eq (a', b'))
+    end
+
+(** [simplify e] rewrites to a fixpoint (bounded; each pass shrinks or
+    preserves size, so the bound is generous). *)
+let simplify e =
+  let rec go e fuel =
+    if fuel = 0 then e
+    else begin
+      let e' = pass e in
+      if equal_num e' e then e else go e' (fuel - 1)
+    end
+  in
+  go e 32
+
+(** [is_simplifiable e] — the §4.1 enumeration filter: [e] is redundant if
+    rewriting strictly reduces its node count. *)
+let is_simplifiable e = size (simplify e) < size e

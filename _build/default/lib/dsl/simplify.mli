@@ -1,0 +1,12 @@
+(** Algebraic simplification — the sympy substitute (§4.1). Local
+    rewriting only (constant folding, identities, cancellation through
+    nested products/quotients, trivial conditionals); no interval
+    reasoning, reproducing the paper's Student-5 limitation (§5.6). *)
+
+val simplify : Expr.num -> Expr.num
+(** Rewrite to a fixpoint. Never grows the tree; preserves the evaluated
+    value on finite inputs. *)
+
+val is_simplifiable : Expr.num -> bool
+(** The §4.1 enumeration filter: true when rewriting strictly reduces the
+    node count (the sketch carries redundant structure). *)

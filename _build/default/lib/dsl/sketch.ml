@@ -1,0 +1,80 @@
+(** Sketches: expressions with unassigned constant holes (§4.1–4.2).
+
+    Enumeration returns sketches; concretization fills each hole from the
+    DSL's constant pool. The number of completions is [pool^k] for [k]
+    holes, which is why the refinement loop samples completions rather than
+    enumerating them (§4.2). *)
+
+type t = Expr.num
+
+let holes = Expr.holes
+
+(** [num_completions sketch ~pool_size] — completions count, saturating at
+    [max_int] to avoid overflow for deep sketches. *)
+let num_completions sketch ~pool_size =
+  let k = List.length (holes sketch) in
+  let rec power acc i =
+    if i = 0 then acc
+    else if acc > max_int / pool_size then max_int
+    else power (acc * pool_size) (i - 1)
+  in
+  power 1 k
+
+(** [complete sketch assignment] fills hole [i] with [assignment.(i)]s
+    value looked up positionally in the sketch's hole list. *)
+let complete sketch values =
+  let hole_ids = holes sketch in
+  let table = List.combine hole_ids (Array.to_list values) in
+  Expr.fill sketch (fun i -> List.assoc i table)
+
+(** [all_completions sketch ~pool ~max_count] enumerates completions in
+    mixed-radix order over the pool, stopping at [max_count]. *)
+let all_completions sketch ~pool ~max_count =
+  let hole_ids = holes sketch in
+  let k = List.length hole_ids in
+  let p = Array.length pool in
+  if k = 0 then [ sketch ]
+  else begin
+    let total = num_completions sketch ~pool_size:p in
+    let count = Stdlib.min total max_count in
+    List.init count (fun idx ->
+        let values =
+          Array.init k (fun h ->
+              let digit = idx / int_of_float (Float.pow (float_of_int p) (float_of_int h)) mod p in
+              pool.(digit))
+        in
+        complete sketch values)
+  end
+
+(** [sample_completions rng sketch ~pool ~n] draws [n] uniformly random
+    completions (with replacement across samples, independent per hole);
+    used by bucket scoring where exhaustive completion is too costly. *)
+let sample_completions rng sketch ~pool ~n =
+  let hole_ids = holes sketch in
+  let k = List.length hole_ids in
+  if k = 0 then [ sketch ]
+  else
+    List.init n (fun _ ->
+        let values = Array.init k (fun _ -> Abg_util.Rng.choice rng pool) in
+        complete sketch values)
+
+(** Operator subset used by a sketch — the bucket discriminator (§4.4). *)
+let operator_set sketch =
+  let add acc op = if List.exists (Component.equal op) acc then acc else op :: acc in
+  let rec go acc = function
+    | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _ ->
+        acc
+    | Expr.Add (a, b) -> go (go (add acc Component.Op_add) a) b
+    | Expr.Sub (a, b) -> go (go (add acc Component.Op_sub) a) b
+    | Expr.Mul (a, b) -> go (go (add acc Component.Op_mul) a) b
+    | Expr.Div (a, b) -> go (go (add acc Component.Op_div) a) b
+    | Expr.Ite (c, t, e) ->
+        go (go (go_bool (add acc Component.Op_ite) c) t) e
+    | Expr.Cube a -> go (add acc Component.Op_cube) a
+    | Expr.Cbrt a -> go (add acc Component.Op_cbrt) a
+  and go_bool acc = function
+    | Expr.Lt (a, b) -> go (go (add acc Component.Op_lt) a) b
+    | Expr.Gt (a, b) -> go (go (add acc Component.Op_gt) a) b
+    | Expr.Mod_eq (a, b) -> go (go (add acc Component.Op_modeq) a) b
+  in
+  List.sort Component.compare (go [] sketch)

@@ -1,0 +1,25 @@
+(** Sketches: expressions with unassigned constant holes (§4.1–4.2),
+    concretized by filling holes from a DSL's constant pool. *)
+
+type t = Expr.num
+
+val holes : t -> int list
+(** Sorted distinct hole indices. *)
+
+val num_completions : t -> pool_size:int -> int
+(** [pool^k] for [k] holes, saturating at [max_int]. *)
+
+val complete : t -> float array -> t
+(** Fill holes positionally (values paired with {!holes} order). *)
+
+val all_completions : t -> pool:float array -> max_count:int -> t list
+(** Mixed-radix enumeration over the pool, capped at [max_count]. *)
+
+val sample_completions :
+  Abg_util.Rng.t -> t -> pool:float array -> n:int -> t list
+(** [n] uniformly random completions (independent per hole) — used where
+    exhaustive completion is too costly (§4.2). *)
+
+val operator_set : t -> Component.t list
+(** The sorted operator subset a sketch uses: the §4.4 bucket
+    discriminator. *)

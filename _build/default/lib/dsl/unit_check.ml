@@ -1,0 +1,87 @@
+(** Unit (dimensional-analysis) checking of expressions (§4.1).
+
+    Signals and macros have fixed units; constants (and holes) are mildly
+    unit-polymorphic: a literal can act as a pure scalar, a time threshold
+    (seconds), or a time-scaling factor (per-second — needed for e.g.
+    Hybla's [8 * RTT * reno-inc], where the 8 carries 1/s). Allowing
+    constants to stand for *any* unit would let the enumerator launder
+    arbitrary ill-dimensioned arithmetic through a constant, exploding the
+    sketch space; this restriction is what keeps the pruned space at the
+    paper's reported scale (§6.1). The [num % num = 0] predicate is exempt
+    from unit agreement: the paper's own synthesized BBR handler compares
+    [CWND % 2.7].
+
+    Checking computes, bottom-up, the *set* of units each sub-expression
+    can take over a finite unit domain (integer exponents bounded by
+    [limit]), and asks whether the expected unit is reachable at the root.
+    The finite integer-exponent domain reproduces the paper's decision to
+    keep the solver formula quantifier-free over finite domains — with the
+    documented consequence that cube roots of non-cube units are
+    unrepresentable and Cubic must be searched with unit constraints
+    disabled (§5.5). *)
+
+open Abg_util
+
+(** Units a bare constant may carry. *)
+let constant_units =
+  [ Units.dimensionless; Units.seconds;
+    { Units.bytes = 0; Units.seconds = -1 } ]
+
+let in_domain ~limit (u : Units.t) =
+  abs u.Units.bytes <= limit && abs u.Units.seconds <= limit
+
+let dedup units = List.sort_uniq compare units
+
+(* Set-level lifting of the unit algebra. *)
+let cross ~limit f xs ys =
+  dedup
+    (List.concat_map
+       (fun x -> List.filter_map (fun y -> let u = f x y in
+          if in_domain ~limit u then Some u else None) ys)
+       xs)
+
+let intersect xs ys = List.filter (fun x -> List.exists (Units.equal x) ys) xs
+
+let rec possible ?(limit = 3) (e : Expr.num) : Units.t list =
+  match e with
+  | Expr.Cwnd -> [ Units.bytes ]
+  | Expr.Signal s -> [ Signal.unit_of s ]
+  | Expr.Macro m -> [ Macro.unit_of m ]
+  (* Zero is unit-polymorphic: 0 bytes = 0 of anything (the paper's Vegas
+     handler ends in ": 0" on a bytes-valued branch). *)
+  | Expr.Const 0.0 -> Units.domain ~limit
+  | Expr.Const _ | Expr.Hole _ -> constant_units
+  | Expr.Add (a, b) | Expr.Sub (a, b) ->
+      intersect (possible ~limit a) (possible ~limit b)
+  | Expr.Mul (a, b) ->
+      cross ~limit Units.mul (possible ~limit a) (possible ~limit b)
+  | Expr.Div (a, b) ->
+      cross ~limit Units.div (possible ~limit a) (possible ~limit b)
+  | Expr.Ite (c, t, el) ->
+      if bool_consistent ~limit c then
+        intersect (possible ~limit t) (possible ~limit el)
+      else []
+  | Expr.Cube a ->
+      dedup
+        (List.filter_map
+           (fun u ->
+             let u3 = Units.pow u 3 in
+             if in_domain ~limit u3 then Some u3 else None)
+           (possible ~limit a))
+  | Expr.Cbrt a ->
+      dedup (List.filter_map Units.cbrt (possible ~limit a))
+
+(* An order comparison is consistent when its two sides can share a unit;
+   the modular predicate is exempt (see module comment). *)
+and bool_consistent ?(limit = 3) (b : Expr.boolean) =
+  match b with
+  | Expr.Lt (a, b) | Expr.Gt (a, b) ->
+      intersect (possible ~limit a) (possible ~limit b) <> []
+  | Expr.Mod_eq (a, b) ->
+      possible ~limit a <> [] && possible ~limit b <> []
+
+(** [check ?limit e ~expected] — can [e] denote a quantity in unit
+    [expected]? The synthesis pipeline uses [expected = Units.bytes] for
+    cwnd-ack handlers. *)
+let check ?(limit = 3) e ~expected =
+  List.exists (Units.equal expected) (possible ~limit e)

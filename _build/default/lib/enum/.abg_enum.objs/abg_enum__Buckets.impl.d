@@ -1,0 +1,1 @@
+lib/enum/buckets.ml: Abg_dsl Array Catalog Component List String

@@ -1,0 +1,1 @@
+lib/enum/count.ml: Abg_dsl Catalog Component List Printf

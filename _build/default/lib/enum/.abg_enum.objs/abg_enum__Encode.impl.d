@@ -1,0 +1,1 @@
+lib/enum/encode.ml: Abg_dsl Abg_sat Abg_util Array Catalog Component Expr List Macro Shape Signal Simplify Unit_check Units

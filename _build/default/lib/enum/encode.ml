@@ -1,0 +1,426 @@
+(** Propositional encoding of the sketch space (§4.1) — the Z3-formula
+    substitute.
+
+    One SAT instance describes all well-sorted, unit-consistent sketches
+    of a sub-DSL up to its depth and node budgets. Decision variables:
+
+    - [active.(i)] — tree position [i] is part of the sketch;
+    - [comp.(i).(c)] — position [i] holds DSL component [c];
+    - [unit_vars.(i).(u)] — position [i] denotes a quantity of unit [u]
+      (one-hot over a finite integer-exponent unit domain, exactly the
+      quantifier-free finite-domain restriction the paper adopts);
+    - [used_op.(o)] — operator [o] appears somewhere in the sketch: the
+      bucket discriminator of §4.4, constrained via solver assumptions.
+
+    Models are decoded into {!Abg_dsl.Expr} sketches with constant holes;
+    each returned sketch is excluded with a blocking clause, so repeated
+    calls enumerate the space. Arithmetic simplifiability (§4.1's sympy
+    filter) is checked post-decode and such models are blocked and
+    skipped. *)
+
+open Abg_dsl
+open Abg_util
+
+let unit_limit = 2
+
+type t = {
+  solver : Abg_sat.Solver.t;
+  dsl : Catalog.t;
+  nodes : int;
+  components : Component.t array;
+  active : int array;
+  comp : int array array;
+  unit_vars : int array array;  (** [| |] rows when unit checking is off *)
+  unit_domain : Units.t array;
+  used_op : (Component.t * int) list;
+  mutable enumerated : int;
+  mutable blocked_simplifiable : int;
+}
+
+let find_comp_index components c =
+  let rec go i =
+    if i = Array.length components then None
+    else if Component.equal components.(i) c then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let unit_index enc u =
+  let rec go i =
+    if i = Array.length enc.unit_domain then None
+    else if Units.equal enc.unit_domain.(i) u then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let create (dsl : Catalog.t) =
+  let solver = Abg_sat.Solver.create () in
+  let nodes = Shape.num_nodes ~depth:dsl.Catalog.max_depth in
+  let components = Array.of_list dsl.Catalog.components in
+  let n_comp = Array.length components in
+  let active = Array.init nodes (fun _ -> Abg_sat.Solver.new_var solver) in
+  let comp =
+    Array.init nodes (fun _ ->
+        Array.init n_comp (fun _ -> Abg_sat.Solver.new_var solver))
+  in
+  let unit_domain = Array.of_list (Units.domain ~limit:unit_limit) in
+  let unit_vars =
+    if dsl.Catalog.unit_check then
+      Array.init nodes (fun _ ->
+          Array.init (Array.length unit_domain) (fun _ ->
+              Abg_sat.Solver.new_var solver))
+    else Array.make nodes [||]
+  in
+  let used_op =
+    List.map
+      (fun op -> (op, Abg_sat.Solver.new_var solver))
+      (Catalog.operators dsl)
+  in
+  let enc =
+    {
+      solver; dsl; nodes; components; active; comp; unit_vars; unit_domain;
+      used_op; enumerated = 0; blocked_simplifiable = 0;
+    }
+  in
+  (* -- Structural constraints -- *)
+  Abg_sat.Solver.add_clause solver [ active.(0) ];
+  for i = 0 to nodes - 1 do
+    (* Exactly one component on active nodes, none on inactive ones. *)
+    Abg_sat.Cnf.implies_clause solver active.(i)
+      (Array.to_list comp.(i));
+    Abg_sat.Cnf.at_most_one solver (Array.to_list comp.(i));
+    Array.iter (fun cv -> Abg_sat.Cnf.implies solver cv active.(i)) comp.(i);
+    (* A component requires its children to exist within the tree. *)
+    Array.iteri
+      (fun ci c ->
+        let arity = Component.arity c in
+        if arity > 0 && Shape.child i (arity - 1) >= nodes then
+          Abg_sat.Solver.add_clause solver [ -comp.(i).(ci) ])
+      components
+  done;
+  (* Root denotes the handler's value: a num. *)
+  Array.iteri
+    (fun ci c ->
+      if Component.sort c = Component.Bool then
+        Abg_sat.Solver.add_clause solver [ -comp.(0).(ci) ])
+    components;
+  (* Child activation and sorts. *)
+  for j = 1 to nodes - 1 do
+    let p = Shape.parent j in
+    let k = Shape.position j in
+    let activating = ref [] in
+    Array.iteri
+      (fun ci c ->
+        let arity = Component.arity c in
+        if arity > k then begin
+          (* Parent component with arity beyond k activates child j and
+             pins its sort. *)
+          Abg_sat.Cnf.implies solver comp.(p).(ci) active.(j);
+          activating := comp.(p).(ci) :: !activating;
+          let want = List.nth (Component.child_sorts c) k in
+          Array.iteri
+            (fun cj c' ->
+              if Component.sort c' <> want then
+                Abg_sat.Solver.add_clause solver
+                  [ -comp.(p).(ci); -comp.(j).(cj) ])
+            components
+        end
+        else Abg_sat.Solver.add_clause solver [ -comp.(p).(ci); -active.(j) ])
+      components;
+    (* Child j active only under some activating parent component. *)
+    Abg_sat.Cnf.implies_clause solver active.(j) !activating
+  done;
+  (* Node budget. *)
+  Abg_sat.Cnf.at_most_k solver (Array.to_list active) dsl.Catalog.max_nodes;
+  (* Anti-folding: no arithmetic/comparison over two bare constants (the
+     cheapest "simplifiable" patterns, pruned inside the formula). *)
+  (match find_comp_index components Component.Leaf_const with
+  | None -> ()
+  | Some const_idx ->
+      for i = 0 to nodes - 1 do
+        Array.iteri
+          (fun ci c ->
+            match c with
+            | Component.Op_add | Component.Op_sub | Component.Op_mul
+            | Component.Op_div | Component.Op_lt | Component.Op_gt
+            | Component.Op_modeq ->
+                let c1 = Shape.child i 0 and c2 = Shape.child i 1 in
+                if c2 < nodes then
+                  Abg_sat.Solver.add_clause solver
+                    [ -comp.(i).(ci); -comp.(c1).(const_idx);
+                      -comp.(c2).(const_idx) ]
+            | Component.Leaf_cwnd | Component.Leaf_signal _
+            | Component.Leaf_const | Component.Leaf_macro _
+            | Component.Op_ite | Component.Op_cube | Component.Op_cbrt ->
+                ())
+          components
+      done);
+  (* Identical-leaf bans: the decoded sketch would simplify (x - x,
+     x / x, x < x, {c} ? x : x with equal leaf branches), so each such
+     model would cost a wasted solve-and-block round trip. Constants are
+     exempt: two holes concretize to different values. *)
+  Array.iteri
+    (fun li leaf ->
+      let banned =
+        Component.arity leaf = 0 && not (Component.equal leaf Component.Leaf_const)
+      in
+      if banned then
+        for i = 0 to nodes - 1 do
+          Array.iteri
+            (fun ci c ->
+              let pair a b =
+                if b < nodes then
+                  Abg_sat.Solver.add_clause solver
+                    [ -comp.(i).(ci); -comp.(a).(li); -comp.(b).(li) ]
+              in
+              match c with
+              | Component.Op_sub | Component.Op_div | Component.Op_lt
+              | Component.Op_gt | Component.Op_modeq ->
+                  pair (Shape.child i 0) (Shape.child i 1)
+              | Component.Op_ite -> pair (Shape.child i 1) (Shape.child i 2)
+              | Component.Leaf_cwnd | Component.Leaf_signal _
+              | Component.Leaf_const | Component.Leaf_macro _
+              | Component.Op_add | Component.Op_mul | Component.Op_cube
+              | Component.Op_cbrt ->
+                  ())
+            components
+        done)
+    components;
+  (* used_op definitions. *)
+  List.iter
+    (fun (op, v) ->
+      match find_comp_index components op with
+      | None -> ()
+      | Some ci ->
+          let occurrences = ref [] in
+          for i = 0 to nodes - 1 do
+            Abg_sat.Cnf.implies solver comp.(i).(ci) v;
+            occurrences := comp.(i).(ci) :: !occurrences
+          done;
+          Abg_sat.Cnf.implies_clause solver v !occurrences)
+    used_op;
+  (* -- Unit constraints (dimensional analysis) -- *)
+  if dsl.Catalog.unit_check then begin
+    let n_units = Array.length unit_domain in
+    let uvar i u = unit_vars.(i).(u) in
+    for i = 0 to nodes - 1 do
+      Abg_sat.Cnf.exactly_one solver (Array.to_list unit_vars.(i))
+    done;
+    (* Root produces bytes. *)
+    (match unit_index enc Units.bytes with
+    | Some u -> Abg_sat.Solver.add_clause solver [ uvar 0 u ]
+    | None -> assert false);
+    let fixed_unit i cv u =
+      match unit_index enc u with
+      | Some ui -> Abg_sat.Solver.add_clause solver [ -cv; uvar i ui ]
+      | None -> Abg_sat.Solver.add_clause solver [ -cv ]
+    in
+    let equal_units cv a b =
+      (* Under cv, node a and node b share their unit. *)
+      for u = 0 to n_units - 1 do
+        Abg_sat.Solver.add_clause solver [ -cv; -uvar a u; uvar b u ]
+      done
+    in
+    for i = 0 to nodes - 1 do
+      Array.iteri
+        (fun ci c ->
+          let cv = comp.(i).(ci) in
+          let c1 = Shape.child i 0
+          and c2 = Shape.child i 1
+          and c3 = Shape.child i 2 in
+          match c with
+          | Component.Leaf_cwnd -> fixed_unit i cv Units.bytes
+          | Component.Leaf_signal s -> fixed_unit i cv (Signal.unit_of s)
+          | Component.Leaf_macro m -> fixed_unit i cv (Macro.unit_of m)
+          | Component.Leaf_const ->
+              (* Constants carry one of the scalar-ish units only (see
+                 Abg_dsl.Unit_check.constant_units): letting a constant
+                 stand for any unit would launder arbitrary
+                 ill-dimensioned arithmetic and explode the space. *)
+              let allowed =
+                List.filter_map (unit_index enc) Unit_check.constant_units
+              in
+              Abg_sat.Solver.add_clause solver
+                (-cv :: List.map (uvar i) allowed)
+          | Component.Op_add | Component.Op_sub ->
+              if c2 < nodes then begin
+                equal_units cv i c1;
+                equal_units cv i c2
+              end
+          | Component.Op_mul | Component.Op_div ->
+              if c2 < nodes then
+                for u1 = 0 to n_units - 1 do
+                  for u2 = 0 to n_units - 1 do
+                    let result =
+                      match c with
+                      | Component.Op_mul ->
+                          Units.mul unit_domain.(u1) unit_domain.(u2)
+                      | _ -> Units.div unit_domain.(u1) unit_domain.(u2)
+                    in
+                    match unit_index enc result with
+                    | Some ur ->
+                        Abg_sat.Solver.add_clause solver
+                          [ -cv; -uvar c1 u1; -uvar c2 u2; uvar i ur ]
+                    | None ->
+                        Abg_sat.Solver.add_clause solver
+                          [ -cv; -uvar c1 u1; -uvar c2 u2 ]
+                  done
+                done
+          | Component.Op_ite ->
+              if c3 < nodes then begin
+                equal_units cv i c2;
+                equal_units cv i c3
+              end
+          | Component.Op_lt | Component.Op_gt ->
+              if c2 < nodes then equal_units cv c1 c2
+          | Component.Op_modeq ->
+              (* Exempt from unit agreement (the paper's synthesized BBR
+                 handler compares CWND % 2.7). *)
+              ()
+          | Component.Op_cube ->
+              if c1 < nodes then
+                for u = 0 to n_units - 1 do
+                  match unit_index enc (Units.pow unit_domain.(u) 3) with
+                  | Some ur ->
+                      Abg_sat.Solver.add_clause solver
+                        [ -cv; -uvar c1 u; uvar i ur ]
+                  | None ->
+                      Abg_sat.Solver.add_clause solver [ -cv; -uvar c1 u ]
+                done
+          | Component.Op_cbrt ->
+              if c1 < nodes then
+                for u = 0 to n_units - 1 do
+                  match Units.cbrt unit_domain.(u) with
+                  | Some root -> begin
+                      match unit_index enc root with
+                      | Some ur ->
+                          Abg_sat.Solver.add_clause solver
+                            [ -cv; -uvar c1 u; uvar i ur ]
+                      | None ->
+                          Abg_sat.Solver.add_clause solver [ -cv; -uvar c1 u ]
+                    end
+                  | None ->
+                      (* The integer-exponent domain cannot type this cube
+                         root: reproduce the paper's Cubic limitation. *)
+                      Abg_sat.Solver.add_clause solver [ -cv; -uvar c1 u ]
+                done)
+        components
+    done
+  end;
+  enc
+
+(* Decode the model at [enc] into a sketch; constant holes are numbered in
+   node order. *)
+let decode enc (model : bool array) =
+  let hole_counter = ref 0 in
+  let comp_at i =
+    let found = ref None in
+    Array.iteri
+      (fun ci cv -> if model.(cv) then found := Some enc.components.(ci))
+      enc.comp.(i);
+    !found
+  in
+  let rec num i : Expr.num =
+    match comp_at i with
+    | None -> invalid_arg "Encode.decode: inactive node reached"
+    | Some c -> begin
+        match c with
+        | Component.Leaf_cwnd -> Expr.Cwnd
+        | Component.Leaf_signal s -> Expr.Signal s
+        | Component.Leaf_macro m -> Expr.Macro m
+        | Component.Leaf_const ->
+            let h = !hole_counter in
+            incr hole_counter;
+            Expr.Hole h
+        | Component.Op_add -> Expr.Add (num (Shape.child i 0), num (Shape.child i 1))
+        | Component.Op_sub -> Expr.Sub (num (Shape.child i 0), num (Shape.child i 1))
+        | Component.Op_mul -> Expr.Mul (num (Shape.child i 0), num (Shape.child i 1))
+        | Component.Op_div -> Expr.Div (num (Shape.child i 0), num (Shape.child i 1))
+        | Component.Op_ite ->
+            Expr.Ite
+              ( boolean (Shape.child i 0),
+                num (Shape.child i 1),
+                num (Shape.child i 2) )
+        | Component.Op_cube -> Expr.Cube (num (Shape.child i 0))
+        | Component.Op_cbrt -> Expr.Cbrt (num (Shape.child i 0))
+        | Component.Op_lt | Component.Op_gt | Component.Op_modeq ->
+            invalid_arg "Encode.decode: boolean component in num position"
+      end
+  and boolean i : Expr.boolean =
+    match comp_at i with
+    | Some Component.Op_lt -> Expr.Lt (num (Shape.child i 0), num (Shape.child i 1))
+    | Some Component.Op_gt -> Expr.Gt (num (Shape.child i 0), num (Shape.child i 1))
+    | Some Component.Op_modeq ->
+        Expr.Mod_eq (num (Shape.child i 0), num (Shape.child i 1))
+    | _ -> invalid_arg "Encode.decode: expected boolean component"
+  in
+  num 0
+
+(* Exclude exactly this (shape, component) assignment from future models. *)
+let block enc (model : bool array) =
+  let clause = ref [] in
+  for i = 0 to enc.nodes - 1 do
+    if model.(enc.active.(i)) then
+      Array.iter
+        (fun cv -> if model.(cv) then clause := -cv :: !clause)
+        enc.comp.(i)
+    else clause := enc.active.(i) :: !clause
+  done;
+  Abg_sat.Solver.add_clause enc.solver !clause
+
+(** [assumptions_for_bucket enc ops] — solver assumptions pinning the
+    §4.4 bucket discriminator: the sketch uses exactly the operator set
+    [ops]. *)
+let assumptions_for_bucket enc ops =
+  List.map
+    (fun (op, v) ->
+      if List.exists (Component.equal op) ops then v else -v)
+    enc.used_op
+
+(** [next ?bucket enc] returns the next not-yet-enumerated sketch
+    (optionally restricted to an operator bucket), or [None] when the
+    (sub)space is exhausted. Arithmetically simplifiable sketches are
+    blocked and skipped, mirroring the paper's sympy filter. *)
+let rec next ?bucket enc =
+  let assumptions =
+    match bucket with
+    | None -> []
+    | Some ops -> assumptions_for_bucket enc ops
+  in
+  (* Scatter successive models across the bucket (deterministically). *)
+  Abg_sat.Solver.randomize enc.solver
+    ~seed:((enc.enumerated * 2654435761) + enc.blocked_simplifiable + 17);
+  match Abg_sat.Solver.solve ~assumptions enc.solver with
+  | Abg_sat.Solver.Unsat -> None
+  | Abg_sat.Solver.Sat model ->
+      let sketch = decode enc model in
+      block enc model;
+      if Simplify.is_simplifiable sketch then begin
+        enc.blocked_simplifiable <- enc.blocked_simplifiable + 1;
+        next ?bucket enc
+      end
+      else begin
+        enc.enumerated <- enc.enumerated + 1;
+        Some sketch
+      end
+
+(** Enumeration statistics: (returned, rejected-as-simplifiable). *)
+let stats enc = (enc.enumerated, enc.blocked_simplifiable)
+
+(** Total SAT variables in the encoding (reported in §6.1-style output). *)
+let num_vars enc = Abg_sat.Solver.num_vars enc.solver
+
+(** [next_raw ?bucket enc] is {!next} without the simplifiability filter —
+    exposed for diagnosing the encoding's pruning quality. *)
+let next_raw ?bucket enc =
+  let assumptions =
+    match bucket with
+    | None -> []
+    | Some ops -> assumptions_for_bucket enc ops
+  in
+  match Abg_sat.Solver.solve ~assumptions enc.solver with
+  | Abg_sat.Solver.Unsat -> None
+  | Abg_sat.Solver.Sat model ->
+      let sketch = decode enc model in
+      block enc model;
+      Some sketch

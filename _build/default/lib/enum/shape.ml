@@ -1,0 +1,31 @@
+(** Tree-shape bookkeeping for the sketch encoding.
+
+    Sketch ASTs are embedded in a complete ternary tree (the maximum
+    component arity is 3, for the conditional): node [i]'s children are
+    [3i+1, 3i+2, 3i+3]. A sketch of depth [d] uses nodes within the first
+    [d] levels; inactive nodes are switched off by the encoding. *)
+
+let arity_max = 3
+
+(** Number of positions in a complete ternary tree of [depth] levels. *)
+let num_nodes ~depth =
+  let rec go level acc width =
+    if level = 0 then acc else go (level - 1) (acc + width) (width * arity_max)
+  in
+  go depth 0 1
+
+let parent i =
+  assert (i > 0);
+  (i - 1) / arity_max
+
+let child i k = (arity_max * i) + 1 + k
+
+(** Position of node [i] among its siblings (0-based). *)
+let position i =
+  assert (i > 0);
+  (i - 1) mod arity_max
+
+(** Level of node [i], root = 0. *)
+let level i =
+  let rec go i acc = if i = 0 then acc else go (parent i) (acc + 1) in
+  go i 0

@@ -1,0 +1,1 @@
+lib/netsim/config.ml: Float List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Abg_cca Abg_util Array Config Event_queue Float Hashtbl Rng Stdlib

@@ -1,0 +1,100 @@
+(** Network scenario configuration.
+
+    Matches the paper's trace-collection testbed (§3.2): a single
+    bottleneck with RTTs between 10 and 100 ms and bandwidth between 5 and
+    15 Mbit/s, a DropTail queue, and one bulk flow. Optional impairments
+    (iid random loss, ACK-path jitter) model measurement noise. *)
+
+type t = {
+  bandwidth_bps : float;  (** bottleneck rate, bits per second *)
+  rtt_prop : float;  (** two-way propagation delay, seconds *)
+  queue_capacity : int;  (** DropTail buffer, packets *)
+  mss : float;  (** segment size, bytes *)
+  duration : float;  (** simulated seconds *)
+  seed : int;  (** PRNG seed for impairments *)
+  loss_rate : float;  (** iid packet drop probability at the queue *)
+  ack_jitter : float;  (** stddev of Gaussian ACK-path jitter, seconds *)
+}
+
+let default =
+  {
+    bandwidth_bps = 10e6;
+    rtt_prop = 0.05;
+    queue_capacity = 60;
+    mss = 1448.0;
+    duration = 30.0;
+    seed = 42;
+    loss_rate = 0.0;
+    ack_jitter = 0.0;
+  }
+
+(** Bandwidth-delay product in bytes. *)
+let bdp cfg = cfg.bandwidth_bps /. 8.0 *. cfg.rtt_prop
+
+(** Receive-window clamp, bytes: no sender can have more than this
+    outstanding regardless of its congestion window — as with any real TCP
+    peer's advertised window. Set to 4x the path capacity (BDP plus
+    buffer), generous enough never to bind for a sane CCA while bounding
+    the damage a runaway window estimate can do. *)
+let rwnd cfg =
+  4.0 *. (bdp cfg +. (float_of_int cfg.queue_capacity *. cfg.mss))
+
+(** [make ~bandwidth_mbps ~rtt_ms ()] builds a scenario with a queue sized
+    to 1.75x the BDP. Deep enough that BBR's PROBE_BW pulses (inflight up
+    to 2.5x BDP at the probing gain) show up as *window* excursions rather
+    than being clipped into loss storms — matching the clean pulse traces
+    of the paper's Figure 4 — while still shallow enough that loss-based
+    CCAs see regular congestion signals. *)
+let make ?(duration = 30.0) ?(seed = 42) ?(loss_rate = 0.0)
+    ?(ack_jitter = 0.0) ?queue_capacity ~bandwidth_mbps ~rtt_ms () =
+  let bandwidth_bps = bandwidth_mbps *. 1e6 in
+  let rtt_prop = rtt_ms /. 1000.0 in
+  let bdp_pkts =
+    int_of_float (Float.ceil (bandwidth_bps /. 8.0 *. rtt_prop /. 1448.0))
+  in
+  let queue_capacity =
+    match queue_capacity with
+    | Some q -> q
+    | None -> Stdlib.max 12 (bdp_pkts * 7 / 4)
+  in
+  {
+    bandwidth_bps;
+    rtt_prop;
+    queue_capacity;
+    mss = 1448.0;
+    duration;
+    seed;
+    loss_rate;
+    ack_jitter;
+  }
+
+(** The diversity grid of §3.2: RTT x bandwidth combinations spanning the
+    testbed ranges. [n] picks roughly [n] scenarios from the grid.
+
+    The default 1 ms ACK-path jitter models the measurement noise any real
+    vantage point exhibits; it is load-bearing for synthesis quality: with
+    perfectly clean signals, "echo" handlers that reconstruct the window
+    from instantaneous rate x delay fit every trace perfectly and drown
+    out the structural handlers the search is after. *)
+let testbed_grid ?(duration = 30.0) ?(ack_jitter = 0.001) ~n () =
+  let rtts = [ 10.0; 25.0; 50.0; 75.0; 100.0 ] in
+  let bws = [ 5.0; 8.0; 10.0; 12.0; 15.0 ] in
+  let all =
+    List.concat_map
+      (fun rtt_ms ->
+        List.map (fun bandwidth_mbps ->
+            make ~duration ~ack_jitter
+              ~seed:(int_of_float (rtt_ms +. (bandwidth_mbps *. 1000.0)))
+              ~bandwidth_mbps ~rtt_ms ())
+          bws)
+      rtts
+  in
+  let total = List.length all in
+  let keep = Stdlib.max 1 (Stdlib.min n total) in
+  (* Evenly strided subset of the grid, so a small [n] still spans the
+     full RTT x bandwidth ranges. *)
+  List.filteri (fun i _ -> i * keep mod total < keep) all
+
+let describe cfg =
+  Printf.sprintf "%.0fMbit/%.0fms/q%d" (cfg.bandwidth_bps /. 1e6)
+    (cfg.rtt_prop *. 1000.0) cfg.queue_capacity

@@ -1,0 +1,72 @@
+(** Binary min-heap event queue for the discrete-event simulator.
+
+    Ordered by (time, sequence-of-insertion) so simultaneous events pop in
+    insertion order, which keeps runs deterministic. *)
+
+type 'a t = {
+  mutable heap : (float * int * 'a) array;
+  mutable size : int;
+  mutable next_id : int;
+}
+
+let create () = { heap = [||]; size = 0; next_id = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before (t1, i1, _) (t2, i2, _) = t1 < t2 || (t1 = t2 && i1 < i2)
+
+(* The array is allocated lazily from the first pushed entry, so no dummy
+   element of type 'a is ever needed. *)
+let ensure_capacity q entry =
+  if Array.length q.heap = 0 then q.heap <- Array.make 64 entry
+  else if q.size = Array.length q.heap then begin
+    let heap = Array.make (2 * Array.length q.heap) q.heap.(0) in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let push q time payload =
+  let entry = (time, q.next_id, payload) in
+  ensure_capacity q entry;
+  q.next_id <- q.next_id + 1;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before q.heap.(!i) q.heap.(parent) then begin
+      let tmp = q.heap.(parent) in
+      q.heap.(parent) <- q.heap.(!i);
+      q.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let (time, _, payload) = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+      if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = q.heap.(!smallest) in
+        q.heap.(!smallest) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (time, payload)
+  end

@@ -1,0 +1,365 @@
+(** Single-flow packet-level simulation of a bulk transfer through one
+    bottleneck.
+
+    The model is the standard single-bottleneck dumbbell used by the
+    paper's trace-collection testbed: the sender emits fixed-size segments
+    whenever the flight size is below the CCA's window; segments pass
+    through a DropTail queue served at the bottleneck rate, reach the
+    receiver after half the propagation RTT, and cumulative ACKs return
+    after the other half (plus optional jitter). Loss is detected by three
+    duplicate ACKs (with an RTO fallback), exactly the signal Abagnale's
+    trace segmentation later infers from traces (§3.2).
+
+    The queue is represented implicitly by the time the link becomes free:
+    with fixed-size packets, backlog divided by serialization time is the
+    queue length. This is exact for DropTail FIFO. *)
+
+open Abg_util
+
+(** One observation delivered to the trace-collection callback, one per
+    cumulative ACK arriving at the sender. *)
+type ack_observation = {
+  time : float;
+  cwnd : float;  (** CCA's window after processing this ACK, bytes *)
+  in_flight : float;  (** bytes outstanding after this ACK ("visible CWND") *)
+  acked_bytes : float;  (** bytes newly acknowledged *)
+  rtt_sample : float;  (** RTT measured from the triggering segment, s *)
+}
+
+type observer = {
+  on_ack_obs : ack_observation -> unit;
+  on_loss_obs : time:float -> unit;
+}
+
+let null_observer = { on_ack_obs = ignore; on_loss_obs = (fun ~time:_ -> ()) }
+
+type event =
+  | Deliver of int  (** segment [seq] reaches the receiver *)
+  | Ack_arrival of { cum : int; sent_at : float; sample_ok : bool }
+      (** cumulative ACK up to [cum] reaches the sender; [sent_at] is the
+          send time of the segment that triggered it, and [sample_ok] is
+          false when that segment was ever retransmitted (Karn's
+          algorithm: such RTT samples are ambiguous and discarded) *)
+  | Rto_check of int  (** RTO timer with its generation number *)
+
+type t = {
+  cfg : Config.t;
+  cca : Abg_cca.Cca_sig.t;
+  events : event Event_queue.t;
+  rng : Rng.t;
+  mutable now : float;
+  (* Sender state. *)
+  mutable next_seq : int;
+  mutable snd_una : int;  (** lowest unacknowledged sequence number *)
+  mutable dup_acks : int;
+  mutable recovery_point : int;  (** next_seq at the last loss event *)
+  mutable in_recovery : bool;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto_generation : int;
+  (* Per-segment send times, for RTT samples; grows with next_seq. *)
+  mutable sent_at : float array;
+  mutable retransmitted : bool array;
+  (* Link state. *)
+  mutable link_free : float;
+  (* Receiver state: segments received beyond the cumulative point. *)
+  ooo : (int, unit) Hashtbl.t;
+  mutable rcv_next : int;
+  mutable rcv_high : int;  (** highest sequence number received *)
+  mutable last_ack_arrival : float;  (** ACK-path FIFO ordering floor *)
+  (* Counters. *)
+  mutable delivered : int;
+  mutable drops : int;
+  mutable losses_detected : int;
+}
+
+let serialize_time cfg = cfg.Config.mss *. 8.0 /. cfg.Config.bandwidth_bps
+let one_way cfg = cfg.Config.rtt_prop /. 2.0
+
+let create cfg cca =
+  {
+    cfg;
+    cca;
+    events = Event_queue.create ();
+    rng = Rng.create cfg.Config.seed;
+    now = 0.0;
+    next_seq = 0;
+    snd_una = 0;
+    dup_acks = 0;
+    recovery_point = 0;
+    in_recovery = false;
+    srtt = 0.0;
+    rttvar = 0.0;
+    rto_generation = 0;
+    sent_at = Array.make 1024 0.0;
+    retransmitted = Array.make 1024 false;
+    link_free = 0.0;
+    ooo = Hashtbl.create 97;
+    rcv_next = 0;
+    rcv_high = -1;
+    last_ack_arrival = 0.0;
+    delivered = 0;
+    drops = 0;
+    losses_detected = 0;
+  }
+
+let ensure_seq_capacity sim seq =
+  let len = Array.length sim.sent_at in
+  if seq >= len then begin
+    let new_len = Stdlib.max (2 * len) (seq + 1) in
+    let sent_at = Array.make new_len 0.0 in
+    Array.blit sim.sent_at 0 sent_at 0 len;
+    sim.sent_at <- sent_at;
+    let retransmitted = Array.make new_len false in
+    Array.blit sim.retransmitted 0 retransmitted 0 len;
+    sim.retransmitted <- retransmitted
+  end
+
+let queue_length sim =
+  let backlog = sim.link_free -. sim.now in
+  if backlog <= 0.0 then 0
+  else int_of_float (Float.ceil (backlog /. serialize_time sim.cfg))
+
+(* Transmit segment [seq]: DropTail admission, serialization, delivery. *)
+let transmit sim seq =
+  ensure_seq_capacity sim seq;
+  sim.sent_at.(seq) <- sim.now;
+  let dropped =
+    queue_length sim >= sim.cfg.Config.queue_capacity
+    || (sim.cfg.Config.loss_rate > 0.0 && Rng.float sim.rng < sim.cfg.Config.loss_rate)
+  in
+  if dropped then sim.drops <- sim.drops + 1
+  else begin
+    let start = Float.max sim.now sim.link_free in
+    let departure = start +. serialize_time sim.cfg in
+    sim.link_free <- departure;
+    Event_queue.push sim.events (departure +. one_way sim.cfg) (Deliver seq)
+  end
+
+let in_flight_bytes sim =
+  float_of_int (sim.next_seq - sim.snd_una) *. sim.cfg.Config.mss
+
+(* Oracle view of the receiver, standing in for SACK blocks: the sender of
+   a real (SACK-enabled) stack knows which segments above snd_una arrived. *)
+let is_received sim seq = seq < sim.rcv_next || Hashtbl.mem sim.ooo seq
+
+(* A segment is scored lost when it is unreceived and either carries SACK
+   evidence (>= 3 segments received above its first transmission, RFC
+   6675's DupThresh rule) or its latest (re)transmission is older than a
+   RACK-style reordering timer. The evidence/timer requirement prevents
+   spurious retransmission of segments merely still in transit, whose
+   ambiguous RTT samples would poison every delay-based CCA; the timer
+   makes re-dropped retransmissions recoverable without waiting for a
+   full RTO per hole. *)
+let scored_lost sim seq =
+  let evidence = (not sim.retransmitted.(seq)) && seq <= sim.rcv_high - 3 in
+  let rack_timeout = if sim.srtt > 0.0 then 1.25 *. sim.srtt else 1.0 in
+  evidence || sim.now -. sim.sent_at.(seq) > rack_timeout
+
+let retransmit_hole sim seq =
+  sim.retransmitted.(seq) <- true;
+  transmit sim seq
+
+(* Transmission policy per RFC 6675 with a per-segment scoreboard:
+   retransmissions of scored-lost segments take priority over new data,
+   both gated on pipe < cwnd, where the pipe excludes received and
+   scored-lost segments. When [force_rtx] is set (one per incoming ACK
+   event during recovery, the spirit of proportional-rate reduction), the
+   first retransmission goes out even if the pipe has not yet drained
+   below the window. *)
+let fill_window ?(force_rtx = false) sim =
+  let window =
+    Float.min (sim.cca.Abg_cca.Cca_sig.cwnd ()) (Config.rwnd sim.cfg)
+  in
+  let mss = sim.cfg.Config.mss in
+  (* One scoreboard pass: pipe size and the list of repairable holes. *)
+  let pipe = ref 0.0 in
+  let holes = ref [] in
+  if sim.in_recovery then begin
+    for seq = sim.next_seq - 1 downto sim.snd_una do
+      if not (is_received sim seq) then begin
+        if scored_lost sim seq then holes := seq :: !holes
+        else pipe := !pipe +. mss
+      end
+    done
+  end
+  else pipe := float_of_int (sim.next_seq - sim.snd_una) *. mss;
+  if sim.in_recovery then begin
+    (* Packet conservation during recovery: one transmission per incoming
+       ACK event, repairs first. Anything more re-floods the queue that
+       just overflowed and stretches the episode; anything less lets the
+       ACK clock die. New data is sent only once every hole is repaired
+       or in flight. *)
+    let budget = ref (if force_rtx || !pipe +. mss <= window then 1 else 0) in
+    while !budget > 0 do
+      decr budget;
+      match !holes with
+      | seq :: rest ->
+          holes := rest;
+          retransmit_hole sim seq
+      | [] ->
+          transmit sim sim.next_seq;
+          sim.next_seq <- sim.next_seq + 1
+    done
+  end
+  else
+    while !pipe +. mss <= window do
+      transmit sim sim.next_seq;
+      sim.next_seq <- sim.next_seq + 1;
+      pipe := !pipe +. mss
+    done
+
+let rto sim =
+  if sim.srtt = 0.0 then 1.0
+  else Float.max 0.2 (sim.srtt +. (4.0 *. sim.rttvar))
+
+let arm_rto sim =
+  sim.rto_generation <- sim.rto_generation + 1;
+  Event_queue.push sim.events (sim.now +. rto sim) (Rto_check sim.rto_generation)
+
+let update_rtt_estimators sim rtt =
+  if sim.srtt = 0.0 then begin
+    sim.srtt <- rtt;
+    sim.rttvar <- rtt /. 2.0
+  end
+  else begin
+    sim.rttvar <- (0.75 *. sim.rttvar) +. (0.25 *. Float.abs (sim.srtt -. rtt));
+    sim.srtt <- (0.875 *. sim.srtt) +. (0.125 *. rtt)
+  end
+
+(* Receiver side: segment [seq] arrives; emit a cumulative ACK. *)
+let receive sim seq =
+  if seq > sim.rcv_high then sim.rcv_high <- seq;
+  if seq >= sim.rcv_next && not (Hashtbl.mem sim.ooo seq) then begin
+    Hashtbl.replace sim.ooo seq ();
+    while Hashtbl.mem sim.ooo sim.rcv_next do
+      Hashtbl.remove sim.ooo sim.rcv_next;
+      sim.rcv_next <- sim.rcv_next + 1
+    done
+  end;
+  let jitter =
+    if sim.cfg.Config.ack_jitter > 0.0 then
+      Float.abs (Rng.normal sim.rng ~mean:0.0 ~stddev:sim.cfg.Config.ack_jitter)
+    else 0.0
+  in
+  (* The ACK path is FIFO: jitter delays but never reorders, or every
+     delayed ACK would masquerade as duplicate-ACK loss evidence. *)
+  let arrival =
+    Float.max (sim.now +. one_way sim.cfg +. jitter) sim.last_ack_arrival
+  in
+  sim.last_ack_arrival <- arrival;
+  Event_queue.push sim.events arrival
+    (Ack_arrival
+       {
+         cum = sim.rcv_next;
+         sent_at = sim.sent_at.(seq);
+         sample_ok = not sim.retransmitted.(seq);
+       })
+
+let handle_loss sim observer =
+  sim.losses_detected <- sim.losses_detected + 1;
+  sim.cca.Abg_cca.Cca_sig.on_loss ~now:sim.now;
+  observer.on_loss_obs ~time:sim.now;
+  (* A loss during an ongoing episode (an RTO) must not move the episode's
+     exit point to the raced-ahead next_seq, or the episode never ends. *)
+  if not sim.in_recovery then begin
+    sim.in_recovery <- true;
+    sim.recovery_point <- sim.next_seq
+  end;
+  fill_window ~force_rtx:true sim
+
+let handle_ack sim observer ~cum ~sent_at ~sample_ok =
+  if cum > sim.snd_una then begin
+    let newly = cum - sim.snd_una in
+    sim.snd_una <- cum;
+    sim.dup_acks <- 0;
+    sim.delivered <- sim.delivered + newly;
+    (* Karn: an RTT measured through a retransmitted segment is ambiguous;
+       substitute the smoothed estimate so the CCA still sees a sane
+       sample without polluting its min/max filters. *)
+    let rtt =
+      if sample_ok then sim.now -. sent_at
+      else if sim.srtt > 0.0 then sim.srtt
+      else sim.cfg.Config.rtt_prop
+    in
+    if sample_ok then update_rtt_estimators sim rtt;
+    let acked_bytes = float_of_int newly *. sim.cfg.Config.mss in
+    sim.cca.Abg_cca.Cca_sig.on_ack ~now:sim.now ~acked:acked_bytes ~rtt;
+    if sim.in_recovery && cum >= sim.recovery_point then
+      sim.in_recovery <- false;
+    (* A partial ACK (still in recovery) keeps repairing holes. *)
+    fill_window ~force_rtx:sim.in_recovery sim;
+    observer.on_ack_obs
+      {
+        time = sim.now;
+        cwnd = sim.cca.Abg_cca.Cca_sig.cwnd ();
+        in_flight = in_flight_bytes sim;
+        acked_bytes;
+        rtt_sample = rtt;
+      };
+    arm_rto sim
+  end
+  else begin
+    (* Duplicate ACK: each one shrinks the SACK pipe, possibly opening
+       room for new transmissions. *)
+    sim.dup_acks <- sim.dup_acks + 1;
+    if sim.dup_acks = 3 && not sim.in_recovery then handle_loss sim observer
+    else fill_window ~force_rtx:sim.in_recovery sim
+  end
+
+let handle_rto sim observer generation =
+  if generation = sim.rto_generation && sim.next_seq > sim.snd_una then begin
+    (* After a timeout the RACK timer has expired for the whole
+       outstanding flight, so handle_loss's scoreboard pass retransmits
+       from the head. *)
+    handle_loss sim observer;
+    sim.dup_acks <- 0;
+    arm_rto sim
+  end
+
+(** Simulation statistics returned by {!run}. *)
+type stats = {
+  acks_processed : int;
+  packets_dropped : int;
+  loss_events : int;
+  final_time : float;
+  delivered_bytes : float;
+}
+
+(** [run cfg cca ~observer] simulates the flow for [cfg.duration] seconds,
+    invoking [observer] on every cumulative ACK and loss event, and
+    returns summary statistics. *)
+let run ?(observer = null_observer) cfg cca =
+  let sim = create cfg cca in
+  let acks = ref 0 in
+  let counting_observer =
+    {
+      on_ack_obs =
+        (fun obs ->
+          incr acks;
+          observer.on_ack_obs obs);
+      on_loss_obs = observer.on_loss_obs;
+    }
+  in
+  fill_window sim;
+  arm_rto sim;
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop sim.events with
+    | None -> continue := false
+    | Some (time, _) when time > cfg.Config.duration -> continue := false
+    | Some (time, ev) ->
+        sim.now <- time;
+        (match ev with
+        | Deliver seq -> receive sim seq
+        | Ack_arrival { cum; sent_at; sample_ok } ->
+            handle_ack sim counting_observer ~cum ~sent_at ~sample_ok
+        | Rto_check generation -> handle_rto sim counting_observer generation)
+  done;
+  {
+    acks_processed = !acks;
+    packets_dropped = sim.drops;
+    loss_events = sim.losses_detected;
+    final_time = sim.now;
+    delivered_bytes = float_of_int sim.delivered *. cfg.Config.mss;
+  }

@@ -1,0 +1,15 @@
+(** Parallel work distribution over OCaml 5 domains — the laptop-scale
+    substitute for the paper's Ray cluster (§5). Work is split into
+    contiguous chunks, one per domain; falls back to sequential execution
+    for tiny inputs or single-domain machines. *)
+
+val default_domains : unit -> int
+(** Recommended worker count for this machine (at least 1). *)
+
+val map : ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] is [Array.map f xs] computed in parallel. [f] must be safe
+    to run concurrently on distinct elements; exceptions re-raise in the
+    caller. *)
+
+val mapi : ?num_domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val map_list : ?num_domains:int -> ('a -> 'b) -> 'a list -> 'b list

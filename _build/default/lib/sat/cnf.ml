@@ -1,0 +1,81 @@
+(** CNF encoding helpers over {!Solver}.
+
+    The sketch encoding needs a few standard gadgets: exactly-one /
+    at-most-one over small sets (pairwise encoding — component lists are
+    short), implications, and Tseitin-style AND/OR definitions, plus a
+    sequential-counter cardinality constraint for node budgets. *)
+
+(** [at_most_one s lits] — pairwise encoding, O(n^2) clauses; fine for the
+    component-per-node sets used here (|lits| <= ~25). *)
+let at_most_one s lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+        List.iter (fun l' -> Solver.add_clause s [ -l; -l' ]) rest;
+        pairs rest
+  in
+  pairs lits
+
+let at_least_one s lits = Solver.add_clause s lits
+
+let exactly_one s lits =
+  at_least_one s lits;
+  at_most_one s lits
+
+(** [implies s a b] — a -> b. *)
+let implies s a b = Solver.add_clause s [ -a; b ]
+
+(** [implies_all s a bs] — a -> b for every b. *)
+let implies_all s a bs = List.iter (implies s a) bs
+
+(** [implies_clause s a bs] — a -> (b1 \/ ... \/ bn). *)
+let implies_clause s a bs = Solver.add_clause s (-a :: bs)
+
+(** [define_and s bs] returns a fresh literal equivalent to the
+    conjunction of [bs] (Tseitin). *)
+let define_and s bs =
+  let x = Solver.new_var s in
+  List.iter (fun b -> Solver.add_clause s [ -x; b ]) bs;
+  Solver.add_clause s (x :: List.map (fun b -> -b) bs);
+  x
+
+(** [define_or s bs] returns a fresh literal equivalent to the disjunction
+    of [bs] (Tseitin). *)
+let define_or s bs =
+  let x = Solver.new_var s in
+  List.iter (fun b -> Solver.add_clause s [ x; -b ]) bs;
+  Solver.add_clause s (-x :: bs);
+  x
+
+(** [at_most_k s lits k] — sequential-counter encoding (Sinz 2005):
+    auxiliary registers r_{i,j} meaning "at least j of the first i+1
+    literals are true"; O(n*k) clauses. *)
+let at_most_k s lits k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k >= n then ()
+  else if k = 0 then Array.iter (fun l -> Solver.add_clause s [ -l ]) lits
+  else begin
+    let r = Array.make_matrix n k 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        r.(i).(j) <- Solver.new_var s
+      done
+    done;
+    for i = 0 to n - 1 do
+      (* lit i true -> register counts at least 1. *)
+      Solver.add_clause s [ -lits.(i); r.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to k - 1 do
+          (* Registers are monotone in i. *)
+          Solver.add_clause s [ -r.(i - 1).(j); r.(i).(j) ]
+        done;
+        for j = 1 to k - 1 do
+          (* lit i true and j of the prefix -> j+1 counted. *)
+          Solver.add_clause s [ -lits.(i); -r.(i - 1).(j - 1); r.(i).(j) ]
+        done;
+        (* Overflow: lit i true while the prefix already holds k. *)
+        Solver.add_clause s [ -lits.(i); -r.(i - 1).(k - 1) ]
+      end
+    done
+  end

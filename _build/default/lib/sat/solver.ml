@@ -1,0 +1,448 @@
+(** A CDCL SAT solver: the enumeration engine behind sketch search.
+
+    The paper iteratively queries Z3 for models of a quantifier-free
+    finite-domain formula, blocking each returned sketch (§4.1). This
+    module provides the same capability from scratch: a conflict-driven
+    clause-learning solver in the MiniSat lineage — two-literal watches,
+    VSIDS branching, first-UIP learning, phase saving and Luby restarts.
+    Problems in this pipeline are small (thousands of variables), so no
+    learnt-clause garbage collection is needed.
+
+    External literal convention is DIMACS-like: variables are positive
+    integers from {!new_var}; a positive literal [v] asserts the variable,
+    [-v] negates it.
+
+    Internal conventions (MiniSat-style):
+    - literal encoding: [2*var] positive, [2*var+1] negative, vars 0-based;
+    - every clause watches its first two literals; watch lists are indexed
+      by the *watched literal*, revisited when that literal becomes false;
+    - for any clause that acted as a propagation reason, the propagated
+      literal sits at index 0. *)
+
+type lbool = Unknown | True | False
+
+type t = {
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  mutable watches : int list array;  (** indexed by internal literal *)
+  mutable n_vars : int;
+  mutable assign : lbool array;
+  mutable level : int array;
+  mutable reason : int array;  (** clause index, or -1 for decisions *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int list;  (** trail sizes at decisions, newest first *)
+  mutable qhead : int;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable polarity : bool array;
+  mutable seen : bool array;
+  mutable ok : bool;
+  mutable conflicts : int;
+}
+
+let create () =
+  {
+    clauses = Array.make 256 [||];
+    n_clauses = 0;
+    watches = Array.make 64 [];
+    n_vars = 0;
+    assign = Array.make 32 Unknown;
+    level = Array.make 32 0;
+    reason = Array.make 32 (-1);
+    trail = Array.make 32 0;
+    trail_size = 0;
+    trail_lim = [];
+    qhead = 0;
+    activity = Array.make 32 0.0;
+    var_inc = 1.0;
+    polarity = Array.make 32 false;
+    seen = Array.make 32 false;
+    ok = true;
+    conflicts = 0;
+  }
+
+let var_of lit = lit lsr 1
+let is_neg lit = lit land 1 = 1
+let negate lit = lit lxor 1
+
+let to_internal ext =
+  assert (ext <> 0);
+  let v = abs ext - 1 in
+  if ext > 0 then 2 * v else (2 * v) + 1
+
+let grow_arrays s =
+  let old = Array.length s.assign in
+  if s.n_vars > old then begin
+    let n = Stdlib.max (2 * old) s.n_vars in
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.assign <- grow s.assign Unknown;
+    s.level <- grow s.level 0;
+    s.reason <- grow s.reason (-1);
+    s.activity <- grow s.activity 0.0;
+    s.polarity <- grow s.polarity false;
+    s.seen <- grow s.seen false;
+    let trail = Array.make n 0 in
+    Array.blit s.trail 0 trail 0 s.trail_size;
+    s.trail <- trail
+  end;
+  let old_w = Array.length s.watches in
+  if 2 * s.n_vars > old_w then begin
+    let w = Array.make (Stdlib.max (2 * old_w) (2 * s.n_vars)) [] in
+    Array.blit s.watches 0 w 0 old_w;
+    s.watches <- w
+  end
+
+(** [new_var s] allocates a fresh variable (a positive integer usable as a
+    literal). *)
+let new_var s =
+  s.n_vars <- s.n_vars + 1;
+  grow_arrays s;
+  s.n_vars
+
+let value_lit s lit =
+  match s.assign.(var_of lit) with
+  | Unknown -> Unknown
+  | True -> if is_neg lit then False else True
+  | False -> if is_neg lit then True else False
+
+let decision_level s = List.length s.trail_lim
+
+let enqueue s lit reason =
+  let v = var_of lit in
+  s.assign.(v) <- (if is_neg lit then False else True);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- lit;
+  s.trail_size <- s.trail_size + 1
+
+let push_clause s arr =
+  if s.n_clauses = Array.length s.clauses then begin
+    let c = Array.make (2 * s.n_clauses) [||] in
+    Array.blit s.clauses 0 c 0 s.n_clauses;
+    s.clauses <- c
+  end;
+  s.clauses.(s.n_clauses) <- arr;
+  s.n_clauses <- s.n_clauses + 1;
+  s.n_clauses - 1
+
+(* Watch lists are indexed by the watched literal: the clause is revisited
+   when that literal becomes false. *)
+let watch s lit idx = s.watches.(lit) <- idx :: s.watches.(lit)
+
+(** [add_clause s lits] adds a clause over external literals. Only valid
+    at decision level 0 (before or between solve calls). *)
+let add_clause s ext_lits =
+  if s.ok then begin
+    let lits = List.sort_uniq compare (List.map to_internal ext_lits) in
+    let tautology = List.exists (fun l -> List.mem (negate l) lits) lits in
+    if not tautology then begin
+      (* At level 0 every current assignment is permanent: false literals
+         can be removed, a true literal satisfies the clause outright. *)
+      let satisfied = List.exists (fun l -> value_lit s l = True) lits in
+      if not satisfied then begin
+        let lits = List.filter (fun l -> value_lit s l <> False) lits in
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] -> begin
+            enqueue s l (-1);
+            (* Keep level-0 propagation eager so later adds see it. *)
+            ()
+          end
+        | _ ->
+            let arr = Array.of_list lits in
+            let idx = push_clause s arr in
+            watch s arr.(0) idx;
+            watch s arr.(1) idx
+      end
+    end
+  end
+
+(* Boolean constraint propagation. Returns a conflicting clause index or
+   -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < s.trail_size do
+    let lit = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let falsified = negate lit in
+    let watching = s.watches.(falsified) in
+    s.watches.(falsified) <- [];
+    let rec revisit = function
+      | [] -> ()
+      | idx :: rest -> begin
+          let c = s.clauses.(idx) in
+          if c.(0) = falsified then begin
+            c.(0) <- c.(1);
+            c.(1) <- falsified
+          end;
+          if value_lit s c.(0) = True then begin
+            watch s falsified idx;
+            revisit rest
+          end
+          else begin
+            let n = Array.length c in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < n do
+              if value_lit s c.(!k) <> False then begin
+                c.(1) <- c.(!k);
+                c.(!k) <- falsified;
+                watch s c.(1) idx;
+                found := true
+              end;
+              incr k
+            done;
+            if !found then revisit rest
+            else begin
+              watch s falsified idx;
+              if value_lit s c.(0) = False then begin
+                conflict := idx;
+                List.iter (fun i -> watch s falsified i) rest;
+                s.qhead <- s.trail_size
+              end
+              else begin
+                enqueue s c.(0) idx;
+                revisit rest
+              end
+            end
+          end
+        end
+    in
+    revisit watching
+  done;
+  !conflict
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.n_vars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_activities s = s.var_inc <- s.var_inc /. 0.95
+
+(* First-UIP conflict analysis. Returns the learnt clause (asserting
+   literal first) and the backjump level. *)
+let analyze s conflict_idx =
+  let learnt_rest = ref [] in
+  let counter = ref 0 in
+  let trail_pos = ref (s.trail_size - 1) in
+  let idx = ref conflict_idx in
+  let skip_head = ref false in
+  let asserting = ref 0 in
+  let dl = decision_level s in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!idx) in
+    let start = if !skip_head then 1 else 0 in
+    for j = start to Array.length c - 1 do
+      let q = c.(j) in
+      let v = var_of q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        bump_var s v;
+        if s.level.(v) >= dl then incr counter
+        else learnt_rest := q :: !learnt_rest
+      end
+    done;
+    (* Find the next marked literal walking the trail backwards. *)
+    while not s.seen.(var_of s.trail.(!trail_pos)) do
+      decr trail_pos
+    done;
+    let p = s.trail.(!trail_pos) in
+    let v = var_of p in
+    s.seen.(v) <- false;
+    decr trail_pos;
+    decr counter;
+    if !counter = 0 then begin
+      asserting := negate p;
+      continue := false
+    end
+    else begin
+      idx := s.reason.(v);
+      skip_head := true
+    end
+  done;
+  List.iter (fun l -> s.seen.(var_of l) <- false) !learnt_rest;
+  (* Order the tail so a literal from the backjump (second-highest) level
+     sits right after the asserting literal: both watched positions then
+     respect the watching invariant after the backjump. *)
+  let backjump =
+    List.fold_left (fun acc l -> Stdlib.max acc s.level.(var_of l)) 0 !learnt_rest
+  in
+  let at_bj, below =
+    List.partition (fun l -> s.level.(var_of l) = backjump) !learnt_rest
+  in
+  (!asserting :: (at_bj @ below), backjump)
+
+let cancel_until s target_level =
+  let dl = decision_level s in
+  if dl > target_level then begin
+    let rec pop n lim =
+      match (n, lim) with
+      | 1, sz :: tl -> (sz, tl)
+      | n, _ :: tl -> pop (n - 1) tl
+      | _, [] -> assert false
+    in
+    let target_size, keep = pop (dl - target_level) s.trail_lim in
+    for i = s.trail_size - 1 downto target_size do
+      let v = var_of s.trail.(i) in
+      s.polarity.(v) <- s.assign.(v) = True;
+      s.assign.(v) <- Unknown;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- target_size;
+    s.qhead <- target_size;
+    s.trail_lim <- keep
+  end
+
+let pick_branch_var s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.n_vars - 1 do
+    if s.assign.(v) = Unknown && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* Luby sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby_at i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby_at (i - ((1 lsl (!k - 1)) - 1))
+
+(** Result of {!solve}: a model indexed by external variable
+    ([m.(v)] for variable [v]; index 0 unused), or unsatisfiable. *)
+type result = Sat of bool array | Unsat
+
+let model_of s =
+  let m = Array.make (s.n_vars + 1) false in
+  for v = 0 to s.n_vars - 1 do
+    m.(v + 1) <- s.assign.(v) = True
+  done;
+  m
+
+(** [solve ?assumptions s] decides the accumulated clauses. Assumptions
+    are external literals asserted for this call only; learnt clauses
+    persist across calls, making repeated (blocking-clause) enumeration
+    cheap. *)
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    let n_assumptions = List.length assumptions in
+    let result = ref None in
+    if propagate s >= 0 then begin
+      s.ok <- false;
+      result := Some Unsat
+    end;
+    let restart_count = ref 0 in
+    let conflict_budget = ref (100 * luby_at 1) in
+    while !result = None do
+      let conflict = propagate s in
+      if conflict >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        decr conflict_budget;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          result := Some Unsat
+        end
+        else if decision_level s <= n_assumptions then
+          (* The conflict involves only assumption decisions: the formula
+             is unsatisfiable under these assumptions (but may be
+             satisfiable without them, so [ok] stays true). *)
+          result := Some Unsat
+        else begin
+          let learnt, backjump = analyze s conflict in
+          (* Never jump back into the middle of the assumption prefix with
+             a clause asserting below it. *)
+          let backjump = Stdlib.max backjump n_assumptions in
+          cancel_until s backjump;
+          (match learnt with
+          | [] -> result := Some Unsat
+          | [ l ] ->
+              if value_lit s l = False then result := Some Unsat
+              else if value_lit s l = Unknown then enqueue s l (-1)
+          | l :: _ ->
+              let arr = Array.of_list learnt in
+              let idx = push_clause s arr in
+              watch s arr.(0) idx;
+              watch s arr.(1) idx;
+              if value_lit s l = Unknown then enqueue s l idx);
+          decay_activities s
+        end
+      end
+      else if !conflict_budget <= 0 && decision_level s > n_assumptions then begin
+        incr restart_count;
+        conflict_budget := 100 * luby_at (!restart_count + 1);
+        cancel_until s n_assumptions
+      end
+      else begin
+        let dl = decision_level s in
+        if dl < n_assumptions then begin
+          let a = to_internal (List.nth assumptions dl) in
+          match value_lit s a with
+          | True -> s.trail_lim <- s.trail_size :: s.trail_lim
+          | False -> result := Some Unsat
+          | Unknown ->
+              s.trail_lim <- s.trail_size :: s.trail_lim;
+              enqueue s a (-1)
+        end
+        else begin
+          match pick_branch_var s with
+          | -1 -> result := Some (Sat (model_of s))
+          | v ->
+              s.trail_lim <- s.trail_size :: s.trail_lim;
+              let lit = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
+              enqueue s lit (-1)
+        end
+      end
+    done;
+    let r = match !result with Some r -> r | None -> assert false in
+    cancel_until s 0;
+    r
+  end
+
+(** [randomize s ~seed] scrambles the branching heuristic: random VSIDS
+    activities and random saved phases. Model *enumeration* uses this
+    between solve calls so that successive models sample scattered corners
+    of the solution space instead of crawling lexicographically — the
+    blocking-clause analogue of Z3's [:random-seed]/phase randomization.
+    Does not affect soundness, only which model is found first. *)
+let randomize s ~seed =
+  let state = ref (Int64.of_int (seed lxor 0x5DEECE66D)) in
+  let next_bits () =
+    (* splitmix64 step, as in the utility PRNG, inlined to keep this
+       library dependency-free. *)
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+  in
+  for v = 0 to s.n_vars - 1 do
+    let bits = next_bits () in
+    s.activity.(v) <-
+      Int64.to_float (Int64.shift_right_logical bits 11) /. 9.0e15;
+    s.polarity.(v) <- Int64.logand bits 1L = 1L
+  done;
+  s.var_inc <- 1.0
+
+(** Number of conflicts encountered so far (a search-effort statistic). *)
+let conflicts s = s.conflicts
+
+(** Number of variables allocated. *)
+let num_vars s = s.n_vars

@@ -1,0 +1,41 @@
+(** A CDCL SAT solver in the MiniSat lineage: two-literal watches, VSIDS
+    branching, first-UIP clause learning, phase saving and Luby restarts.
+    It is the enumeration engine behind sketch search — the substitute for
+    the paper's iterated Z3 queries (§4.1): solve, block the model,
+    solve again.
+
+    External literals are DIMACS-like: variables are the positive integers
+    returned by {!new_var}; a positive literal [v] asserts the variable,
+    [-v] negates it. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its (positive) literal. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause over external literals. Only valid between solve calls.
+    Tautologies are dropped; an empty clause makes the instance
+    permanently unsatisfiable. *)
+
+type result = Sat of bool array | Unsat
+(** A model is indexed by external variable ([m.(v)]; index 0 unused). *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Decide the accumulated clauses. [assumptions] are external literals
+    asserted for this call only — an [Unsat] under assumptions leaves the
+    instance usable. Learnt clauses persist across calls, making repeated
+    blocking-clause enumeration cheap. *)
+
+val randomize : t -> seed:int -> unit
+(** Scramble the branching heuristic (random activities and phases) so
+    that successive models during enumeration sample scattered corners of
+    the solution space instead of crawling lexicographically. Soundness is
+    unaffected. *)
+
+val conflicts : t -> int
+(** Conflicts encountered so far — a search-effort statistic. *)
+
+val num_vars : t -> int

@@ -1,0 +1,1 @@
+lib/trace/io.ml: Abg_netsim Array Fun List Option Printf Record String Trace

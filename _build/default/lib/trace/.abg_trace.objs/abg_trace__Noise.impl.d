@@ -1,0 +1,1 @@
+lib/trace/noise.ml: Abg_util Array Float List Record Rng Trace

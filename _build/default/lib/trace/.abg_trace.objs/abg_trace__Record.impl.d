@@ -1,0 +1,1 @@
+lib/trace/record.ml: Abg_dsl

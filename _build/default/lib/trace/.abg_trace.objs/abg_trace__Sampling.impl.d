@@ -1,0 +1,1 @@
+lib/trace/sampling.ml: Abg_util Array List Rng Segmentation Stdlib

@@ -1,0 +1,1 @@
+lib/trace/segmentation.ml: Array List Record Stdlib Trace

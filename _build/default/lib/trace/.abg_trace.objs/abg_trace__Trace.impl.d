@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Abg_cca Abg_netsim Array Config Float List Record Sim

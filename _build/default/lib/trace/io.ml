@@ -1,0 +1,97 @@
+(** Trace serialization: a line-oriented TSV with a [#]-comment header.
+
+    The format is intentionally trivial so traces can be produced or
+    consumed by external tools (tcpdump post-processors, plotting
+    scripts). One record per line, columns in the order of
+    {!Record.t}. *)
+
+let header = "# abagnale-trace v1"
+
+let columns =
+  [ "time"; "cwnd"; "in_flight"; "acked_bytes"; "rtt"; "min_rtt"; "max_rtt";
+    "ack_rate"; "rtt_gradient"; "delay_gradient"; "time_since_loss"; "wmax";
+    "mss" ]
+
+let record_to_line (r : Record.t) =
+  String.concat "\t"
+    (List.map
+       (Printf.sprintf "%.9g")
+       [ r.Record.time; r.cwnd; r.in_flight; r.acked_bytes; r.rtt; r.min_rtt;
+         r.max_rtt; r.ack_rate; r.rtt_gradient; r.delay_gradient;
+         r.time_since_loss; r.wmax; r.mss ])
+
+let record_of_line line =
+  let fields =
+    try String.split_on_char '\t' line |> List.map float_of_string
+    with Failure _ -> invalid_arg ("Io.record_of_line: malformed line: " ^ line)
+  in
+  match fields with
+  | [ time; cwnd; in_flight; acked_bytes; rtt; min_rtt; max_rtt; ack_rate;
+      rtt_gradient; delay_gradient; time_since_loss; wmax; mss ] ->
+      {
+        Record.time; cwnd; in_flight; acked_bytes; rtt; min_rtt; max_rtt;
+        ack_rate; rtt_gradient; delay_gradient; time_since_loss; wmax; mss;
+      }
+  | _ -> invalid_arg ("Io.record_of_line: malformed line: " ^ line)
+
+let write_channel oc (trace : Trace.t) =
+  output_string oc (header ^ "\n");
+  Printf.fprintf oc "# cca: %s\n" trace.Trace.cca_name;
+  Printf.fprintf oc "# scenario: %s\n" trace.Trace.scenario;
+  Printf.fprintf oc "# losses: %s\n"
+    (String.concat ","
+       (Array.to_list (Array.map (Printf.sprintf "%.9g") trace.Trace.loss_times)));
+  Printf.fprintf oc "# columns: %s\n" (String.concat "\t" columns);
+  Array.iter
+    (fun r -> output_string oc (record_to_line r ^ "\n"))
+    trace.Trace.records
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc trace)
+
+let parse_meta lines key =
+  let prefix = "# " ^ key ^ ": " in
+  List.find_map
+    (fun line ->
+      if String.length line >= String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then Some (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+      else None)
+    lines
+
+let read_channel ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let lines = List.rev !lines in
+  let meta, data = List.partition (fun l -> String.length l > 0 && l.[0] = '#') lines in
+  let cca_name = Option.value ~default:"unknown" (parse_meta meta "cca") in
+  let scenario = Option.value ~default:"unknown" (parse_meta meta "scenario") in
+  let loss_times =
+    match parse_meta meta "losses" with
+    | None | Some "" -> [||]
+    | Some s ->
+        String.split_on_char ',' s |> List.map float_of_string |> Array.of_list
+  in
+  let records =
+    data
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map record_of_line
+    |> Array.of_list
+  in
+  {
+    Trace.cca_name;
+    scenario;
+    config = Abg_netsim.Config.default;
+    records;
+    loss_times;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

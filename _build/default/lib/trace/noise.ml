@@ -1,0 +1,59 @@
+(** Measurement-noise injection (§2.2, §3.1).
+
+    Real traces differ from what the sender's CCA computed: the vantage
+    point sees a delayed, jittered, sometimes lossy view. These transforms
+    corrupt a clean collected trace the way the paper's threat model
+    describes, and are what the noise-robustness experiments (and the
+    Mister880 comparison) feed the synthesizer. *)
+
+open Abg_util
+
+(** [observation_noise rng ~stddev trace] multiplies every visible-window
+    sample by a lognormal-ish factor [1 + N(0, stddev)] (clamped positive),
+    modeling imprecise in-flight estimation at the vantage point. *)
+let observation_noise rng ~stddev (trace : Trace.t) =
+  let records =
+    Array.map
+      (fun r ->
+        let factor = Float.max 0.1 (1.0 +. Rng.normal rng ~mean:0.0 ~stddev) in
+        { r with Record.in_flight = r.Record.in_flight *. factor })
+      trace.Trace.records
+  in
+  { trace with Trace.records }
+
+(** [subsample rng ~keep trace] drops each record independently with
+    probability [1 - keep]: lost measurement samples. *)
+let subsample rng ~keep (trace : Trace.t) =
+  let kept =
+    Array.to_list trace.Trace.records
+    |> List.filter (fun _ -> Rng.float rng < keep)
+  in
+  { trace with Trace.records = Array.of_list kept }
+
+(** [time_jitter rng ~stddev trace] perturbs timestamps with Gaussian
+    noise while preserving ordering (cumulative-max repair). *)
+let time_jitter rng ~stddev (trace : Trace.t) =
+  let records = Array.copy trace.Trace.records in
+  let last = ref neg_infinity in
+  for i = 0 to Array.length records - 1 do
+    let r = records.(i) in
+    let t = r.Record.time +. Rng.normal rng ~mean:0.0 ~stddev in
+    let t = Float.max !last t in
+    last := t;
+    records.(i) <- { r with Record.time = t }
+  done;
+  { trace with Trace.records }
+
+(** [spurious_losses rng ~rate trace] injects loss timestamps that the
+    sender never saw — unobserved-event noise for segmentation. *)
+let spurious_losses rng ~rate (trace : Trace.t) =
+  let extra =
+    Array.to_list trace.Trace.records
+    |> List.filter_map (fun r ->
+           if Rng.float rng < rate then Some r.Record.time else None)
+  in
+  let loss_times =
+    Array.append trace.Trace.loss_times (Array.of_list extra)
+  in
+  Array.sort compare loss_times;
+  { trace with Trace.loss_times }

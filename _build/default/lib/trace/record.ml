@@ -1,0 +1,60 @@
+(** One per-ACK trace record with all derived congestion signals.
+
+    This is the measurement unit of the whole pipeline: trace collection
+    produces arrays of records, and candidate-handler replay (§3.1) turns a
+    record into a DSL evaluation environment — substituting the candidate's
+    own simulated window for [cwnd]. *)
+
+type t = {
+  time : float;  (** seconds since flow start *)
+  cwnd : float;  (** ground-truth CCA window, bytes *)
+  in_flight : float;  (** bytes in flight: the externally visible CWND *)
+  acked_bytes : float;
+  rtt : float;
+  min_rtt : float;
+  max_rtt : float;
+  ack_rate : float;  (** delivery-rate estimate, bytes/s *)
+  rtt_gradient : float;
+  delay_gradient : float;
+  time_since_loss : float;
+  wmax : float;  (** window at the most recent loss event, bytes *)
+  mss : float;
+}
+
+(** [to_env record ~cwnd] is the evaluation environment for a candidate
+    handler whose current simulated window is [cwnd]. *)
+let to_env record ~cwnd : Abg_dsl.Env.t =
+  {
+    Abg_dsl.Env.cwnd;
+    mss = record.mss;
+    acked_bytes = record.acked_bytes;
+    time_since_loss = record.time_since_loss;
+    rtt = record.rtt;
+    min_rtt = record.min_rtt;
+    max_rtt = record.max_rtt;
+    ack_rate = record.ack_rate;
+    rtt_gradient = record.rtt_gradient;
+    delay_gradient = record.delay_gradient;
+    wmax = record.wmax;
+  }
+
+(** [load_env env record ~cwnd] overwrites every field of a scratch
+    environment in place — the allocation-free variant of {!to_env} for
+    the replay hot loop. *)
+let load_env (env : Abg_dsl.Env.t) record ~cwnd =
+  env.Abg_dsl.Env.cwnd <- cwnd;
+  env.Abg_dsl.Env.mss <- record.mss;
+  env.Abg_dsl.Env.acked_bytes <- record.acked_bytes;
+  env.Abg_dsl.Env.time_since_loss <- record.time_since_loss;
+  env.Abg_dsl.Env.rtt <- record.rtt;
+  env.Abg_dsl.Env.min_rtt <- record.min_rtt;
+  env.Abg_dsl.Env.max_rtt <- record.max_rtt;
+  env.Abg_dsl.Env.ack_rate <- record.ack_rate;
+  env.Abg_dsl.Env.rtt_gradient <- record.rtt_gradient;
+  env.Abg_dsl.Env.delay_gradient <- record.delay_gradient;
+  env.Abg_dsl.Env.wmax <- record.wmax
+
+(** The observed window value used as ground truth for distances: the
+    visible (in-flight) window, which is what a passive measurement
+    vantage point sees. *)
+let observed_cwnd record = record.in_flight

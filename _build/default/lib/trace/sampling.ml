@@ -1,0 +1,56 @@
+(** Diversity-driven trace-segment selection (§3.2).
+
+    Evaluating every packet of every trace is too costly, so each
+    refinement iteration works on a subset of segments. The paper's
+    strategy: pick half the budget uniformly at random, then for each
+    picked segment add the not-yet-picked segment *farthest* from it under
+    the trace distance — biasing the subset toward covering distinct
+    network conditions and away from over-fitting one configuration. *)
+
+open Abg_util
+
+(** [select rng ~distance ~n segments] returns at most [n] segments using
+    the half-random / half-farthest strategy. [distance] compares two
+    observed-CWND value series. *)
+let select rng ~distance ~n segments =
+  let pool = Array.of_list segments in
+  let total = Array.length pool in
+  if total <= n then segments
+  else begin
+    let picked = Array.make total false in
+    let series = Array.map Segmentation.observed pool in
+    let chosen = ref [] in
+    let n_random = Stdlib.max 1 (n / 2) in
+    (* Random half. *)
+    let order = Array.init total (fun i -> i) in
+    Rng.shuffle rng order;
+    let seeds = Array.sub order 0 (Stdlib.min n_random total) in
+    Array.iter
+      (fun i ->
+        picked.(i) <- true;
+        chosen := i :: !chosen)
+      seeds;
+    (* Farthest-match half: for each seed, add the unpicked segment with
+       the greatest distance from it. *)
+    Array.iter
+      (fun seed ->
+        if List.length !chosen < n then begin
+          let best = ref (-1) in
+          let best_d = ref neg_infinity in
+          for j = 0 to total - 1 do
+            if not picked.(j) then begin
+              let d = distance series.(seed) series.(j) in
+              if d > !best_d then begin
+                best_d := d;
+                best := j
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            picked.(!best) <- true;
+            chosen := !best :: !chosen
+          end
+        end)
+      seeds;
+    List.rev_map (fun i -> pool.(i)) !chosen
+  end

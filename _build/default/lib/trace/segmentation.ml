@@ -1,0 +1,143 @@
+(** Trace segmentation: split flow traces at loss events (§3.2).
+
+    The paper evaluates candidate handlers on *segments* between losses,
+    because the cwnd-ack handler being synthesized only governs behavior
+    between losses (the loss response is a separate handler outside
+    Abagnale's §3 scope). Losses are inferred from triple-duplicate-ACK
+    signatures; in this reproduction the collection substrate also knows
+    the true loss times, and segmentation accepts either source. *)
+
+type segment = {
+  cca_name : string;
+  scenario : string;
+  start_time : float;
+  records : Record.t array;
+}
+
+let length seg = Array.length seg.records
+
+(** Visible-CWND value series of a segment. *)
+let observed seg = Array.map Record.observed_cwnd seg.records
+
+(** Timestamps of a segment, shifted to start at 0. *)
+let times seg =
+  Array.map (fun r -> r.Record.time -. seg.start_time) seg.records
+
+(** [infer_loss_times trace] detects loss events from the observable
+    record stream the way a passive analyzer would: a drop of the visible
+    window by more than 20% between consecutive ACKs marks the
+    triple-dup-ACK retransmission point. *)
+let infer_loss_times (trace : Trace.t) =
+  let records = trace.Trace.records in
+  let losses = ref [] in
+  for i = 1 to Array.length records - 1 do
+    let prev = Record.observed_cwnd records.(i - 1) in
+    let cur = Record.observed_cwnd records.(i) in
+    if prev > 0.0 && cur < 0.8 *. prev then
+      losses := records.(i).Record.time :: !losses
+  done;
+  Array.of_list (List.rev !losses)
+
+(** [split ?min_length ?skip_initial ?loss_times trace] cuts the trace at
+    loss events. Segments shorter than [min_length] records are discarded
+    (they carry too little window evolution to score against). With
+    [skip_initial] (and at least one loss in the trace), the segment
+    before the first loss — the flow's initial slow start, which is
+    governed by a different handler than the cwnd-ack handler being
+    synthesized — is dropped. Defaults to the collection-time loss
+    timestamps; pass [~loss_times] (e.g. from {!infer_loss_times}) to use
+    passively inferred events instead. *)
+let split ?(min_length = 30) ?(skip_initial = false) ?loss_times
+    (trace : Trace.t) =
+  let cuts =
+    match loss_times with Some l -> l | None -> trace.Trace.loss_times
+  in
+  let records = trace.Trace.records in
+  let n = Array.length records in
+  let segments = ref [] in
+  let start = ref 0 in
+  let cut_idx = ref 0 in
+  (* A segment's head still shows the previous loss's recovery transient
+     (in-flight inflated by retransmissions); that part is governed by the
+     loss-recovery machinery, not the cwnd-ack handler being synthesized.
+     Start each segment at the observed-window minimum within its first
+     half, where the post-loss window is established. *)
+  let trim_head seg_records =
+    let n = Array.length seg_records in
+    let probe = Stdlib.max 1 (n / 2) in
+    let arg = ref 0 in
+    for i = 1 to probe - 1 do
+      if
+        Record.observed_cwnd seg_records.(i)
+        < Record.observed_cwnd seg_records.(!arg)
+      then arg := i
+    done;
+    Array.sub seg_records !arg (n - !arg)
+  in
+  let flush stop =
+    if stop - !start >= min_length then begin
+      let seg_records = trim_head (Array.sub records !start (stop - !start)) in
+      if Array.length seg_records >= min_length then
+        segments :=
+          {
+            cca_name = trace.Trace.cca_name;
+            scenario = trace.Trace.scenario;
+            start_time = seg_records.(0).Record.time;
+            records = seg_records;
+          }
+          :: !segments
+    end;
+    start := stop
+  in
+  for i = 0 to n - 1 do
+    if !cut_idx < Array.length cuts && records.(i).Record.time >= cuts.(!cut_idx)
+    then begin
+      flush i;
+      incr cut_idx;
+      (* Skip any further cut points that fall before the next record. *)
+      while
+        !cut_idx < Array.length cuts
+        && records.(i).Record.time >= cuts.(!cut_idx)
+      do
+        incr cut_idx
+      done
+    end
+  done;
+  flush n;
+  let result = List.rev !segments in
+  match result with
+  | first :: (_ :: _ as rest)
+    when skip_initial && Array.length cuts > 0
+         && first.records.(0).Record.time < cuts.(0) ->
+      rest
+  | _ -> result
+
+(** [split_all ?min_length ?skip_initial traces] segments a whole trace
+    suite. *)
+let split_all ?min_length ?skip_initial traces =
+  List.concat_map (fun t -> split ?min_length ?skip_initial t) traces
+
+(** [thin ~max_records seg] reduces a segment to at most [max_records]
+    records by striding, *aggregating* the ACKed bytes across each stride
+    so that a stateful handler replayed on the thinned segment still sees
+    the full volume of acknowledged data (and therefore evolves its window
+    at the true per-RTT rate). Instantaneous signals keep the values of
+    the retained record. Without the aggregation, thinning would silently
+    slow every handler's growth by the stride factor. *)
+let thin ~max_records seg =
+  let records = seg.records in
+  let n = Array.length records in
+  if n <= max_records then seg
+  else begin
+    let stride = (n + max_records - 1) / max_records in
+    let kept = ref [] in
+    let acked_acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acked_acc := !acked_acc +. records.(i).Record.acked_bytes;
+      if i mod stride = stride - 1 || i = n - 1 then begin
+        kept := { records.(i) with Record.acked_bytes = !acked_acc } :: !kept;
+        acked_acc := 0.0
+      end
+    done;
+    { seg with records = Array.of_list (List.rev !kept) }
+  end

@@ -1,0 +1,1 @@
+lib/util/floatx.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/resample.ml: Array Float

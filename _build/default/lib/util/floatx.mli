@@ -1,0 +1,22 @@
+(** Small float helpers shared across the pipeline. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Combined absolute/relative tolerance (default 1e-9). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+val is_finite : float -> bool
+
+val safe_div : float -> float -> float
+(** Division by (near-)zero yields 0 — a degenerate candidate handler
+    must score badly, not poison a replay with infinities. *)
+
+val cbrt : float -> float
+(** Real cube root, defined for negative inputs. *)
+
+val log_grid : lo:float -> hi:float -> n:int -> float array
+(** [n] log-spaced points in [[lo, hi]] (Figure 3's error sweep). *)
+
+val lin_grid : lo:float -> hi:float -> n:int -> float array
+
+val fmod : float -> float -> float
+(** Positive floating-point modulo; result in [[0, |b|)); 0 when [b = 0]. *)

@@ -1,0 +1,13 @@
+(** Time-series resampling: converting irregular per-ACK (time, value)
+    traces into fixed-rate series the distance metrics can compare. *)
+
+val linear : times:float array -> values:float array -> n:int -> float array
+(** Linear interpolation onto [n] evenly spaced points spanning the time
+    range. Requires [times] increasing and non-empty. *)
+
+val hold : times:float array -> values:float array -> n:int -> float array
+(** Zero-order hold — the value at [t] is the last sample at or before
+    [t], matching the step-function semantics of a congestion window. *)
+
+val downsample : 'a array -> int -> 'a array
+(** Evenly strided subset keeping first and last elements. *)

@@ -1,0 +1,99 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the pipeline flows through this module so that every
+    experiment is reproducible from a seed. The generator is xoshiro256**
+    (Blackman & Vigna), seeded through splitmix64 as its authors
+    recommend. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* Core xoshiro256** step: returns the next 64-bit output. *)
+let next64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+(** [int t n] is uniform in [0, n-1]. Requires [n > 0]. *)
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit unsigned
+     value would wrap negative through Int64.to_int. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  bits mod n
+
+(** [bool t] is a fair coin flip. *)
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(** [normal t ~mean ~stddev] samples a Gaussian via Box–Muller. *)
+let normal t ~mean ~stddev =
+  let u1 = Stdlib.max 1e-12 (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+(** [exponential t ~rate] samples Exp(rate). Requires [rate > 0]. *)
+let exponential t ~rate =
+  assert (rate > 0.0);
+  let u = Stdlib.max 1e-12 (float t) in
+  -.log u /. rate
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(** [choice t a] is a uniformly random element of the non-empty array [a]. *)
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+(** [sample_without_replacement t a k] picks [k] distinct elements. *)
+let sample_without_replacement t a k =
+  let n = Array.length a in
+  assert (k <= n);
+  let copy = Array.copy a in
+  shuffle t copy;
+  Array.sub copy 0 k
+
+(** [split t] derives an independent generator; used to hand deterministic
+    streams to parallel workers. *)
+let split t =
+  let seed = Int64.to_int (next64 t) land max_int in
+  create seed

@@ -1,0 +1,124 @@
+(** Streaming and batch descriptive statistics.
+
+    The classifier features (slope constancy, convexity, pulse counting) and
+    the evaluation harness both need robust summary statistics; everything
+    here is numerically careful (Welford updates, sorted-copy quantiles). *)
+
+type accumulator = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+let accumulator () =
+  { n = 0; mean = 0.0; m2 = 0.0; minimum = infinity; maximum = neg_infinity }
+
+(* Welford's online update: numerically stable single-pass variance. *)
+let add acc x =
+  acc.n <- acc.n + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+  if x < acc.minimum then acc.minimum <- x;
+  if x > acc.maximum then acc.maximum <- x
+
+let count acc = acc.n
+let mean_of acc = if acc.n = 0 then nan else acc.mean
+
+let variance_of acc =
+  if acc.n < 2 then 0.0 else acc.m2 /. float_of_int (acc.n - 1)
+
+let stddev_of acc = sqrt (variance_of acc)
+let min_of acc = acc.minimum
+let max_of acc = acc.maximum
+
+let of_array xs =
+  let acc = accumulator () in
+  Array.iter (add acc) xs;
+  acc
+
+(** [mean xs] of a non-empty array. *)
+let mean xs = mean_of (of_array xs)
+
+let variance xs = variance_of (of_array xs)
+let stddev xs = stddev_of (of_array xs)
+
+(** [quantile xs q] is the linear-interpolation quantile, [q] in [0, 1]. *)
+let quantile xs q =
+  let n = Array.length xs in
+  assert (n > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = quantile xs 0.5
+
+(** [linear_regression xs ys] is [(slope, intercept)] of the least-squares
+    line through the points. Requires equal non-zero lengths. *)
+let linear_regression xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n > 0);
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    den := !den +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  let slope = if !den = 0.0 then 0.0 else !num /. !den in
+  (slope, my -. (slope *. mx))
+
+(** [pearson xs ys] is the Pearson correlation coefficient, or 0 when either
+    series is constant. *)
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n > 1);
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+(** [ewma alpha xs] is the exponentially weighted moving average series with
+    smoothing factor [alpha] in (0, 1]. *)
+let ewma alpha xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n xs.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- (alpha *. xs.(i)) +. ((1.0 -. alpha) *. out.(i - 1))
+    done;
+    out
+  end
+
+(** [diff xs] is the first-difference series (length [n-1]). *)
+let diff xs =
+  let n = Array.length xs in
+  if n <= 1 then [||] else Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i))
+
+(** [argmin f xs] is the index minimizing [f xs.(i)] over a non-empty
+    array. *)
+let argmin f xs =
+  assert (Array.length xs > 0);
+  let best = ref 0 and best_v = ref (f xs.(0)) in
+  for i = 1 to Array.length xs - 1 do
+    let v = f xs.(i) in
+    if v < !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best

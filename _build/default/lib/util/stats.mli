@@ -1,0 +1,39 @@
+(** Streaming and batch descriptive statistics (numerically careful:
+    Welford updates, sorted-copy quantiles). *)
+
+type accumulator
+
+val accumulator : unit -> accumulator
+val add : accumulator -> float -> unit
+val count : accumulator -> int
+val mean_of : accumulator -> float
+val variance_of : accumulator -> float
+(** Sample variance (n-1 denominator); 0 below two samples. *)
+
+val stddev_of : accumulator -> float
+val min_of : accumulator -> float
+val max_of : accumulator -> float
+val of_array : float array -> accumulator
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** Linear-interpolation quantile, [q] in [0, 1]. Non-empty input. *)
+
+val median : float array -> float
+
+val linear_regression : float array -> float array -> float * float
+(** Least-squares [(slope, intercept)]. Equal non-zero lengths. *)
+
+val pearson : float array -> float array -> float
+(** Correlation coefficient; 0 when either series is constant. *)
+
+val ewma : float -> float array -> float array
+(** [ewma alpha xs] — exponentially weighted moving average. *)
+
+val diff : float array -> float array
+(** First differences (length n-1). *)
+
+val argmin : ('a -> float) -> 'a array -> int

@@ -1,0 +1,1 @@
+test/test_abagnale.ml: Alcotest Test_cca Test_classifier Test_core Test_distance Test_dsl Test_enum Test_netsim Test_sat Test_trace Test_util

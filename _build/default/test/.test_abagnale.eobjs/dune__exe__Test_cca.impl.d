@@ -1,0 +1,1 @@
+test/test_cca.ml: Abg_cca Abg_netsim Alcotest Float List

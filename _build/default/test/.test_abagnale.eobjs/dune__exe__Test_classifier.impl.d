@@ -1,0 +1,1 @@
+test/test_classifier.ml: Abg_cca Abg_classifier Abg_dsl Abg_netsim Abg_trace Alcotest Array Dsl_hint Float Gordon Hashtbl List Option Printf String

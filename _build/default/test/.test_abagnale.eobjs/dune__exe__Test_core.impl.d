@@ -1,0 +1,1 @@
+test/test_core.ml: Abg_cca Abg_core Abg_distance Abg_dsl Abg_netsim Abg_trace Abg_util Alcotest Array Float Lazy List Option

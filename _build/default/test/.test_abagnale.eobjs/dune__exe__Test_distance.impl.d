@@ -1,0 +1,1 @@
+test/test_distance.ml: Abg_distance Abg_util Alcotest Array Float Gen List QCheck QCheck_alcotest String

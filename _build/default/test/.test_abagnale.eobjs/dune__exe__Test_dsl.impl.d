@@ -1,0 +1,1 @@
+test/test_dsl.ml: Abg_core Abg_dsl Abg_util Alcotest Catalog Component Env Eval Expr Float List Macro Pretty QCheck QCheck_alcotest Signal Simplify Sketch String Unit_check

@@ -1,0 +1,1 @@
+test/test_enum.ml: Abg_dsl Abg_enum Abg_util Alcotest Catalog Component Expr Fun List Macro Signal Simplify Unit_check

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Abg_cca Abg_netsim Alcotest Config Event_queue Gen List Option QCheck QCheck_alcotest Sim

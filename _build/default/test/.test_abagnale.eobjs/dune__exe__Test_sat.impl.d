@@ -1,0 +1,1 @@
+test/test_sat.ml: Abg_sat Abg_util Alcotest Array Cnf List QCheck QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_trace.ml: Abg_cca Abg_distance Abg_dsl Abg_netsim Abg_trace Abg_util Alcotest Array Filename Fun Lazy List Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Abg_parallel Abg_util Alcotest Array Float Floatx Gen List Printf QCheck QCheck_alcotest Resample Rng Stats Units

@@ -1,0 +1,6 @@
+(* Aggregated test entry point; suites are registered by module. *)
+let () =
+  Alcotest.run "abagnale"
+    (Test_util.suites @ Test_sat.suites @ Test_dsl.suites @ Test_netsim.suites
+   @ Test_cca.suites @ Test_trace.suites @ Test_distance.suites
+   @ Test_enum.suites @ Test_classifier.suites @ Test_core.suites)

@@ -1,0 +1,213 @@
+(* Tests for the CCA implementations: generic per-CCA invariants driven
+   through a synthetic ACK feeder, plus behavior checks per published
+   algorithm. *)
+
+let mss = 1448.0
+
+(* Feed [n] clean ACKs at a steady clock. *)
+let feed ?(rtt = 0.05) ?(acked = mss) ?(start = 0.0) cca n =
+  for i = 1 to n do
+    let now = start +. (float_of_int i *. 0.001) in
+    cca.Abg_cca.Cca_sig.on_ack ~now ~acked ~rtt
+  done
+
+let generic_invariants (name, ctor) =
+  Alcotest.test_case name `Quick (fun () ->
+      let cca = ctor ~mss () in
+      Alcotest.(check string) "name matches" name cca.Abg_cca.Cca_sig.name;
+      Alcotest.(check bool) "initial window positive" true
+        (cca.Abg_cca.Cca_sig.cwnd () > 0.0);
+      feed cca 500;
+      let w = cca.Abg_cca.Cca_sig.cwnd () in
+      Alcotest.(check bool) "window finite" true (Float.is_finite w);
+      Alcotest.(check bool) "window >= 1 MSS" true (w >= mss);
+      cca.Abg_cca.Cca_sig.on_loss ~now:1.0;
+      let w' = cca.Abg_cca.Cca_sig.cwnd () in
+      (* Fixed-window CCAs (student 4) legitimately sit at one MSS. *)
+      Alcotest.(check bool) "window after loss >= 1 MSS and finite" true
+        (Float.is_finite w' && w' >= mss))
+
+let test_reno_slow_start_doubles () =
+  let cca = Abg_cca.Reno.create ~mss () in
+  let w0 = cca.Abg_cca.Cca_sig.cwnd () in
+  (* One window's worth of ACKs in slow start: growth is capped at 2 MSS
+     per ACK (ABC) but at least one window. *)
+  feed cca 10;
+  let w1 = cca.Abg_cca.Cca_sig.cwnd () in
+  Alcotest.(check bool) "roughly doubled" true
+    (w1 >= w0 +. (9.0 *. mss) && w1 <= w0 +. (21.0 *. mss))
+
+let test_reno_halves_on_loss () =
+  let cca = Abg_cca.Reno.create ~mss () in
+  feed cca 200;
+  let before = cca.Abg_cca.Cca_sig.cwnd () in
+  cca.Abg_cca.Cca_sig.on_loss ~now:1.0;
+  Alcotest.(check (float 1.0)) "halved" (before /. 2.0)
+    (cca.Abg_cca.Cca_sig.cwnd ())
+
+let test_reno_congestion_avoidance_rate () =
+  let cca = Abg_cca.Reno.create ~mss () in
+  feed cca 100;
+  cca.Abg_cca.Cca_sig.on_loss ~now:0.5;
+  (* Now in CA: one window of ACKs grows the window by ~1 MSS. *)
+  let w = cca.Abg_cca.Cca_sig.cwnd () in
+  let acks_per_window = int_of_float (w /. mss) in
+  feed ~start:1.0 cca acks_per_window;
+  let w' = cca.Abg_cca.Cca_sig.cwnd () in
+  Alcotest.(check bool) "+~1 MSS per RTT" true
+    (w' -. w > 0.5 *. mss && w' -. w < 2.0 *. mss)
+
+let test_scalable_multiplicative_decrease () =
+  let cca = Abg_cca.Scalable.create ~mss () in
+  feed cca 300;
+  let before = cca.Abg_cca.Cca_sig.cwnd () in
+  cca.Abg_cca.Cca_sig.on_loss ~now:1.0;
+  Alcotest.(check (float 1.0)) "0.875 factor" (0.875 *. before)
+    (cca.Abg_cca.Cca_sig.cwnd ())
+
+let test_cubic_plateau_recovery () =
+  let cca = Abg_cca.Cubic.create ~mss () in
+  feed cca 300;
+  cca.Abg_cca.Cca_sig.on_loss ~now:0.5;
+  let after_loss = cca.Abg_cca.Cca_sig.cwnd () in
+  (* In CA the window climbs back toward w_max over time. *)
+  for i = 1 to 2000 do
+    cca.Abg_cca.Cca_sig.on_ack
+      ~now:(0.5 +. (float_of_int i *. 0.005))
+      ~acked:mss ~rtt:0.05
+  done;
+  Alcotest.(check bool) "recovers toward plateau" true
+    (cca.Abg_cca.Cca_sig.cwnd () > after_loss)
+
+let test_vegas_holds_when_queued () =
+  (* With RTT well above the base, Vegas must not keep growing. *)
+  let cca = Abg_cca.Vegas.create ~mss () in
+  feed ~rtt:0.05 cca 100;
+  cca.Abg_cca.Cca_sig.on_loss ~now:0.2;
+  (* Establish base RTT then inflate the delay. *)
+  for i = 1 to 100 do
+    cca.Abg_cca.Cca_sig.on_ack
+      ~now:(0.2 +. (float_of_int i *. 0.01))
+      ~acked:mss ~rtt:0.05
+  done;
+  let w = cca.Abg_cca.Cca_sig.cwnd () in
+  for i = 1 to 300 do
+    cca.Abg_cca.Cca_sig.on_ack
+      ~now:(1.2 +. (float_of_int i *. 0.01))
+      ~acked:mss ~rtt:0.15
+  done;
+  let w' = cca.Abg_cca.Cca_sig.cwnd () in
+  Alcotest.(check bool) "holds or shrinks under queueing" true (w' <= w +. mss)
+
+let test_westwood_bandwidth_backoff () =
+  let cca = Abg_cca.Westwood.create ~mss () in
+  (* ACK clock at ~289.6 kB/s with 50 ms RTT -> BDP ~ 14.5 kB. *)
+  for i = 1 to 500 do
+    cca.Abg_cca.Cca_sig.on_ack
+      ~now:(float_of_int i *. 0.005)
+      ~acked:mss ~rtt:0.05
+  done;
+  cca.Abg_cca.Cca_sig.on_loss ~now:2.6;
+  let w = cca.Abg_cca.Cca_sig.cwnd () in
+  Alcotest.(check bool) "backoff lands near bw*min_rtt" true
+    (w > 7_000.0 && w < 30_000.0)
+
+let test_htcp_alpha_grows_with_time () =
+  let cca = Abg_cca.Htcp.create ~mss () in
+  feed cca 100;
+  cca.Abg_cca.Cca_sig.on_loss ~now:0.1;
+  let w0 = cca.Abg_cca.Cca_sig.cwnd () in
+  (* Shortly after loss: Reno-rate growth. *)
+  for i = 1 to 50 do
+    cca.Abg_cca.Cca_sig.on_ack ~now:(0.1 +. (float_of_int i *. 0.002)) ~acked:mss ~rtt:0.05
+  done;
+  let early_growth = cca.Abg_cca.Cca_sig.cwnd () -. w0 in
+  (* Far past delta_l: each ACK adds much more. *)
+  let w1 = cca.Abg_cca.Cca_sig.cwnd () in
+  for i = 1 to 50 do
+    cca.Abg_cca.Cca_sig.on_ack ~now:(5.0 +. (float_of_int i *. 0.002)) ~acked:mss ~rtt:0.05
+  done;
+  let late_growth = cca.Abg_cca.Cca_sig.cwnd () -. w1 in
+  Alcotest.(check bool) "alpha accelerates" true (late_growth > 2.0 *. early_growth)
+
+let test_bbr_reaches_steady_state () =
+  let cfg = Abg_netsim.Config.make ~duration:15.0 ~bandwidth_mbps:10.0 ~rtt_ms:50.0 () in
+  let cca = Abg_cca.Bbr.create ~mss:cfg.Abg_netsim.Config.mss () in
+  let stats = Abg_netsim.Sim.run cfg cca in
+  let w = cca.Abg_cca.Cca_sig.cwnd () in
+  let bdp = Abg_netsim.Config.bdp cfg in
+  Alcotest.(check bool) "cwnd near 2x BDP" true (w > 1.0 *. bdp && w < 4.0 *. bdp);
+  Alcotest.(check bool) "utilized" true
+    (stats.Abg_netsim.Sim.delivered_bytes *. 8.0
+     /. (cfg.Abg_netsim.Config.bandwidth_bps *. 15.0)
+    > 0.8)
+
+let test_hybla_scales_with_rtt () =
+  (* Same wall-clock time, different RTTs: Hybla's growth should be far
+     less RTT-dependent than Reno's (per-ACK increase scaled by rho^2). *)
+  (* Hammer the window to the clamp floor first so both runs compare
+     growth from an identical base window. *)
+  let growth rtt =
+    let cca = Abg_cca.Hybla.create ~mss () in
+    feed ~rtt cca 100;
+    for _ = 1 to 30 do
+      cca.Abg_cca.Cca_sig.on_loss ~now:0.2
+    done;
+    let w = cca.Abg_cca.Cca_sig.cwnd () in
+    for i = 1 to 50 do
+      cca.Abg_cca.Cca_sig.on_ack ~now:(0.2 +. (float_of_int i *. 0.001)) ~acked:mss ~rtt
+    done;
+    cca.Abg_cca.Cca_sig.cwnd () -. w
+  in
+  Alcotest.(check bool) "high-RTT grows faster per ACK" true
+    (growth 0.1 > 2.0 *. growth 0.025)
+
+let test_ss_increment_cap () =
+  Alcotest.(check (float 1e-9)) "capped" (2.0 *. mss)
+    (Abg_cca.Cca_sig.ss_increment ~mss ~acked:(50.0 *. mss));
+  Alcotest.(check (float 1e-9)) "uncapped" mss
+    (Abg_cca.Cca_sig.ss_increment ~mss ~acked:mss)
+
+let test_registry_complete () =
+  Alcotest.(check int) "16 kernel CCAs" 16 (List.length Abg_cca.Registry.kernel);
+  Alcotest.(check int) "7 student CCAs" 7 (List.length Abg_cca.Registry.student);
+  Alcotest.(check bool) "find is case-insensitive" true
+    (Abg_cca.Registry.find "RENO" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Abg_cca.Registry.find "quic" = None)
+
+let test_student_fixed_windows () =
+  let s4 = Abg_cca.Student.student4 ~mss () in
+  let s5 = Abg_cca.Student.student5 ~mss () in
+  feed s4 100;
+  feed s5 100;
+  Alcotest.(check (float 1e-9)) "student4 = 1 MSS" mss (s4.Abg_cca.Cca_sig.cwnd ());
+  Alcotest.(check (float 1e-9)) "student5 = 2 MSS" (2.0 *. mss)
+    (s5.Abg_cca.Cca_sig.cwnd ())
+
+let test_student1_caps_at_88 () =
+  let s1 = Abg_cca.Student.student1 ~mss () in
+  feed s1 2000;
+  Alcotest.(check (float 1.0)) "caps at 88 MSS" (88.0 *. mss)
+    (s1.Abg_cca.Cca_sig.cwnd ())
+
+let suites =
+  [
+    ("cca.invariants", List.map generic_invariants Abg_cca.Registry.all);
+    ( "cca.behavior",
+      [
+        Alcotest.test_case "reno slow start" `Quick test_reno_slow_start_doubles;
+        Alcotest.test_case "reno loss halving" `Quick test_reno_halves_on_loss;
+        Alcotest.test_case "reno CA rate" `Quick test_reno_congestion_avoidance_rate;
+        Alcotest.test_case "scalable 0.875" `Quick test_scalable_multiplicative_decrease;
+        Alcotest.test_case "cubic plateau" `Quick test_cubic_plateau_recovery;
+        Alcotest.test_case "vegas holds" `Quick test_vegas_holds_when_queued;
+        Alcotest.test_case "westwood backoff" `Quick test_westwood_bandwidth_backoff;
+        Alcotest.test_case "htcp alpha schedule" `Quick test_htcp_alpha_grows_with_time;
+        Alcotest.test_case "bbr steady state" `Quick test_bbr_reaches_steady_state;
+        Alcotest.test_case "hybla rtt compensation" `Quick test_hybla_scales_with_rtt;
+        Alcotest.test_case "ss increment cap" `Quick test_ss_increment_cap;
+        Alcotest.test_case "registry" `Quick test_registry_complete;
+        Alcotest.test_case "student fixed windows" `Quick test_student_fixed_windows;
+        Alcotest.test_case "student1 cap" `Quick test_student1_caps_at_88;
+      ] );
+  ]

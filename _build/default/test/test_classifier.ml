@@ -1,0 +1,133 @@
+(* Tests for the classifiers and their feature extraction. Classification
+   runs real simulations, so these share one cached trace suite per CCA
+   and keep the scenario count small. *)
+
+let suite_for = Hashtbl.create 7
+
+let traces name =
+  match Hashtbl.find_opt suite_for name with
+  | Some t -> t
+  | None ->
+      let ctor = Option.get (Abg_cca.Registry.find name) in
+      (* Same probing grid as the classifier's references (a Gordon-style
+         tool controls its own bottleneck), but different seeds and
+         durations so the test never compares two identical runs. *)
+      let cfgs =
+        [ Abg_netsim.Config.make ~duration:18.0 ~seed:900 ~bandwidth_mbps:5.0
+            ~rtt_ms:10.0 ~ack_jitter:0.001 ();
+          Abg_netsim.Config.make ~duration:18.0 ~seed:901 ~bandwidth_mbps:10.0
+            ~rtt_ms:25.0 ~ack_jitter:0.001 ();
+          Abg_netsim.Config.make ~duration:18.0 ~seed:902 ~bandwidth_mbps:12.0
+            ~rtt_ms:50.0 ~ack_jitter:0.001 ();
+          Abg_netsim.Config.make ~duration:18.0 ~seed:903 ~bandwidth_mbps:15.0
+            ~rtt_ms:75.0 ~ack_jitter:0.001 () ]
+      in
+      let t = List.map (fun cfg -> Abg_trace.Trace.collect cfg ~name ctor) cfgs in
+      Hashtbl.replace suite_for name t;
+      t
+
+let test_features_sane () =
+  let f = Abg_classifier.Features.extract (traces "reno") in
+  Alcotest.(check bool) "decrease factor in (0,1]" true
+    (f.Abg_classifier.Features.decrease_factor > 0.0
+    && f.Abg_classifier.Features.decrease_factor <= 1.2);
+  Alcotest.(check bool) "flatness in [0,1]" true
+    (f.Abg_classifier.Features.flatness >= 0.0
+    && f.Abg_classifier.Features.flatness <= 1.0);
+  Alcotest.(check bool) "mean window positive" true
+    (f.Abg_classifier.Features.mean_cwnd_mss > 0.0);
+  Alcotest.(check bool) "to_string total" true
+    (String.length (Abg_classifier.Features.to_string f) > 0)
+
+let test_features_vector_finite () =
+  List.iter
+    (fun name ->
+      let v = Abg_classifier.Features.to_vector (Abg_classifier.Features.extract (traces name)) in
+      Array.iter
+        (fun x -> Alcotest.(check bool) (name ^ " finite") true (Float.is_finite x))
+        v)
+    [ "reno"; "bbr"; "vegas" ]
+
+let test_features_distinguish_families () =
+  (* Vegas sits flat; Reno saws. The flatness feature must separate
+     them. *)
+  let f_reno = Abg_classifier.Features.extract (traces "reno") in
+  let f_vegas = Abg_classifier.Features.extract (traces "vegas") in
+  Alcotest.(check bool) "vegas flatter than reno" true
+    (f_vegas.Abg_classifier.Features.flatness
+    > f_reno.Abg_classifier.Features.flatness)
+
+let test_gordon_rank_nonempty () =
+  let ranked = Abg_classifier.Gordon.rank (traces "reno") in
+  Alcotest.(check int) "all known CCAs ranked"
+    (List.length Abg_classifier.Gordon.known_set)
+    (List.length ranked);
+  let ds = List.map snd ranked in
+  Alcotest.(check bool) "sorted" true (List.sort compare ds = ds)
+
+let test_gordon_self_identification () =
+  (* On fresh traces of CCAs with distinctive signatures, the closest
+     known CCA should be the right family (exact identity for reno/bbr). *)
+  List.iter
+    (fun (name, acceptable) ->
+      match Abg_classifier.Gordon.rank (traces name) with
+      | (best, _) :: _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s -> %s acceptable" name best)
+            true (List.mem best acceptable)
+      | [] -> Alcotest.fail "empty ranking")
+    [ ("reno", [ "reno"; "yeah"; "westwood"; "veno"; "illinois" ]);
+      ("bbr", [ "bbr" ]);
+      ("vegas", [ "vegas"; "veno"; "illinois"; "cubic" ]) ]
+
+let test_gordon_verdict_to_string () =
+  Alcotest.(check string) "known" "reno"
+    (Abg_classifier.Gordon.verdict_to_string (Abg_classifier.Gordon.Known "reno"));
+  Alcotest.(check string) "unknown close" "Unknown (vegas)"
+    (Abg_classifier.Gordon.verdict_to_string
+       (Abg_classifier.Gordon.Unknown (Some "vegas")));
+  Alcotest.(check string) "unknown" "Unknown"
+    (Abg_classifier.Gordon.verdict_to_string (Abg_classifier.Gordon.Unknown None))
+
+let test_ccanalyzer_ranks_all () =
+  let result = Abg_classifier.Ccanalyzer.classify (traces "student4") in
+  Alcotest.(check bool) "ranks many" true
+    (List.length result.Abg_classifier.Ccanalyzer.closest >= 10);
+  match Abg_classifier.Ccanalyzer.closest_two result with
+  | Some (a, b) -> Alcotest.(check bool) "two distinct" true (a <> b)
+  | None -> Alcotest.fail "expected two closest"
+
+let test_dsl_hint_families () =
+  let open Abg_classifier in
+  Alcotest.(check string) "reno family" "reno"
+    (Dsl_hint.choose (Gordon.Known "westwood")).Abg_dsl.Catalog.name;
+  Alcotest.(check string) "cubic family" "cubic"
+    (Dsl_hint.choose (Gordon.Known "bic")).Abg_dsl.Catalog.name;
+  Alcotest.(check string) "bbr family" "delay"
+    (Dsl_hint.choose (Gordon.Known "bbr")).Abg_dsl.Catalog.name;
+  Alcotest.(check string) "vegas family" "vegas"
+    (Dsl_hint.choose (Gordon.Known "veno")).Abg_dsl.Catalog.name;
+  Alcotest.(check string) "unknown-with-hint" "vegas"
+    (Dsl_hint.choose (Gordon.Unknown (Some "nv"))).Abg_dsl.Catalog.name;
+  Alcotest.(check string) "unknown fallback" "delay"
+    (Dsl_hint.choose (Gordon.Unknown None)).Abg_dsl.Catalog.name
+
+let suites =
+  [
+    ( "classifier.features",
+      [
+        Alcotest.test_case "sane ranges" `Quick test_features_sane;
+        Alcotest.test_case "vector finite" `Quick test_features_vector_finite;
+        Alcotest.test_case "distinguishes families" `Quick test_features_distinguish_families;
+      ] );
+    ( "classifier.gordon",
+      [
+        Alcotest.test_case "rank shape" `Quick test_gordon_rank_nonempty;
+        Alcotest.test_case "self identification" `Slow test_gordon_self_identification;
+        Alcotest.test_case "verdict strings" `Quick test_gordon_verdict_to_string;
+      ] );
+    ( "classifier.ccanalyzer",
+      [ Alcotest.test_case "ranks all" `Slow test_ccanalyzer_ranks_all ] );
+    ( "classifier.dsl_hint",
+      [ Alcotest.test_case "family mapping" `Quick test_dsl_hint_families ] );
+  ]

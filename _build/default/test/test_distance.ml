@@ -1,0 +1,167 @@
+(* Tests for the distance metrics. *)
+
+let check_close msg a b = Alcotest.(check (float 1e-6)) msg a b
+
+let test_dtw_identical () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "zero distance" 0.0 (Abg_distance.Dtw.distance a a)
+
+let test_dtw_known_value () =
+  (* Align [1,2] against [1,2,2]: the extra 2 matches for free. *)
+  check_close "warped zero" 0.0
+    (Abg_distance.Dtw.distance [| 1.0; 2.0 |] [| 1.0; 2.0; 2.0 |])
+
+let test_dtw_shift_tolerance () =
+  (* A one-step phase shift of a pulse: DTW forgives it, Euclidean pays
+     full price — the Figure 3/4 rationale. *)
+  let a = [| 0.0; 0.0; 5.0; 0.0; 0.0; 0.0 |] in
+  let b = [| 0.0; 0.0; 0.0; 5.0; 0.0; 0.0 |] in
+  let d_dtw = Abg_distance.Dtw.distance a b in
+  let d_euc = Abg_distance.Pointwise.euclidean a b in
+  Alcotest.(check bool) "dtw forgives shift" true (d_dtw < d_euc)
+
+let test_dtw_band_matches_full_when_wide () =
+  let a = Array.init 30 (fun i -> sin (float_of_int i /. 3.0)) in
+  let b = Array.init 30 (fun i -> cos (float_of_int i /. 4.0)) in
+  check_close "wide band = exact" (Abg_distance.Dtw.distance a b)
+    (Abg_distance.Dtw.distance ~band:30 a b)
+
+let test_dtw_empty () =
+  Alcotest.(check bool) "empty = inf" true
+    (Abg_distance.Dtw.distance [||] [| 1.0 |] = infinity)
+
+let test_dtw_path_endpoints () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 1.0; 3.0 |] in
+  let d, path = Abg_distance.Dtw.path a b in
+  Alcotest.(check bool) "distance consistent" true
+    (Abg_util.Floatx.approx_equal d (Abg_distance.Dtw.distance a b));
+  Alcotest.(check (pair int int)) "starts at origin" (0, 0) (List.hd path);
+  Alcotest.(check (pair int int)) "ends at corner" (2, 1)
+    (List.nth path (List.length path - 1))
+
+let test_euclidean_known () =
+  check_close "3-4-5" 5.0
+    (Abg_distance.Pointwise.euclidean [| 0.0; 0.0 |] [| 3.0; 4.0 |])
+
+let test_manhattan_known () =
+  check_close "sum abs" 7.0
+    (Abg_distance.Pointwise.manhattan [| 0.0; 0.0 |] [| 3.0; 4.0 |])
+
+let test_frechet_identical () =
+  let a = [| 1.0; 5.0; 2.0 |] in
+  check_close "zero" 0.0 (Abg_distance.Frechet.distance a a)
+
+let test_frechet_constant_offset () =
+  let a = [| 1.0; 2.0; 3.0 |] in
+  let b = Array.map (fun x -> x +. 2.0) a in
+  check_close "offset = max gap" 2.0 (Abg_distance.Frechet.distance a b)
+
+let test_series_prepare_normalizes () =
+  let truth = [| 10.0; 10.0; 10.0; 10.0 |] in
+  let cand = [| 20.0; 20.0; 20.0; 20.0 |] in
+  let t', c' = Abg_distance.Series.prepare ~length:4 ~truth ~candidate:cand () in
+  check_close "truth scaled to 1" 1.0 t'.(0);
+  check_close "candidate scaled by truth mean" 2.0 c'.(0)
+
+let test_series_prepare_resamples () =
+  let truth = Array.init 100 float_of_int in
+  let cand = Array.init 17 float_of_int in
+  let t', c' = Abg_distance.Series.prepare ~length:32 ~truth ~candidate:cand () in
+  Alcotest.(check int) "truth length" 32 (Array.length t');
+  Alcotest.(check int) "candidate length" 32 (Array.length c')
+
+let test_metric_dispatch () =
+  List.iter
+    (fun kind ->
+      let name = Abg_distance.Metric.name kind in
+      (match Abg_distance.Metric.of_name name with
+      | Some k -> Alcotest.(check bool) "roundtrip" true (k = kind)
+      | None -> Alcotest.fail "name lookup");
+      let truth = Array.init 50 (fun i -> 100.0 +. float_of_int i) in
+      let d_same = Abg_distance.Metric.compute kind ~truth ~candidate:truth in
+      check_close (name ^ " self-distance") 0.0 d_same)
+    Abg_distance.Metric.all
+
+let test_metric_orders_candidates () =
+  (* A close candidate must beat a far one under every metric. *)
+  let truth = Array.init 64 (fun i -> 100.0 +. (2.0 *. float_of_int i)) in
+  let near = Array.map (fun v -> v *. 1.05) truth in
+  let far = Array.map (fun v -> v *. 3.0) truth in
+  List.iter
+    (fun kind ->
+      let d_near = Abg_distance.Metric.compute kind ~truth ~candidate:near in
+      let d_far = Abg_distance.Metric.compute kind ~truth ~candidate:far in
+      Alcotest.(check bool)
+        (Abg_distance.Metric.name kind ^ " orders correctly")
+        true (d_near < d_far))
+    Abg_distance.Metric.all
+
+let arb_series =
+  QCheck.(
+    make
+      ~print:(fun a -> String.concat ";" (List.map string_of_float (Array.to_list a)))
+      Gen.(map Array.of_list (list_size (int_range 2 40) (float_range 0.0 100.0))))
+
+let prop_dtw_nonnegative =
+  QCheck.Test.make ~name:"dtw >= 0" ~count:200 (QCheck.pair arb_series arb_series)
+    (fun (a, b) -> Abg_distance.Dtw.distance a b >= 0.0)
+
+let prop_dtw_le_manhattan =
+  (* On equal-length series the diagonal path costs exactly the Manhattan
+     distance, so the optimal DTW alignment can never cost more. *)
+  QCheck.Test.make ~name:"dtw <= manhattan (equal lengths)" ~count:200
+    (QCheck.pair arb_series arb_series) (fun (a, b) ->
+      let n = min (Array.length a) (Array.length b) in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      Abg_distance.Dtw.distance a b
+      <= Abg_distance.Pointwise.manhattan a b +. 1e-9)
+
+let prop_frechet_le_max_gap =
+  QCheck.Test.make ~name:"frechet <= max pointwise gap (equal lengths)"
+    ~count:200 (QCheck.pair arb_series arb_series) (fun (a, b) ->
+      let n = min (Array.length a) (Array.length b) in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      let max_gap = ref 0.0 in
+      Array.iteri (fun i x -> max_gap := Float.max !max_gap (Float.abs (x -. b.(i)))) a;
+      Abg_distance.Frechet.distance a b <= !max_gap +. 1e-9)
+
+let prop_band_lower_bounds_exact =
+  QCheck.Test.make ~name:"banded dtw upper-bounds exact dtw" ~count:200
+    (QCheck.pair arb_series arb_series) (fun (a, b) ->
+      Abg_distance.Dtw.distance ~band:3 a b
+      >= Abg_distance.Dtw.distance a b -. 1e-9)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "distance.dtw",
+      [
+        Alcotest.test_case "identical" `Quick test_dtw_identical;
+        Alcotest.test_case "free repeat" `Quick test_dtw_known_value;
+        Alcotest.test_case "shift tolerance" `Quick test_dtw_shift_tolerance;
+        Alcotest.test_case "band wide = exact" `Quick test_dtw_band_matches_full_when_wide;
+        Alcotest.test_case "empty" `Quick test_dtw_empty;
+        Alcotest.test_case "path endpoints" `Quick test_dtw_path_endpoints;
+      ]
+      @ qcheck [ prop_dtw_nonnegative; prop_dtw_le_manhattan; prop_band_lower_bounds_exact ]
+    );
+    ( "distance.pointwise",
+      [
+        Alcotest.test_case "euclidean" `Quick test_euclidean_known;
+        Alcotest.test_case "manhattan" `Quick test_manhattan_known;
+      ] );
+    ( "distance.frechet",
+      [
+        Alcotest.test_case "identical" `Quick test_frechet_identical;
+        Alcotest.test_case "offset" `Quick test_frechet_constant_offset;
+      ]
+      @ qcheck [ prop_frechet_le_max_gap ] );
+    ( "distance.metric",
+      [
+        Alcotest.test_case "prepare normalizes" `Quick test_series_prepare_normalizes;
+        Alcotest.test_case "prepare resamples" `Quick test_series_prepare_resamples;
+        Alcotest.test_case "dispatch" `Quick test_metric_dispatch;
+        Alcotest.test_case "orders candidates" `Quick test_metric_orders_candidates;
+      ] );
+  ]

@@ -1,0 +1,381 @@
+(* Tests for the DSL: evaluation, pretty-printing, simplification, unit
+   checking, sketches and the sub-DSL catalog. *)
+
+open Abg_dsl
+open Expr
+
+let env = Env.example
+let check_close msg a b = Alcotest.(check (float 1e-6)) msg a b
+let c v = Const v
+let ri = Macro Macro.Reno_inc
+let vd = Macro Macro.Vegas_diff
+
+(* -- Eval -- *)
+
+let test_eval_leaves () =
+  check_close "cwnd" env.Env.cwnd (Eval.num env Cwnd);
+  check_close "mss" env.Env.mss (Eval.num env (Signal Signal.Mss));
+  check_close "const" 3.5 (Eval.num env (c 3.5))
+
+let test_eval_arith () =
+  check_close "add" 5.0 (Eval.num env (Add (c 2.0, c 3.0)));
+  check_close "sub" (-1.0) (Eval.num env (Sub (c 2.0, c 3.0)));
+  check_close "mul" 6.0 (Eval.num env (Mul (c 2.0, c 3.0)));
+  check_close "div" 1.5 (Eval.num env (Div (c 3.0, c 2.0)))
+
+let test_eval_div_zero () =
+  check_close "safe div" 0.0 (Eval.num env (Div (c 3.0, c 0.0)))
+
+let test_eval_cube_cbrt () =
+  check_close "cube" 27.0 (Eval.num env (Cube (c 3.0)));
+  check_close "cbrt" 3.0 (Eval.num env (Cbrt (c 27.0)))
+
+let test_eval_ite () =
+  check_close "then" 1.0 (Eval.num env (Ite (Lt (c 1.0, c 2.0), c 1.0, c 9.0)));
+  check_close "else" 9.0 (Eval.num env (Ite (Gt (c 1.0, c 2.0), c 1.0, c 9.0)))
+
+let test_eval_modeq () =
+  Alcotest.(check bool) "8 % 2 = 0" true (Eval.boolean env (Mod_eq (c 8.0, c 2.0)));
+  Alcotest.(check bool) "7 % 2 <> 0" false (Eval.boolean env (Mod_eq (c 7.0, c 2.0)))
+
+let test_eval_macros () =
+  check_close "reno-inc"
+    (env.Env.acked_bytes *. env.Env.mss /. env.Env.cwnd)
+    (Eval.num env ri);
+  check_close "vegas-diff"
+    ((env.Env.rtt -. env.Env.min_rtt) *. env.Env.ack_rate /. env.Env.mss)
+    (Eval.num env vd);
+  check_close "htcp-diff"
+    ((env.Env.rtt -. env.Env.min_rtt) /. env.Env.max_rtt)
+    (Eval.num env (Macro Macro.Htcp_diff));
+  check_close "rtts-since-loss"
+    (env.Env.time_since_loss /. env.Env.rtt)
+    (Eval.num env (Macro Macro.Rtts_since_loss))
+
+let test_eval_hole_raises () =
+  Alcotest.check_raises "unfilled hole" (Eval.Unfilled_hole 0) (fun () ->
+      ignore (Eval.num env (Hole 0)))
+
+let test_handler_floor () =
+  (* A handler can never propose a window below one MSS. *)
+  check_close "floored" env.Env.mss (Eval.handler (c 1.0) env);
+  check_close "nan floored" env.Env.mss
+    (Eval.handler (Div (c 0.0, c 0.0)) env)
+
+(* -- Expr structure -- *)
+
+let reno_handler = Add (Cwnd, Mul (c 0.7, ri))
+
+let test_size_depth () =
+  Alcotest.(check int) "size" 5 (size reno_handler);
+  Alcotest.(check int) "depth" 3 (depth reno_handler);
+  Alcotest.(check int) "leaf depth" 1 (depth Cwnd)
+
+let test_equal_num () =
+  Alcotest.(check bool) "equal" true (equal_num reno_handler reno_handler);
+  Alcotest.(check bool) "different" false (equal_num reno_handler Cwnd)
+
+let test_holes_fill () =
+  let sk = Add (Hole 0, Mul (Hole 1, Hole 0)) in
+  Alcotest.(check (list int)) "holes" [ 0; 1 ] (holes sk);
+  let filled = fill sk (fun i -> float_of_int (i + 1)) in
+  check_close "filled eval" 3.0 (Eval.num env filled)
+
+let test_signals_through_macros () =
+  let sigs = signals (Add (Cwnd, vd)) in
+  Alcotest.(check bool) "rtt via macro" true (List.mem Signal.Rtt sigs);
+  Alcotest.(check bool) "ack-rate via macro" true (List.mem Signal.Ack_rate sigs)
+
+(* -- Pretty -- *)
+
+let test_pretty_reno () =
+  Alcotest.(check string) "reno" "CWND + .7 * reno-inc" (Pretty.num reno_handler)
+
+let test_pretty_ite () =
+  Alcotest.(check string) "vegas-style"
+    "CWND + ({vegas-diff < 1} ? .7 * reno-inc : 0)"
+    (Pretty.num (Add (Cwnd, Ite (Lt (vd, c 1.0), Mul (c 0.7, ri), c 0.0))))
+
+let test_pretty_constants () =
+  Alcotest.(check string) "integer" "8" (Pretty.const_to_string 8.0);
+  Alcotest.(check string) "leading dot" ".7" (Pretty.const_to_string 0.7);
+  Alcotest.(check string) "negative dot" "-.7" (Pretty.const_to_string (-0.7));
+  Alcotest.(check string) "plain" "2.05" (Pretty.const_to_string 2.05)
+
+let test_pretty_precedence () =
+  Alcotest.(check string) "paren" "(1 + 2) * CWND"
+    (Pretty.num (Mul (Add (c 1.0, c 2.0), Cwnd)))
+
+(* -- Simplify -- *)
+
+let simp = Simplify.simplify
+
+let test_simplify_folding () =
+  Alcotest.(check bool) "const fold" true (equal_num (c 5.0) (simp (Add (c 2.0, c 3.0))));
+  Alcotest.(check bool) "mul by zero" true (equal_num (c 0.0) (simp (Mul (Cwnd, c 0.0))))
+
+let test_simplify_identities () =
+  Alcotest.(check bool) "x+0" true (equal_num Cwnd (simp (Add (Cwnd, c 0.0))));
+  Alcotest.(check bool) "1*x" true (equal_num Cwnd (simp (Mul (c 1.0, Cwnd))));
+  Alcotest.(check bool) "x/1" true (equal_num Cwnd (simp (Div (Cwnd, c 1.0))));
+  Alcotest.(check bool) "x-x" true (equal_num (c 0.0) (simp (Sub (ri, ri))));
+  Alcotest.(check bool) "x/x" true (equal_num (c 1.0) (simp (Div (ri, ri))))
+
+let test_simplify_cancellation () =
+  (* a / (a / b) = b — the smuggled-identity pattern. *)
+  Alcotest.(check bool) "a/(a/b)" true
+    (equal_num Cwnd (simp (Div (ri, Div (ri, Cwnd)))));
+  Alcotest.(check bool) "a*(b/a)" true
+    (equal_num Cwnd (simp (Mul (ri, Div (Cwnd, ri)))));
+  Alcotest.(check bool) "(a+b)-a" true
+    (equal_num Cwnd (simp (Sub (Add (ri, Cwnd), ri))));
+  Alcotest.(check bool) "a+(b-a)" true
+    (equal_num Cwnd (simp (Add (ri, Sub (Cwnd, ri)))))
+
+let test_simplify_ite () =
+  Alcotest.(check bool) "equal branches" true
+    (equal_num ri (simp (Ite (Lt (Cwnd, ri), ri, ri))));
+  Alcotest.(check bool) "known condition" true
+    (equal_num Cwnd (simp (Ite (Lt (c 1.0, c 2.0), Cwnd, ri))));
+  Alcotest.(check bool) "x<x false" true
+    (equal_num ri (simp (Ite (Lt (Cwnd, Cwnd), Cwnd, ri))))
+
+let test_simplify_cube_cbrt_inverse () =
+  Alcotest.(check bool) "cbrt(cube x)" true (equal_num Cwnd (simp (Cbrt (Cube Cwnd))));
+  Alcotest.(check bool) "cube(cbrt x)" true (equal_num Cwnd (simp (Cube (Cbrt Cwnd))))
+
+let test_is_simplifiable () =
+  Alcotest.(check bool) "reducible" true
+    (Simplify.is_simplifiable (Div (ri, Div (ri, Cwnd))));
+  Alcotest.(check bool) "reno handler is minimal" false
+    (Simplify.is_simplifiable reno_handler);
+  (* The paper's Student-5 limitation: a semantically vacuous conditional
+     is NOT caught without interval reasoning (§5.6). *)
+  let vacuous = Ite (Lt (Div (vd, Signal Signal.Min_rtt), c 5.0), Cwnd, ri) in
+  Alcotest.(check bool) "student-5 conditional survives" false
+    (Simplify.is_simplifiable vacuous)
+
+(* -- Unit check -- *)
+
+let test_units_reno () =
+  Alcotest.(check bool) "reno handler is bytes" true
+    (Unit_check.check reno_handler ~expected:Abg_util.Units.bytes)
+
+let test_units_reject_mixed_add () =
+  Alcotest.(check bool) "cwnd + rtt rejected" false
+    (Unit_check.check (Add (Cwnd, Signal Signal.Rtt))
+       ~expected:Abg_util.Units.bytes)
+
+let test_units_constant_per_second () =
+  (* Hybla's 8 * RTT * reno-inc: the 8 must act as 1/s. *)
+  let hybla = Add (Cwnd, Mul (Mul (c 8.0, Signal Signal.Rtt), ri)) in
+  Alcotest.(check bool) "hybla accepted" true
+    (Unit_check.check hybla ~expected:Abg_util.Units.bytes)
+
+let test_units_constant_not_bytes () =
+  (* 8 + reno-inc needs a bytes-valued constant: rejected. *)
+  Alcotest.(check bool) "const can't be bytes" false
+    (Unit_check.check (Add (c 8.0, ri)) ~expected:Abg_util.Units.bytes)
+
+let test_units_rate_times_time () =
+  let bdp = Mul (Signal Signal.Ack_rate, Signal Signal.Min_rtt) in
+  Alcotest.(check bool) "rate * time = bytes" true
+    (Unit_check.check bdp ~expected:Abg_util.Units.bytes)
+
+let test_units_modeq_exempt () =
+  (* The paper's synthesized BBR handler compares CWND % 2.7. *)
+  let e = Ite (Mod_eq (Cwnd, c 2.7), Mul (c 2.05, Cwnd), Signal Signal.Mss) in
+  Alcotest.(check bool) "modeq exempt" true
+    (Unit_check.check e ~expected:Abg_util.Units.bytes)
+
+let test_units_cubic_limitation () =
+  (* cbrt of a bytes quantity cannot be typed in the integer domain. *)
+  Alcotest.(check bool) "cbrt(wmax) untypable" false
+    (Unit_check.check (Cbrt (Signal Signal.Wmax))
+       ~expected:{ Abg_util.Units.bytes = 1; seconds = 0 })
+
+let test_fine_tuned_tables_unit_check () =
+  (* Every paper expression except Cubic's (unit checking disabled for the
+     cubic DSL) must type as bytes. *)
+  List.iter
+    (fun (name, h) ->
+      if not (String.equal name "cubic") then
+        Alcotest.(check bool) (name ^ " types as bytes") true
+          (Unit_check.check h ~expected:Abg_util.Units.bytes))
+    Abg_core.Fine_tuned.fine_tuned
+
+(* -- Sketch -- *)
+
+let test_sketch_completions_count () =
+  let sk = Add (Hole 0, Mul (Hole 1, ri)) in
+  Alcotest.(check int) "pool^k" 25 (Sketch.num_completions sk ~pool_size:5)
+
+let test_sketch_all_completions () =
+  let sk = Mul (Hole 0, Cwnd) in
+  let pool = [| 1.0; 2.0; 3.0 |] in
+  let all = Sketch.all_completions sk ~pool ~max_count:10 in
+  Alcotest.(check int) "3 completions" 3 (List.length all);
+  let values =
+    List.map (fun h -> Eval.num env h /. env.Env.cwnd) all |> List.sort compare
+  in
+  Alcotest.(check (list (float 1e-9))) "values" [ 1.0; 2.0; 3.0 ] values
+
+let test_sketch_sample_completions () =
+  let rng = Abg_util.Rng.create 3 in
+  let sk = Mul (Hole 0, Cwnd) in
+  let samples = Sketch.sample_completions rng sk ~pool:Catalog.default_constants ~n:7 in
+  Alcotest.(check int) "7 samples" 7 (List.length samples);
+  List.iter
+    (fun h -> Alcotest.(check (list int)) "no holes left" [] (holes h))
+    samples
+
+let test_sketch_operator_set () =
+  let ops = Sketch.operator_set (Add (Cwnd, Ite (Lt (vd, c 1.0), ri, c 0.0))) in
+  Alcotest.(check int) "3 ops" 3 (List.length ops);
+  Alcotest.(check bool) "has ite" true (List.exists (Component.equal Component.Op_ite) ops)
+
+(* -- Catalog / components -- *)
+
+let test_catalog_lookup () =
+  Alcotest.(check bool) "reno found" true (Catalog.find "reno" <> None);
+  Alcotest.(check bool) "nonsense missing" true (Catalog.find "nope" = None)
+
+let test_catalog_cubic_units_off () =
+  Alcotest.(check bool) "cubic skips units" false
+    Catalog.cubic.Catalog.unit_check
+
+let test_component_arity_sorts () =
+  Alcotest.(check int) "ite arity" 3 (Component.arity Component.Op_ite);
+  Alcotest.(check int) "leaf arity" 0 (Component.arity Component.Leaf_cwnd);
+  Alcotest.(check bool) "lt is bool" true (Component.sort Component.Op_lt = Component.Bool);
+  Alcotest.(check bool) "add is num" true (Component.sort Component.Op_add = Component.Num)
+
+let test_signal_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Signal.of_name (Signal.name s) with
+      | Some s' -> Alcotest.(check bool) "roundtrip" true (Signal.equal s s')
+      | None -> Alcotest.fail "name not found")
+    Signal.all
+
+let test_macro_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Macro.of_name (Macro.name m) with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (Macro.equal m m')
+      | None -> Alcotest.fail "name not found")
+    Macro.all
+
+(* -- QCheck: simplify preserves semantics -- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return Cwnd; return ri; return (Signal Signal.Mss);
+        return (Signal Signal.Rtt);
+        map (fun v -> Const v) (float_range 0.1 8.0) ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then leaf
+          else
+            frequency
+              [ (2, leaf);
+                (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun a b -> Div (a, b)) (self (n / 2)) (self (n / 2)));
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Lt (a, b), t, Cwnd))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) ) ])
+        (min n 8))
+
+let arbitrary_expr = QCheck.make ~print:Pretty.num gen_expr
+
+let prop_simplify_preserves_value =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:300
+    arbitrary_expr (fun e ->
+      let before = Eval.num env e in
+      let after = Eval.num env (simp e) in
+      (not (Float.is_finite before))
+      || Abg_util.Floatx.approx_equal ~eps:1e-6 before after)
+
+let prop_simplify_never_grows =
+  QCheck.Test.make ~name:"simplify never grows the tree" ~count:300
+    arbitrary_expr (fun e -> size (simp e) <= size e)
+
+let prop_pretty_total =
+  QCheck.Test.make ~name:"pretty printing is total" ~count:300 arbitrary_expr
+    (fun e -> String.length (Pretty.num e) > 0)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "dsl.eval",
+      [
+        Alcotest.test_case "leaves" `Quick test_eval_leaves;
+        Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+        Alcotest.test_case "division by zero" `Quick test_eval_div_zero;
+        Alcotest.test_case "cube/cbrt" `Quick test_eval_cube_cbrt;
+        Alcotest.test_case "conditional" `Quick test_eval_ite;
+        Alcotest.test_case "mod-eq" `Quick test_eval_modeq;
+        Alcotest.test_case "macros" `Quick test_eval_macros;
+        Alcotest.test_case "unfilled hole raises" `Quick test_eval_hole_raises;
+        Alcotest.test_case "handler floor" `Quick test_handler_floor;
+      ] );
+    ( "dsl.expr",
+      [
+        Alcotest.test_case "size/depth" `Quick test_size_depth;
+        Alcotest.test_case "equality" `Quick test_equal_num;
+        Alcotest.test_case "holes and fill" `Quick test_holes_fill;
+        Alcotest.test_case "signals through macros" `Quick test_signals_through_macros;
+      ] );
+    ( "dsl.pretty",
+      [
+        Alcotest.test_case "reno" `Quick test_pretty_reno;
+        Alcotest.test_case "conditional" `Quick test_pretty_ite;
+        Alcotest.test_case "constants" `Quick test_pretty_constants;
+        Alcotest.test_case "precedence" `Quick test_pretty_precedence;
+      ]
+      @ qcheck [ prop_pretty_total ] );
+    ( "dsl.simplify",
+      [
+        Alcotest.test_case "constant folding" `Quick test_simplify_folding;
+        Alcotest.test_case "identities" `Quick test_simplify_identities;
+        Alcotest.test_case "cancellation" `Quick test_simplify_cancellation;
+        Alcotest.test_case "conditionals" `Quick test_simplify_ite;
+        Alcotest.test_case "cube/cbrt inverse" `Quick test_simplify_cube_cbrt_inverse;
+        Alcotest.test_case "is_simplifiable" `Quick test_is_simplifiable;
+      ]
+      @ qcheck [ prop_simplify_preserves_value; prop_simplify_never_grows ] );
+    ( "dsl.units",
+      [
+        Alcotest.test_case "reno typed" `Quick test_units_reno;
+        Alcotest.test_case "mixed add rejected" `Quick test_units_reject_mixed_add;
+        Alcotest.test_case "per-second constant" `Quick test_units_constant_per_second;
+        Alcotest.test_case "no bytes constant" `Quick test_units_constant_not_bytes;
+        Alcotest.test_case "rate x time" `Quick test_units_rate_times_time;
+        Alcotest.test_case "modeq exempt" `Quick test_units_modeq_exempt;
+        Alcotest.test_case "cubic cbrt limitation" `Quick test_units_cubic_limitation;
+        Alcotest.test_case "fine-tuned table types" `Quick test_fine_tuned_tables_unit_check;
+      ] );
+    ( "dsl.sketch",
+      [
+        Alcotest.test_case "completion count" `Quick test_sketch_completions_count;
+        Alcotest.test_case "all completions" `Quick test_sketch_all_completions;
+        Alcotest.test_case "sampled completions" `Quick test_sketch_sample_completions;
+        Alcotest.test_case "operator set" `Quick test_sketch_operator_set;
+      ] );
+    ( "dsl.catalog",
+      [
+        Alcotest.test_case "lookup" `Quick test_catalog_lookup;
+        Alcotest.test_case "cubic units disabled" `Quick test_catalog_cubic_units_off;
+        Alcotest.test_case "component metadata" `Quick test_component_arity_sorts;
+        Alcotest.test_case "signal names" `Quick test_signal_names_roundtrip;
+        Alcotest.test_case "macro names" `Quick test_macro_names_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,214 @@
+(* Tests for the SAT-based sketch enumeration: shapes, counting, buckets
+   and the encoding's guarantees (sorts, units, budgets, no duplicates,
+   no simplifiable output). *)
+
+open Abg_dsl
+
+let test_shape_indexing () =
+  Alcotest.(check int) "depth-3 nodes" 13 (Abg_enum.Shape.num_nodes ~depth:3);
+  Alcotest.(check int) "depth-4 nodes" 40 (Abg_enum.Shape.num_nodes ~depth:4);
+  Alcotest.(check int) "child" 1 (Abg_enum.Shape.child 0 0);
+  Alcotest.(check int) "parent" 0 (Abg_enum.Shape.parent 3);
+  Alcotest.(check int) "position" 2 (Abg_enum.Shape.position 3);
+  for i = 1 to 39 do
+    Alcotest.(check int) "parent/child inverse" i
+      (Abg_enum.Shape.child (Abg_enum.Shape.parent i) (Abg_enum.Shape.position i))
+  done;
+  Alcotest.(check int) "root level" 0 (Abg_enum.Shape.level 0);
+  Alcotest.(check int) "level of node 4" 2 (Abg_enum.Shape.level 4)
+
+let test_count_monotone_in_depth () =
+  let components = Catalog.reno.Catalog.components in
+  let c3 = Abg_enum.Count.universe_at ~components ~depth:3 in
+  let c4 = Abg_enum.Count.universe_at ~components ~depth:4 in
+  Alcotest.(check bool) "positive" true (c3 > 0.0);
+  Alcotest.(check bool) "grows with depth" true (c4 > c3)
+
+let test_count_depth_zero () =
+  Alcotest.(check (float 0.0)) "no trees at depth 0" 0.0
+    (Abg_enum.Count.universe_at ~components:Catalog.reno.Catalog.components
+       ~depth:0)
+
+let test_count_leaf_only () =
+  (* Depth 1: exactly the num-sorted leaves. *)
+  let components = Catalog.reno.Catalog.components in
+  let leaves =
+    List.length (List.filter (fun c -> Component.arity c = 0) components)
+  in
+  Alcotest.(check (float 0.0)) "leaves" (float_of_int leaves)
+    (Abg_enum.Count.universe_at ~components ~depth:1)
+
+let test_buckets_feasibility () =
+  let buckets = Abg_enum.Buckets.all Catalog.reno in
+  Alcotest.(check bool) "empty bucket included" true
+    (List.exists (fun b -> b = []) buckets);
+  List.iter
+    (fun b ->
+      let has_ite = List.exists (Component.equal Component.Op_ite) b in
+      let has_bool =
+        List.exists
+          (fun c -> Component.sort c = Component.Bool && Component.is_operator c)
+          b
+      in
+      Alcotest.(check bool) "ite iff bool op" true (has_ite = has_bool))
+    buckets
+
+let test_buckets_count_reno () =
+  (* 4 arithmetic ops (16 subsets) x (no conditional, or ite with any
+     non-empty subset of 3 comparisons = 7): 16 * 8 = 128. *)
+  Alcotest.(check int) "reno bucket count" 128
+    (List.length (Abg_enum.Buckets.all Catalog.reno))
+
+let test_enumerate_distinct () =
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let seen = ref [] in
+  for _ = 1 to 60 do
+    match Abg_enum.Encode.next enc with
+    | Some sk ->
+        Alcotest.(check bool) "not seen before" false
+          (List.exists (Expr.equal_num sk) !seen);
+        seen := sk :: !seen
+    | None -> ()
+  done
+
+let test_enumerate_well_formed () =
+  let dsl = Catalog.reno in
+  let enc = Abg_enum.Encode.create dsl in
+  for _ = 1 to 60 do
+    match Abg_enum.Encode.next enc with
+    | Some sk ->
+        Alcotest.(check bool) "depth budget" true
+          (Expr.depth sk <= dsl.Catalog.max_depth);
+        Alcotest.(check bool) "node budget" true
+          (Expr.size sk <= dsl.Catalog.max_nodes);
+        Alcotest.(check bool) "unit-checked" true
+          (Unit_check.check sk ~expected:Abg_util.Units.bytes);
+        Alcotest.(check bool) "not simplifiable" false
+          (Simplify.is_simplifiable sk)
+    | None -> ()
+  done
+
+let test_enumerate_bucket_restriction () =
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let bucket = [ Component.Op_add; Component.Op_mul ] in
+  let sorted = List.sort Component.compare bucket in
+  for _ = 1 to 25 do
+    match Abg_enum.Encode.next ~bucket enc with
+    | Some sk ->
+        Alcotest.(check bool) "exact operator set" true
+          (Abg_enum.Buckets.equal (Abg_enum.Buckets.of_sketch sk) sorted)
+    | None -> ()
+  done
+
+let test_enumerate_empty_bucket () =
+  (* Six operators cannot fit in seven nodes together with their leaves. *)
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let bucket =
+    [ Component.Op_add; Component.Op_sub; Component.Op_mul; Component.Op_div;
+      Component.Op_ite; Component.Op_lt ]
+  in
+  Alcotest.(check bool) "unsatisfiable bucket" true
+    (Abg_enum.Encode.next ~bucket enc = None)
+
+let test_enumerate_exhaustion_micro_dsl () =
+  (* cwnd/mss/add at depth 2, <= 3 nodes. Non-simplifiable num-trees:
+     cwnd, mss, and the adds over distinct/same leaves: cwnd+cwnd,
+     cwnd+mss, mss+cwnd, mss+mss. Total 6. *)
+  let micro =
+    {
+      Catalog.name = "micro";
+      components =
+        [ Component.Leaf_cwnd; Component.Leaf_signal Signal.Mss;
+          Component.Op_add ];
+      max_depth = 2;
+      max_nodes = 3;
+      constant_pool = [| 1.0 |];
+      unit_check = true;
+    }
+  in
+  let enc = Abg_enum.Encode.create micro in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Abg_enum.Encode.next enc with
+    | Some _ -> incr count
+    | None -> continue := false
+  done;
+  Alcotest.(check int) "exhaustive count" 6 !count
+
+let test_enumerate_finds_reno_shape () =
+  (* The paper's Reno sketch must be in the {+,*} bucket's enumeration. *)
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let bucket = [ Component.Op_add; Component.Op_mul ] in
+  let target_found = ref false in
+  let continue = ref true in
+  let budget = ref 5000 in
+  while !continue && !budget > 0 do
+    decr budget;
+    match Abg_enum.Encode.next ~bucket enc with
+    | Some sk -> begin
+        (* CWND + c * reno-inc, modulo hole numbering and operand order. *)
+        match Simplify.simplify sk with
+        | Expr.Add (Expr.Cwnd, Expr.Mul (Expr.Hole _, Expr.Macro Macro.Reno_inc))
+        | Expr.Add (Expr.Cwnd, Expr.Mul (Expr.Macro Macro.Reno_inc, Expr.Hole _))
+        | Expr.Add (Expr.Mul (Expr.Hole _, Expr.Macro Macro.Reno_inc), Expr.Cwnd)
+        | Expr.Add (Expr.Mul (Expr.Macro Macro.Reno_inc, Expr.Hole _), Expr.Cwnd)
+          ->
+            target_found := true;
+            continue := false
+        | _ -> ()
+      end
+    | None -> continue := false
+  done;
+  Alcotest.(check bool) "reno sketch reachable" true !target_found
+
+let test_stats_and_vars () =
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  ignore (Abg_enum.Encode.next enc);
+  let returned, _ = Abg_enum.Encode.stats enc in
+  Alcotest.(check int) "one returned" 1 returned;
+  Alcotest.(check bool) "vars allocated" true (Abg_enum.Encode.num_vars enc > 100)
+
+let test_bucket_of_sketch_partition () =
+  (* Enumerated sketches across different buckets never collide. *)
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let enc2 = Abg_enum.Encode.create Catalog.reno in
+  let b1 = [ Component.Op_add ] in
+  let b2 = [ Component.Op_add; Component.Op_mul ] in
+  let from_b1 = List.filter_map (fun _ -> Abg_enum.Encode.next ~bucket:b1 enc) (List.init 10 Fun.id) in
+  let from_b2 = List.filter_map (fun _ -> Abg_enum.Encode.next ~bucket:b2 enc2) (List.init 10 Fun.id) in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          Alcotest.(check bool) "disjoint" false (Expr.equal_num s1 s2))
+        from_b2)
+    from_b1
+
+let suites =
+  [
+    ( "enum.shape",
+      [ Alcotest.test_case "indexing" `Quick test_shape_indexing ] );
+    ( "enum.count",
+      [
+        Alcotest.test_case "monotone in depth" `Quick test_count_monotone_in_depth;
+        Alcotest.test_case "depth zero" `Quick test_count_depth_zero;
+        Alcotest.test_case "leaves only" `Quick test_count_leaf_only;
+      ] );
+    ( "enum.buckets",
+      [
+        Alcotest.test_case "feasibility" `Quick test_buckets_feasibility;
+        Alcotest.test_case "reno count" `Quick test_buckets_count_reno;
+      ] );
+    ( "enum.encode",
+      [
+        Alcotest.test_case "distinct models" `Quick test_enumerate_distinct;
+        Alcotest.test_case "well-formed sketches" `Quick test_enumerate_well_formed;
+        Alcotest.test_case "bucket restriction" `Quick test_enumerate_bucket_restriction;
+        Alcotest.test_case "empty bucket" `Quick test_enumerate_empty_bucket;
+        Alcotest.test_case "micro-DSL exhaustion" `Quick test_enumerate_exhaustion_micro_dsl;
+        Alcotest.test_case "reno sketch reachable" `Slow test_enumerate_finds_reno_shape;
+        Alcotest.test_case "stats" `Quick test_stats_and_vars;
+        Alcotest.test_case "buckets partition" `Quick test_bucket_of_sketch_partition;
+      ] );
+  ]

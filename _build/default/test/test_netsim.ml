@@ -1,0 +1,200 @@
+(* Tests for the discrete-event network simulator. *)
+
+open Abg_netsim
+
+let quick_config ?(duration = 5.0) ?(bandwidth_mbps = 10.0) ?(rtt_ms = 50.0) ()
+    =
+  Config.make ~duration ~bandwidth_mbps ~rtt_ms ()
+
+(* -- Event queue -- *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q 3.0 "c";
+  Event_queue.push q 1.0 "a";
+  Event_queue.push q 2.0 "b";
+  let pops = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.map snd pops);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q 1.0 "first";
+  Event_queue.push q 1.0 "second";
+  Alcotest.(check string) "insertion order on ties" "first"
+    (snd (Option.get (Event_queue.pop q)))
+
+let prop_event_queue_sorted =
+  QCheck.Test.make ~name:"pops are time-sorted" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 100) (float_range 0.0 100.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* -- Config -- *)
+
+let test_config_bdp () =
+  let cfg = quick_config () in
+  Alcotest.(check (float 1.0)) "bdp" 62500.0 (Config.bdp cfg)
+
+let test_config_grid_spans_ranges () =
+  let grid = Config.testbed_grid ~n:25 () in
+  let rtts = List.map (fun c -> c.Config.rtt_prop) grid in
+  let bws = List.map (fun c -> c.Config.bandwidth_bps) grid in
+  Alcotest.(check bool) "min rtt 10ms" true (List.mem 0.01 rtts);
+  Alcotest.(check bool) "max rtt 100ms" true (List.mem 0.1 rtts);
+  Alcotest.(check bool) "min bw 5M" true (List.mem 5e6 bws);
+  Alcotest.(check bool) "max bw 15M" true (List.mem 15e6 bws)
+
+let test_config_grid_subset () =
+  let grid = Config.testbed_grid ~n:4 () in
+  Alcotest.(check bool) "roughly n configs" true
+    (List.length grid >= 3 && List.length grid <= 6)
+
+let test_config_rwnd () =
+  let cfg = quick_config () in
+  Alcotest.(check bool) "rwnd above capacity" true
+    (Config.rwnd cfg
+    > Config.bdp cfg +. (float_of_int cfg.Config.queue_capacity *. cfg.Config.mss))
+
+(* -- Simulation -- *)
+
+let run_reno ?duration ?bandwidth_mbps ?rtt_ms () =
+  let cfg = quick_config ?duration ?bandwidth_mbps ?rtt_ms () in
+  let cca = Abg_cca.Reno.create ~mss:cfg.Config.mss () in
+  (cfg, Sim.run cfg cca)
+
+let test_sim_progresses () =
+  let _, stats = run_reno () in
+  Alcotest.(check bool) "acks processed" true (stats.Sim.acks_processed > 100);
+  Alcotest.(check bool) "bytes delivered" true (stats.Sim.delivered_bytes > 0.0)
+
+let test_sim_utilization () =
+  let cfg, stats = run_reno ~duration:10.0 () in
+  let utilization =
+    stats.Sim.delivered_bytes *. 8.0
+    /. (cfg.Config.bandwidth_bps *. cfg.Config.duration)
+  in
+  Alcotest.(check bool) "reno fills the link" true (utilization > 0.8)
+
+let test_sim_never_exceeds_link () =
+  let cfg, stats = run_reno ~duration:10.0 () in
+  Alcotest.(check bool) "<= link capacity" true
+    (stats.Sim.delivered_bytes *. 8.0
+    <= cfg.Config.bandwidth_bps *. cfg.Config.duration *. 1.02)
+
+let test_sim_deterministic () =
+  let _, s1 = run_reno () in
+  let _, s2 = run_reno () in
+  Alcotest.(check int) "same acks" s1.Sim.acks_processed s2.Sim.acks_processed;
+  Alcotest.(check int) "same drops" s1.Sim.packets_dropped s2.Sim.packets_dropped
+
+let test_sim_losses_with_small_queue () =
+  let cfg =
+    Config.make ~duration:10.0 ~queue_capacity:10 ~bandwidth_mbps:10.0
+      ~rtt_ms:50.0 ()
+  in
+  let cca = Abg_cca.Reno.create ~mss:cfg.Config.mss () in
+  let stats = Sim.run cfg cca in
+  Alcotest.(check bool) "drops happen" true (stats.Sim.packets_dropped > 0);
+  Alcotest.(check bool) "losses detected" true (stats.Sim.loss_events > 0)
+
+let test_sim_tiny_window_no_loss () =
+  (* A fixed 2-packet window can never overflow any sane queue. *)
+  let cfg = quick_config () in
+  let cca = Abg_cca.Student.student5 ~mss:cfg.Config.mss () in
+  let stats = Sim.run cfg cca in
+  Alcotest.(check int) "no drops" 0 stats.Sim.packets_dropped;
+  Alcotest.(check int) "no losses" 0 stats.Sim.loss_events
+
+let test_sim_random_loss () =
+  let cfg = { (quick_config ~duration:10.0 ()) with Config.loss_rate = 0.01 } in
+  let cca = Abg_cca.Student.student5 ~mss:cfg.Config.mss () in
+  let stats = Sim.run cfg cca in
+  Alcotest.(check bool) "iid losses recovered" true (stats.Sim.loss_events > 0);
+  Alcotest.(check bool) "still delivers" true (stats.Sim.delivered_bytes > 0.0)
+
+let test_sim_observer_sees_acks () =
+  let cfg = quick_config ~duration:2.0 () in
+  let cca = Abg_cca.Reno.create ~mss:cfg.Config.mss () in
+  let count = ref 0 in
+  let last_time = ref neg_infinity in
+  let monotone = ref true in
+  let observer =
+    {
+      Sim.on_ack_obs =
+        (fun obs ->
+          incr count;
+          if obs.Sim.time < !last_time then monotone := false;
+          last_time := obs.Sim.time;
+          Alcotest.(check bool) "positive cwnd" true (obs.Sim.cwnd > 0.0));
+      on_loss_obs = (fun ~time:_ -> ());
+    }
+  in
+  let stats = Sim.run ~observer cfg cca in
+  Alcotest.(check int) "observer count matches" stats.Sim.acks_processed !count;
+  Alcotest.(check bool) "times monotone" true !monotone
+
+let test_sim_rtt_at_least_propagation () =
+  let cfg = quick_config ~duration:3.0 () in
+  let cca = Abg_cca.Reno.create ~mss:cfg.Config.mss () in
+  let ok = ref true in
+  let observer =
+    {
+      Sim.on_ack_obs =
+        (fun obs ->
+          if obs.Sim.rtt_sample < cfg.Config.rtt_prop -. 1e-9 then ok := false);
+      on_loss_obs = (fun ~time:_ -> ());
+    }
+  in
+  ignore (Sim.run ~observer cfg cca);
+  Alcotest.(check bool) "rtt >= propagation" true !ok
+
+let test_sim_jitter_does_not_stall () =
+  let cfg = { (quick_config ~duration:10.0 ()) with Config.ack_jitter = 0.002 } in
+  let cca = Abg_cca.Reno.create ~mss:cfg.Config.mss () in
+  let stats = Sim.run cfg cca in
+  let utilization =
+    stats.Sim.delivered_bytes *. 8.0
+    /. (cfg.Config.bandwidth_bps *. cfg.Config.duration)
+  in
+  Alcotest.(check bool) "jittered run still fills link" true (utilization > 0.7)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "netsim.event_queue",
+      [
+        Alcotest.test_case "ordering" `Quick test_event_queue_order;
+        Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
+      ]
+      @ qcheck [ prop_event_queue_sorted ] );
+    ( "netsim.config",
+      [
+        Alcotest.test_case "bdp" `Quick test_config_bdp;
+        Alcotest.test_case "grid spans ranges" `Quick test_config_grid_spans_ranges;
+        Alcotest.test_case "grid subset size" `Quick test_config_grid_subset;
+        Alcotest.test_case "rwnd above capacity" `Quick test_config_rwnd;
+      ] );
+    ( "netsim.sim",
+      [
+        Alcotest.test_case "progresses" `Quick test_sim_progresses;
+        Alcotest.test_case "utilization" `Quick test_sim_utilization;
+        Alcotest.test_case "never exceeds link" `Quick test_sim_never_exceeds_link;
+        Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "small queue loses" `Quick test_sim_losses_with_small_queue;
+        Alcotest.test_case "tiny window lossless" `Quick test_sim_tiny_window_no_loss;
+        Alcotest.test_case "iid loss recovery" `Quick test_sim_random_loss;
+        Alcotest.test_case "observer stream" `Quick test_sim_observer_sees_acks;
+        Alcotest.test_case "rtt floor" `Quick test_sim_rtt_at_least_propagation;
+        Alcotest.test_case "jitter no stall" `Quick test_sim_jitter_does_not_stall;
+      ] );
+  ]

@@ -1,0 +1,310 @@
+(* Tests for the CDCL SAT solver and CNF helpers, including a
+   brute-force differential fuzz on random 3-SAT. *)
+
+open Abg_sat
+
+let fresh_vars s n = List.init n (fun _ -> Solver.new_var s)
+
+let expect_sat s =
+  match Solver.solve s with
+  | Solver.Sat m -> m
+  | Solver.Unsat -> Alcotest.fail "expected SAT"
+
+let expect_unsat ?assumptions s =
+  match Solver.solve ?assumptions s with
+  | Solver.Sat _ -> Alcotest.fail "expected UNSAT"
+  | Solver.Unsat -> ()
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ v ];
+  let m = expect_sat s in
+  Alcotest.(check bool) "v true" true m.(v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ v ];
+  Solver.add_clause s [ -v ];
+  expect_unsat s
+
+let test_unit_propagation_chain () =
+  let s = Solver.create () in
+  let vs = Array.of_list (fresh_vars s 10) in
+  Solver.add_clause s [ vs.(0) ];
+  for i = 0 to 8 do
+    Solver.add_clause s [ -vs.(i); vs.(i + 1) ]
+  done;
+  let m = expect_sat s in
+  Array.iter (fun v -> Alcotest.(check bool) "chain forced" true m.(v)) vs
+
+let test_empty_formula_sat () =
+  let s = Solver.create () in
+  let _ = fresh_vars s 3 in
+  ignore (expect_sat s)
+
+let test_pigeonhole_unsat () =
+  (* 4 pigeons, 3 holes. *)
+  let s = Solver.create () in
+  let p = Array.init 4 (fun _ -> Array.of_list (fresh_vars s 3)) in
+  for i = 0 to 3 do
+    Solver.add_clause s (Array.to_list p.(i))
+  done;
+  for h = 0 to 2 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        Solver.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  expect_unsat s
+
+let test_model_satisfies () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 6 in
+  let clauses =
+    [ [ List.nth vs 0; -List.nth vs 1 ]; [ List.nth vs 2; List.nth vs 3 ];
+      [ -List.nth vs 4; List.nth vs 5; List.nth vs 0 ] ]
+  in
+  List.iter (Solver.add_clause s) clauses;
+  let m = expect_sat s in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "clause satisfied" true
+        (List.exists (fun l -> if l > 0 then m.(l) else not m.(-l)) c))
+    clauses
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ -a; b ];
+  expect_unsat ~assumptions:[ a; -b ] s;
+  (match Solver.solve ~assumptions:[ a ] s with
+  | Solver.Sat m -> Alcotest.(check bool) "b forced" true m.(b)
+  | Solver.Unsat -> Alcotest.fail "expected SAT");
+  (* The solver must stay usable after a failed-assumption call. *)
+  ignore (expect_sat s)
+
+let test_enumeration_count () =
+  (* Count models of (x1 | x2 | x3): 7 of 8 assignments. *)
+  let s = Solver.create () in
+  let vs = fresh_vars s 3 in
+  Solver.add_clause s vs;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve s with
+    | Solver.Sat m ->
+        incr count;
+        Solver.add_clause s (List.map (fun v -> if m.(v) then -v else v) vs)
+    | Solver.Unsat -> continue := false
+  done;
+  Alcotest.(check int) "model count" 7 !count
+
+let test_randomize_sound () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 8 in
+  List.iteri (fun i v -> if i mod 2 = 0 then Solver.add_clause s [ v ]) vs;
+  for seed = 0 to 20 do
+    Solver.randomize s ~seed;
+    let m = expect_sat s in
+    List.iteri
+      (fun i v ->
+        if i mod 2 = 0 then Alcotest.(check bool) "forced stays true" true m.(v))
+      vs
+  done
+
+(* -- Cnf helpers -- *)
+
+let count_models s vs =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve s with
+    | Solver.Sat m ->
+        incr count;
+        Solver.add_clause s (List.map (fun v -> if m.(v) then -v else v) vs)
+    | Solver.Unsat -> continue := false
+  done;
+  !count
+
+let test_exactly_one () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 5 in
+  Cnf.exactly_one s vs;
+  Alcotest.(check int) "5 models" 5 (count_models s vs)
+
+let test_at_most_one () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 4 in
+  Cnf.at_most_one s vs;
+  Alcotest.(check int) "4 + empty" 5 (count_models s vs)
+
+let binom n k =
+  let rec go n k = if k = 0 then 1 else go (n - 1) (k - 1) * n / k in
+  go n k
+
+let test_at_most_k () =
+  let n = 6 and k = 2 in
+  let s = Solver.create () in
+  let vs = fresh_vars s n in
+  Cnf.at_most_k s vs k;
+  let expected = binom n 0 + binom n 1 + binom n 2 in
+  Alcotest.(check int) "sum of binomials" expected (count_models s vs)
+
+let test_at_most_k_zero () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 3 in
+  Cnf.at_most_k s vs 0;
+  Alcotest.(check int) "only empty" 1 (count_models s vs)
+
+let test_at_most_k_slack () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 3 in
+  Cnf.at_most_k s vs 5;
+  Alcotest.(check int) "unconstrained" 8 (count_models s vs)
+
+let test_define_and () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  let x = Cnf.define_and s [ a; b ] in
+  (match Solver.solve ~assumptions:[ a; b ] s with
+  | Solver.Sat m -> Alcotest.(check bool) "and true" true m.(x)
+  | Solver.Unsat -> Alcotest.fail "sat expected");
+  match Solver.solve ~assumptions:[ a; -b ] s with
+  | Solver.Sat m -> Alcotest.(check bool) "and false" false m.(x)
+  | Solver.Unsat -> Alcotest.fail "sat expected"
+
+let test_define_or () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  let x = Cnf.define_or s [ a; b ] in
+  (match Solver.solve ~assumptions:[ -a; b ] s with
+  | Solver.Sat m -> Alcotest.(check bool) "or true" true m.(x)
+  | Solver.Unsat -> Alcotest.fail "sat expected");
+  match Solver.solve ~assumptions:[ -a; -b ] s with
+  | Solver.Sat m -> Alcotest.(check bool) "or false" false m.(x)
+  | Solver.Unsat -> Alcotest.fail "sat expected"
+
+let test_implies () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Cnf.implies s a b;
+  expect_unsat ~assumptions:[ a; -b ] s
+
+(* -- Differential fuzz vs brute force -- *)
+
+let brute_force_sat n clauses =
+  let rec go assign v =
+    if v = n then
+      List.for_all
+        (fun c ->
+          List.exists
+            (fun l -> if l > 0 then assign.(l - 1) else not assign.(-l - 1))
+            c)
+        clauses
+    else begin
+      assign.(v) <- true;
+      go assign (v + 1)
+      ||
+      (assign.(v) <- false;
+       go assign (v + 1))
+    end
+  in
+  go (Array.make n false) 0
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"cdcl agrees with brute force on random 3-SAT"
+    ~count:150
+    QCheck.(pair (int_range 3 10) (int_range 1 40))
+    (fun (n, m) ->
+      let rng = Abg_util.Rng.create ((n * 1000) + m) in
+      let clauses =
+        List.init m (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Abg_util.Rng.int rng n in
+                if Abg_util.Rng.bool rng then v else -v))
+      in
+      let s = Solver.create () in
+      ignore (fresh_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_force_sat n clauses in
+      match Solver.solve s with
+      | Solver.Sat model ->
+          expected
+          && List.for_all
+               (fun c ->
+                 List.exists
+                   (fun l -> if l > 0 then model.(l) else not model.(-l))
+                   c)
+               clauses
+      | Solver.Unsat -> not expected)
+
+let prop_incremental_enumeration_complete =
+  QCheck.Test.make ~name:"enumeration finds the brute-force model count"
+    ~count:50
+    QCheck.(pair (int_range 2 6) (int_range 1 10))
+    (fun (n, m) ->
+      let rng = Abg_util.Rng.create ((n * 77) + m) in
+      let clauses =
+        List.init m (fun _ ->
+            List.init 2 (fun _ ->
+                let v = 1 + Abg_util.Rng.int rng n in
+                if Abg_util.Rng.bool rng then v else -v))
+      in
+      let brute_count = ref 0 in
+      let rec go assign v =
+        if v = n then begin
+          if
+            List.for_all
+              (fun c ->
+                List.exists
+                  (fun l -> if l > 0 then assign.(l - 1) else not assign.(-l - 1))
+                  c)
+              clauses
+          then incr brute_count
+        end
+        else begin
+          assign.(v) <- true;
+          go assign (v + 1);
+          assign.(v) <- false;
+          go assign (v + 1)
+        end
+      in
+      go (Array.make n false) 0;
+      let s = Solver.create () in
+      let vs = fresh_vars s n in
+      List.iter (Solver.add_clause s) clauses;
+      count_models s vs = !brute_count)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "sat.solver",
+      [
+        Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+        Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+        Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
+        Alcotest.test_case "empty formula" `Quick test_empty_formula_sat;
+        Alcotest.test_case "pigeonhole 4->3 unsat" `Quick test_pigeonhole_unsat;
+        Alcotest.test_case "model satisfies clauses" `Quick test_model_satisfies;
+        Alcotest.test_case "assumptions" `Quick test_assumptions;
+        Alcotest.test_case "enumeration count" `Quick test_enumeration_count;
+        Alcotest.test_case "randomize is sound" `Quick test_randomize_sound;
+      ]
+      @ qcheck [ prop_matches_brute_force; prop_incremental_enumeration_complete ]
+    );
+    ( "sat.cnf",
+      [
+        Alcotest.test_case "exactly_one" `Quick test_exactly_one;
+        Alcotest.test_case "at_most_one" `Quick test_at_most_one;
+        Alcotest.test_case "at_most_k counts" `Quick test_at_most_k;
+        Alcotest.test_case "at_most_k zero" `Quick test_at_most_k_zero;
+        Alcotest.test_case "at_most_k slack" `Quick test_at_most_k_slack;
+        Alcotest.test_case "define_and" `Quick test_define_and;
+        Alcotest.test_case "define_or" `Quick test_define_or;
+        Alcotest.test_case "implies" `Quick test_implies;
+      ] );
+  ]

@@ -1,0 +1,266 @@
+(* Tests for trace collection, segmentation, sampling, noise and IO. *)
+
+let collect_reno () =
+  let cfg =
+    Abg_netsim.Config.make ~duration:10.0 ~bandwidth_mbps:10.0 ~rtt_ms:50.0 ()
+  in
+  Abg_trace.Trace.collect cfg ~name:"reno" (fun ~mss () ->
+      Abg_cca.Reno.create ~mss ())
+
+let trace = lazy (collect_reno ())
+
+let test_collect_nonempty () =
+  let t = Lazy.force trace in
+  Alcotest.(check bool) "records" true (Abg_trace.Trace.length t > 1000);
+  Alcotest.(check bool) "losses" true (Array.length t.Abg_trace.Trace.loss_times > 0)
+
+let test_records_monotone_time () =
+  let t = Lazy.force trace in
+  let ok = ref true in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let prev = t.Abg_trace.Trace.records.(i - 1) in
+        if r.Abg_trace.Record.time < prev.Abg_trace.Record.time then ok := false
+      end)
+    t.Abg_trace.Trace.records;
+  Alcotest.(check bool) "monotone" true !ok
+
+let test_records_signal_sanity () =
+  let t = Lazy.force trace in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "min <= rtt" true
+        (r.Abg_trace.Record.min_rtt <= r.Abg_trace.Record.rtt +. 1e-9);
+      Alcotest.(check bool) "rtt <= max" true
+        (r.Abg_trace.Record.rtt <= r.Abg_trace.Record.max_rtt +. 1e-9);
+      Alcotest.(check bool) "rate positive" true (r.Abg_trace.Record.ack_rate > 0.0);
+      Alcotest.(check bool) "tsl nonneg" true
+        (r.Abg_trace.Record.time_since_loss >= 0.0))
+    t.Abg_trace.Trace.records
+
+let test_record_env_roundtrip () =
+  let t = Lazy.force trace in
+  let r = t.Abg_trace.Trace.records.(100) in
+  let env = Abg_trace.Record.to_env r ~cwnd:9999.0 in
+  Alcotest.(check (float 1e-9)) "cwnd override" 9999.0 env.Abg_dsl.Env.cwnd;
+  Alcotest.(check (float 1e-9)) "rtt copied" r.Abg_trace.Record.rtt env.Abg_dsl.Env.rtt;
+  (* load_env writes the same values in place. *)
+  let scratch = Abg_dsl.Env.copy Abg_dsl.Env.example in
+  Abg_trace.Record.load_env scratch r ~cwnd:9999.0;
+  Alcotest.(check (float 1e-9)) "load_env rtt" env.Abg_dsl.Env.rtt scratch.Abg_dsl.Env.rtt;
+  Alcotest.(check (float 1e-9)) "load_env rate" env.Abg_dsl.Env.ack_rate
+    scratch.Abg_dsl.Env.ack_rate
+
+(* -- Segmentation -- *)
+
+let test_split_counts () =
+  let t = Lazy.force trace in
+  let segs = Abg_trace.Segmentation.split ~min_length:10 t in
+  Alcotest.(check bool) "at least one segment" true (List.length segs >= 1);
+  Alcotest.(check bool) "bounded by losses+1" true
+    (List.length segs <= Array.length t.Abg_trace.Trace.loss_times + 1)
+
+let test_split_min_length () =
+  let t = Lazy.force trace in
+  List.iter
+    (fun seg ->
+      Alcotest.(check bool) "length floor" true
+        (Abg_trace.Segmentation.length seg >= 50))
+    (Abg_trace.Segmentation.split ~min_length:50 t)
+
+let test_split_skip_initial () =
+  let t = Lazy.force trace in
+  let all = Abg_trace.Segmentation.split ~min_length:10 t in
+  let skipped = Abg_trace.Segmentation.split ~min_length:10 ~skip_initial:true t in
+  Alcotest.(check bool) "one fewer (slow start dropped)" true
+    (List.length skipped < List.length all
+    || Array.length t.Abg_trace.Trace.loss_times = 0)
+
+let test_split_respects_cuts () =
+  let t = Lazy.force trace in
+  let cuts = t.Abg_trace.Trace.loss_times in
+  List.iter
+    (fun seg ->
+      let times = Abg_trace.Segmentation.times seg in
+      let t0 = seg.Abg_trace.Segmentation.start_time in
+      let t1 = t0 +. times.(Array.length times - 1) in
+      (* No loss strictly inside the segment span. *)
+      Array.iter
+        (fun loss ->
+          Alcotest.(check bool) "no loss inside" true
+            (loss <= t0 +. 1e-9 || loss >= t1 -. 1e-9))
+        cuts)
+    (Abg_trace.Segmentation.split ~min_length:10 t)
+
+let test_infer_loss_times () =
+  let t = Lazy.force trace in
+  let inferred = Abg_trace.Segmentation.infer_loss_times t in
+  Alcotest.(check bool) "finds drops" true (Array.length inferred > 0)
+
+let test_thin_preserves_acked_volume () =
+  let t = Lazy.force trace in
+  let seg = List.hd (Abg_trace.Segmentation.split ~min_length:100 t) in
+  let sum records =
+    Array.fold_left (fun acc r -> acc +. r.Abg_trace.Record.acked_bytes) 0.0 records
+  in
+  let thinned = Abg_trace.Segmentation.thin ~max_records:50 seg in
+  Alcotest.(check bool) "record budget" true
+    (Abg_trace.Segmentation.length thinned <= 50);
+  Alcotest.(check (float 1.0)) "acked volume conserved"
+    (sum seg.Abg_trace.Segmentation.records)
+    (sum thinned.Abg_trace.Segmentation.records)
+
+let test_thin_short_segment_untouched () =
+  let t = Lazy.force trace in
+  let seg = List.hd (Abg_trace.Segmentation.split ~min_length:30 t) in
+  let thinned = Abg_trace.Segmentation.thin ~max_records:100000 seg in
+  Alcotest.(check int) "unchanged" (Abg_trace.Segmentation.length seg)
+    (Abg_trace.Segmentation.length thinned)
+
+(* -- Sampling -- *)
+
+let test_sampling_budget () =
+  let t = Lazy.force trace in
+  let segs = Abg_trace.Segmentation.split ~min_length:10 t in
+  let rng = Abg_util.Rng.create 5 in
+  let distance a b =
+    Abg_distance.Metric.compute Abg_distance.Metric.Euclidean ~truth:a ~candidate:b
+  in
+  let chosen = Abg_trace.Sampling.select rng ~distance ~n:2 segs in
+  Alcotest.(check bool) "within budget" true (List.length chosen <= 2);
+  Alcotest.(check bool) "nonempty" true (chosen <> [])
+
+let test_sampling_small_pool_passthrough () =
+  let t = Lazy.force trace in
+  let segs = Abg_trace.Segmentation.split ~min_length:10 t in
+  let rng = Abg_util.Rng.create 5 in
+  let distance _ _ = 0.0 in
+  let chosen = Abg_trace.Sampling.select rng ~distance ~n:1000 segs in
+  Alcotest.(check int) "pool returned whole" (List.length segs) (List.length chosen)
+
+(* -- Noise -- *)
+
+let test_noise_observation () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 6 in
+  let noisy = Abg_trace.Noise.observation_noise rng ~stddev:0.1 t in
+  Alcotest.(check int) "same length" (Abg_trace.Trace.length t)
+    (Abg_trace.Trace.length noisy);
+  let changed = ref false in
+  Array.iteri
+    (fun i r ->
+      let orig = t.Abg_trace.Trace.records.(i) in
+      Alcotest.(check bool) "positive" true (r.Abg_trace.Record.in_flight >= 0.0);
+      if r.Abg_trace.Record.in_flight <> orig.Abg_trace.Record.in_flight then
+        changed := true)
+    noisy.Abg_trace.Trace.records;
+  Alcotest.(check bool) "noise applied" true !changed
+
+let test_noise_subsample () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 7 in
+  let sub = Abg_trace.Noise.subsample rng ~keep:0.5 t in
+  let frac =
+    float_of_int (Abg_trace.Trace.length sub)
+    /. float_of_int (Abg_trace.Trace.length t)
+  in
+  Alcotest.(check bool) "roughly half" true (frac > 0.4 && frac < 0.6)
+
+let test_noise_time_jitter_monotone () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 8 in
+  let jittered = Abg_trace.Noise.time_jitter rng ~stddev:0.01 t in
+  let ok = ref true in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let prev = jittered.Abg_trace.Trace.records.(i - 1) in
+        if r.Abg_trace.Record.time < prev.Abg_trace.Record.time then ok := false
+      end)
+    jittered.Abg_trace.Trace.records;
+  Alcotest.(check bool) "still monotone" true !ok
+
+let test_noise_spurious_losses () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 9 in
+  let spurious = Abg_trace.Noise.spurious_losses rng ~rate:0.01 t in
+  Alcotest.(check bool) "more losses" true
+    (Array.length spurious.Abg_trace.Trace.loss_times
+    > Array.length t.Abg_trace.Trace.loss_times)
+
+(* -- IO -- *)
+
+let test_io_roundtrip () =
+  let t = Lazy.force trace in
+  let path = Filename.temp_file "abagnale" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Abg_trace.Io.save path t;
+      let t' = Abg_trace.Io.load path in
+      Alcotest.(check string) "cca name" t.Abg_trace.Trace.cca_name
+        t'.Abg_trace.Trace.cca_name;
+      Alcotest.(check int) "record count" (Abg_trace.Trace.length t)
+        (Abg_trace.Trace.length t');
+      Alcotest.(check int) "loss count"
+        (Array.length t.Abg_trace.Trace.loss_times)
+        (Array.length t'.Abg_trace.Trace.loss_times);
+      let r = t.Abg_trace.Trace.records.(42) in
+      let r' = t'.Abg_trace.Trace.records.(42) in
+      Alcotest.(check (float 1e-6)) "rtt preserved" r.Abg_trace.Record.rtt
+        r'.Abg_trace.Record.rtt;
+      Alcotest.(check (float 1e-3)) "cwnd preserved" r.Abg_trace.Record.cwnd
+        r'.Abg_trace.Record.cwnd)
+
+let test_io_record_line_roundtrip () =
+  let t = Lazy.force trace in
+  let r = t.Abg_trace.Trace.records.(7) in
+  let r' = Abg_trace.Io.record_of_line (Abg_trace.Io.record_to_line r) in
+  Alcotest.(check (float 1e-6)) "time" r.Abg_trace.Record.time r'.Abg_trace.Record.time;
+  Alcotest.(check (float 1e-1)) "ack_rate" r.Abg_trace.Record.ack_rate
+    r'.Abg_trace.Record.ack_rate
+
+let test_io_malformed_rejected () =
+  Alcotest.check_raises "malformed line"
+    (Invalid_argument "Io.record_of_line: malformed line: not a record")
+    (fun () -> ignore (Abg_trace.Io.record_of_line "not a record"))
+
+let suites =
+  [
+    ( "trace.collect",
+      [
+        Alcotest.test_case "nonempty" `Quick test_collect_nonempty;
+        Alcotest.test_case "monotone time" `Quick test_records_monotone_time;
+        Alcotest.test_case "signal sanity" `Quick test_records_signal_sanity;
+        Alcotest.test_case "env roundtrip" `Quick test_record_env_roundtrip;
+      ] );
+    ( "trace.segmentation",
+      [
+        Alcotest.test_case "split counts" `Quick test_split_counts;
+        Alcotest.test_case "min length" `Quick test_split_min_length;
+        Alcotest.test_case "skip initial" `Quick test_split_skip_initial;
+        Alcotest.test_case "respects cuts" `Quick test_split_respects_cuts;
+        Alcotest.test_case "infer losses" `Quick test_infer_loss_times;
+        Alcotest.test_case "thin conserves acked" `Quick test_thin_preserves_acked_volume;
+        Alcotest.test_case "thin no-op" `Quick test_thin_short_segment_untouched;
+      ] );
+    ( "trace.sampling",
+      [
+        Alcotest.test_case "budget" `Quick test_sampling_budget;
+        Alcotest.test_case "small pool" `Quick test_sampling_small_pool_passthrough;
+      ] );
+    ( "trace.noise",
+      [
+        Alcotest.test_case "observation noise" `Quick test_noise_observation;
+        Alcotest.test_case "subsample" `Quick test_noise_subsample;
+        Alcotest.test_case "time jitter monotone" `Quick test_noise_time_jitter_monotone;
+        Alcotest.test_case "spurious losses" `Quick test_noise_spurious_losses;
+      ] );
+    ( "trace.io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        Alcotest.test_case "record line" `Quick test_io_record_line_roundtrip;
+        Alcotest.test_case "malformed" `Quick test_io_malformed_rejected;
+      ] );
+  ]
