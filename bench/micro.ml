@@ -1,16 +1,34 @@
 (* Bechamel micro-benchmarks: one per table/figure, measuring the kernel
    operation that dominates that experiment's runtime, so regressions in
-   the hot paths are visible without re-running whole syntheses. *)
+   the hot paths are visible without re-running whole syntheses.
+
+   Besides printing, the section writes every estimate to
+   BENCH_micro.json (name -> ns/run) in the current directory, so the
+   perf trajectory of the hot paths is tracked across PRs. *)
 
 open Bechamel
 open Toolkit
 
 let series n = Array.init n (fun i -> float_of_int (i mod 37) +. (0.3 *. float_of_int i))
 
+(* A second series with a different shape, so DTW/Fréchet distances are
+   nonzero and a cutoff below them actually abandons. *)
+let series_offset n =
+  Array.init n (fun i -> float_of_int ((i + 11) mod 29) +. (0.35 *. float_of_int i))
+
 let dtw_test =
-  let a = series 128 and b = series 128 in
+  let a = series 128 and b = series_offset 128 in
   Test.make ~name:"table2/fig4: dtw-128"
     (Staged.stage (fun () -> ignore (Abg_distance.Dtw.distance ~band:12 a b)))
+
+let dtw_cutoff_test =
+  let a = series 128 and b = series_offset 128 in
+  (* Best-so-far threshold at a quarter of the true distance: the scan
+     abandons as soon as a row proves the candidate can't beat it. *)
+  let cutoff = 0.25 *. Abg_distance.Dtw.distance ~band:12 a b in
+  Test.make ~name:"table2/fig4: dtw-128-cutoff"
+    (Staged.stage (fun () ->
+         ignore (Abg_distance.Dtw.distance ~band:12 ~cutoff a b)))
 
 let euclidean_test =
   let a = series 128 and b = series 128 in
@@ -22,13 +40,106 @@ let frechet_test =
   Test.make ~name:"fig3: frechet-128"
     (Staged.stage (fun () -> ignore (Abg_distance.Frechet.distance a b)))
 
-let replay_test =
+(* The scoring inner loop before and after the hot-path overhaul. The
+   "interp" variant replicates the seed implementation: rebuild the env
+   and interpret the handler AST for every record. The compiled variant
+   is the production path: segment prepared once, handler compiled once,
+   then one closure call per record. *)
+let replay_tests =
   lazy
     (let segments = Runs.segments_for "reno" in
      let seg = List.hd segments in
+     let records = seg.Abg_trace.Segmentation.records in
+     let n = Array.length records in
      let handler = Option.get (Abg_core.Fine_tuned.find_fine_tuned "reno") in
-     Test.make ~name:"table2: replay-segment"
-       (Staged.stage (fun () -> ignore (Abg_core.Replay.synthesize handler seg))))
+     let prepared = Abg_core.Replay.prepare seg in
+     let compiled = Abg_core.Replay.compile handler in
+     let interp () =
+       let out = Array.make n 0.0 in
+       let cwnd = ref (Abg_trace.Record.observed_cwnd records.(0)) in
+       let env = Abg_dsl.Env.copy Abg_dsl.Env.example in
+       for i = 0 to n - 1 do
+         Abg_trace.Record.load_env env records.(i) ~cwnd:!cwnd;
+         cwnd := Float.min 1e12 (Abg_dsl.Eval.handler handler env);
+         out.(i) <- !cwnd
+       done;
+       out
+     in
+     ( Test.make ~name:"table2: replay-segment"
+         (Staged.stage (fun () ->
+              ignore (Abg_core.Replay.synthesize_prepared prepared compiled))),
+       Test.make ~name:"table2: replay-segment-interp"
+         (Staged.stage (fun () -> ignore (interp ()))) ))
+
+(* Bucket-style scoring: a pool of mostly-losing candidates folded with a
+   best-so-far incumbent. With cutoffs, losers abandon their replay sum
+   and DTW rows early; without, every candidate pays full price. *)
+let bucket_score_tests =
+  lazy
+    (let prepared =
+       List.map Abg_core.Replay.prepare (Runs.segments_for "reno")
+     in
+     let candidates =
+       let open Abg_dsl.Expr in
+       List.map
+         (fun c -> Add (Cwnd, Mul (Const c, Macro Abg_dsl.Macro.Reno_inc)))
+         [ 0.7; 0.1; 0.25; 0.5; 1.0; 1.5; 2.0; 3.0; 5.0; 8.0 ]
+       @ [ Mul (Cwnd, Const 2.0); Add (Cwnd, Signal Abg_dsl.Signal.Mss) ]
+     in
+     let compiled = List.map Abg_core.Replay.compile candidates in
+     let fold cutoffs () =
+       List.fold_left
+         (fun best f ->
+           let cut = if cutoffs then best else infinity in
+           let d =
+             Abg_core.Replay.total_distance_prepared ~cutoff:cut prepared f
+           in
+           if d < best then d else best)
+         infinity compiled
+     in
+     ( Test.make ~name:"refine: bucket-score-cutoff"
+         (Staged.stage (fun () -> ignore (fold true ()))),
+       Test.make ~name:"refine: bucket-score-full"
+         (Staged.stage (fun () -> ignore (fold false ()))) ))
+
+(* Persistent pool vs. the seed's spawn-per-call chunking, same workload:
+   the difference is domain spawn/join overhead per map call. *)
+let pool_tests =
+  lazy
+    (let pool = Abg_parallel.Pool.create ~size:1 () in
+     let xs = Array.init 16 (fun i -> i) in
+     let f x =
+       let acc = ref 0.0 in
+       for i = 1 to 2_000 do
+         acc := !acc +. (1.0 /. float_of_int (i + x))
+       done;
+       !acc
+     in
+     let spawning () =
+       (* The seed implementation: spawn one domain per chunk, join all. *)
+       let n = Array.length xs in
+       let out = Array.make n 0.0 in
+       let workers = 2 in
+       let chunk = (n + workers - 1) / workers in
+       let run lo hi () =
+         for i = lo to hi do
+           out.(i) <- f xs.(i)
+         done
+       in
+       let handles =
+         List.init workers (fun w ->
+             let lo = w * chunk in
+             let hi = Stdlib.min (lo + chunk - 1) (n - 1) in
+             if lo > hi then None else Some (Domain.spawn (run lo hi)))
+       in
+       List.iter (function Some d -> Domain.join d | None -> ()) handles;
+       out
+     in
+     ( Test.make ~name:"refine: pool-map-persistent"
+         (Staged.stage (fun () ->
+              ignore (Abg_parallel.Pool.map ~pool ~num_domains:2 f xs))),
+       Test.make ~name:"refine: pool-map-spawning"
+         (Staged.stage (fun () -> ignore (spawning ()))) ))
 
 let enumerate_test =
   lazy
@@ -63,22 +174,60 @@ let benchmark test =
   in
   results
 
-let print_result test =
+(* Estimate, print, and return (name, ns/run) rows for the JSON dump. *)
+let measure test =
   let results = benchmark test in
+  let rows = ref [] in
   List.iter
     (fun result ->
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n%!" name est
-          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+          | Some [ est ] ->
+              Printf.printf "%-36s %12.0f ns/run\n%!" name est;
+              rows := (name, est) :: !rows
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
         result)
-    results
+    results;
+  !rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  \"%s\": %.1f%s\n" (json_escape name) est
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
 
 let run () =
   Runs.heading "Micro-benchmarks (Bechamel, monotonic clock)";
-  List.iter print_result
-    [ dtw_test; euclidean_test; frechet_test; Lazy.force replay_test;
-      Lazy.force enumerate_test; simulate_test;
-      Lazy.force classify_features_test ];
+  let replay_compiled, replay_interp = Lazy.force replay_tests in
+  let bucket_cutoff, bucket_full = Lazy.force bucket_score_tests in
+  let pool_persistent, pool_spawning = Lazy.force pool_tests in
+  let tests =
+    [ dtw_test; dtw_cutoff_test; euclidean_test; frechet_test;
+      replay_compiled; replay_interp; bucket_cutoff; bucket_full;
+      pool_persistent; pool_spawning; Lazy.force enumerate_test;
+      simulate_test; Lazy.force classify_features_test ]
+  in
+  let rows = List.concat_map measure tests in
+  write_json "BENCH_micro.json" rows;
+  Printf.printf "[micro: wrote %d estimates to BENCH_micro.json]\n"
+    (List.length rows);
   print_newline ()

@@ -135,14 +135,27 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
   let consider (s : Score.scored) =
     if Float.is_finite s.Score.distance then candidates := s :: !candidates
   in
-  let score_bucket ~rng ~segs bucket =
+  let score_bucket ~rng ~segs ~truths bucket =
     (* Score every sampled sketch of this bucket on this iteration's
-       segment subset; returns the per-bucket minimum and best handler. *)
+       segment subset; returns the per-bucket minimum and best handler.
+       The truth-side metric preparation ([truths]) is shared across all
+       buckets (immutable); the replay state (mutable envs and scratch)
+       is built here so each worker domain owns its own. The bucket's
+       best score so far prunes later sketches — conservatively, so the
+       minimum and its handler are exactly those of exhaustive scoring. *)
+    let prepared =
+      List.map2 (fun seg truth -> Replay.prepare_with ~truth seg) segs truths
+    in
+    let incumbent = ref infinity in
     let scored =
       List.map
         (fun sk ->
-          Score.sketch rng ~dsl ~metric:config.metric
-            ~budget:config.completion_budget ~segments:segs sk)
+          let s =
+            Score.sketch_prepared rng ~dsl ~budget:config.completion_budget
+              ~cutoff:!incumbent ~prepared sk
+          in
+          if s.Score.distance < !incumbent then incumbent := s.Score.distance;
+          s)
         bucket.sketches
     in
     let best =
@@ -170,6 +183,15 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
     let segs =
       Array.to_list (Array.sub segment_array 0 !n_segments)
     in
+    (* Truth-side preparation once per iteration, shared by every bucket
+       and every candidate (Metric.prepared is immutable). *)
+    let truths =
+      List.map
+        (fun seg ->
+          Abg_distance.Metric.prepare config.metric
+            ~truth:(Abg_trace.Segmentation.observed seg))
+        segs
+    in
     (* Sample up to !n sketches per surviving bucket, in parallel. *)
     let master_rng = Rng.create (config.seed + (1000 * !iteration)) in
     let worker_seeds =
@@ -181,7 +203,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         (fun i bucket ->
           top_up bucket ~want;
           let rng = Rng.create worker_seeds.(i) in
-          score_bucket ~rng ~segs bucket)
+          score_bucket ~rng ~segs ~truths bucket)
         !buckets
     in
     log "[refine] iter %d scored in %.1fs\n%!" !iteration
@@ -238,7 +260,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
           if not bucket.exhausted then
             top_up bucket ~want:(List.length bucket.sketches + config.exhaustive_cap);
           let best, handlers, sketches =
-            score_bucket ~rng ~segs:segs_final bucket
+            score_bucket ~rng ~segs:segs_final ~truths bucket
           in
           total_handlers := !total_handlers + handlers;
           total_sketches := !total_sketches + sketches;
@@ -269,12 +291,23 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         else s :: acc)
       [] !candidates
   in
+  let all_prepared =
+    List.map (fun seg -> Replay.prepare ~metric:config.metric seg) all_segments
+  in
+  (* Best-so-far cutoff: a candidate provably worse than the incumbent may
+     score infinity, but every improving candidate — in particular the
+     winner — gets its exact distance, so the result is unchanged. *)
+  let rescore_incumbent = ref infinity in
   let rescored =
     List.map
       (fun (s : Score.scored) ->
-        { s with Score.distance =
-            Replay.total_distance ~metric:config.metric s.Score.handler
-              all_segments })
+        let d =
+          Replay.total_distance_prepared ~cutoff:!rescore_incumbent
+            all_prepared
+            (Replay.compile s.Score.handler)
+        in
+        if d < !rescore_incumbent then rescore_incumbent := d;
+        { s with Score.distance = d })
       deduped
   in
   let winner =

@@ -3,7 +3,14 @@
     A handler's score is its summed distance over the current segment
     subset ({!Replay.total_distance}); a sketch's score is the best score
     any of its concretizations achieves (§4.2) — that minimum is also what
-    the bucket prioritization of §4.4 aggregates. *)
+    the bucket prioritization of §4.4 aggregates.
+
+    Scoring runs on {!Replay.prepared} segments (environments, truth
+    preparation and output buffer built once per segment) and prunes with
+    best-so-far cutoffs. Pruning is strictly conservative: a distance is
+    replaced by [infinity] only when it provably exceeds a threshold that
+    already disqualifies it, so the selected handlers and their recorded
+    distances are identical to exhaustive scoring. *)
 
 open Abg_dsl
 
@@ -14,36 +21,66 @@ type scored = {
   completions_scored : int;
 }
 
-(** [sketch rng ~dsl ~metric ~budget ~segments sk] — score one sketch:
-    concretize (bounded by [budget]), replay handlers, keep the best.
-    Scoring is two-stage: every completion is scored coarsely on the
-    first segment only, then the best few are scored on the full segment
-    list. The coarse stage is a sound-enough filter because completions of
-    one sketch differ only in constants, and a grossly wrong constant is
-    visible on any single segment; the fine stage breaks remaining ties
-    properly. A sketch with no plausible completion scores infinity. *)
-let sketch rng ~(dsl : Catalog.t) ~metric ~budget ~segments sk =
+(** [sketch_prepared rng ~dsl ~budget ?cutoff ~prepared sk] — score one
+    sketch: concretize (bounded by [budget]), replay handlers, keep the
+    best. Scoring is two-stage: every completion is scored coarsely on
+    the first segment only, then the best few are scored on the full
+    segment list. The coarse stage is a sound-enough filter because
+    completions of one sketch differ only in constants, and a grossly
+    wrong constant is visible on any single segment; the fine stage
+    breaks remaining ties properly. A sketch with no plausible completion
+    scores infinity.
+
+    Pruning: the coarse stage abandons a completion once it provably
+    cannot enter the top-[keep] (running keep-th-smallest threshold, so
+    the finalist set is unchanged); the fine stage abandons once a
+    completion provably cannot beat the sketch's own best so far *or*
+    [cutoff] (an external incumbent, e.g. the best sketch of the bucket).
+    A returned distance above [cutoff] may therefore read [infinity], but
+    the minimum over sketches — all any caller aggregates — is exact. *)
+let sketch_prepared rng ~(dsl : Catalog.t) ~budget ?(cutoff = infinity)
+    ~prepared sk =
   let handlers =
     Concretize.completions rng sk ~pool:dsl.Catalog.constant_pool ~budget
   in
-  match (handlers, segments) with
+  match (handlers, prepared) with
   | [], _ | _, [] ->
       { sketch = sk; handler = sk; distance = infinity; completions_scored = 0 }
-  | _, first_segment :: _ ->
+  | _, first :: _ ->
+      let keep = Stdlib.max 3 (List.length handlers / 4) in
+      (* Running top-[keep] coarse distances (unsorted); the threshold is
+         their maximum, i.e. the keep-th smallest seen so far. *)
+      let top = Array.make keep infinity in
+      let threshold () =
+        let mx = ref top.(0) in
+        for j = 1 to keep - 1 do
+          if top.(j) > !mx then mx := top.(j)
+        done;
+        !mx
+      in
+      let offer d =
+        let mi = ref 0 in
+        for j = 1 to keep - 1 do
+          if top.(j) > top.(!mi) then mi := j
+        done;
+        if d < top.(!mi) then top.(!mi) <- d
+      in
       let coarse =
         List.map
-          (fun h -> (h, Replay.distance ~metric h first_segment))
+          (fun h ->
+            let f = Replay.compile h in
+            let d = Replay.distance_prepared ~cutoff:(threshold ()) first f in
+            offer d;
+            (h, d, f))
           handlers
-        |> List.sort (fun (_, a) (_, b) -> compare a b)
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
       in
-      let finalists =
-        let keep = Stdlib.max 3 (List.length coarse / 4) in
-        List.filteri (fun i _ -> i < keep) coarse
-      in
+      let finalists = List.filteri (fun i _ -> i < keep) coarse in
       let best_h, best_d =
         List.fold_left
-          (fun (best_h, best_d) (h, _) ->
-            let d = Replay.total_distance ~metric h segments in
+          (fun (best_h, best_d) (h, _, f) ->
+            let cut = if best_d < cutoff then best_d else cutoff in
+            let d = Replay.total_distance_prepared ~cutoff:cut prepared f in
             if d < best_d then (h, d) else (best_h, best_d))
           (sk, infinity) finalists
       in
@@ -53,3 +90,10 @@ let sketch rng ~(dsl : Catalog.t) ~metric ~budget ~segments sk =
         distance = best_d;
         completions_scored = List.length handlers;
       }
+
+(** [sketch rng ~dsl ~metric ~budget ~segments sk] — one-shot form of
+    {!sketch_prepared}: prepares the segments here (once per call; batch
+    callers should prepare once and share). *)
+let sketch rng ~(dsl : Catalog.t) ~metric ~budget ~segments sk =
+  let prepared = List.map (fun seg -> Replay.prepare ~metric seg) segments in
+  sketch_prepared rng ~dsl ~budget ~prepared sk

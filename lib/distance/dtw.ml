@@ -10,9 +10,17 @@
 
     The optional Sakoe–Chiba [band] constrains |i - j| <= band, cutting
     cost from O(nm) to O(n*band) and preventing degenerate alignments;
-    [band = None] computes the exact unconstrained distance. *)
+    [band = None] computes the exact unconstrained distance.
 
-let distance ?band a b =
+    [?cutoff] enables early abandonment for the scoring loop's
+    best-so-far threshold: every warping path visits at least one cell of
+    each row, and cumulative costs are nondecreasing along a path, so the
+    final distance is bounded below by each row's minimum. As soon as a
+    row's minimum (strictly) exceeds the cutoff the candidate is known
+    worse than the incumbent and the scan stops, returning [infinity].
+    Whenever the true distance is <= cutoff the result is exact. *)
+
+let distance ?band ?(cutoff = infinity) a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then infinity
   else begin
@@ -21,23 +29,43 @@ let distance ?band a b =
       | None -> Stdlib.max n m
       | Some w -> Stdlib.max w (abs (n - m))
     in
-    (* Rolling two-row DP over the (n+1) x (m+1) cost lattice. *)
-    let prev = Array.make (m + 1) infinity in
-    let cur = Array.make (m + 1) infinity in
-    prev.(0) <- 0.0;
-    for i = 1 to n do
-      Array.fill cur 0 (m + 1) infinity;
-      let lo = Stdlib.max 1 (i - w) and hi = Stdlib.min m (i + w) in
+    (* Rolling two-row DP over the (n+1) x (m+1) cost lattice. Rows are
+       swapped, not copied, so each iteration touches only the band plus
+       one sentinel on either side: the band shifts by at most one cell
+       per row, hence reads never escape [lo-1 .. hi+1] of either row. *)
+    let prev = ref (Array.make (m + 1) infinity) in
+    let cur = ref (Array.make (m + 1) infinity) in
+    !prev.(0) <- 0.0;
+    let abandoned = ref false in
+    let i = ref 1 in
+    while (not !abandoned) && !i <= n do
+      let p = !prev and c = !cur in
+      let lo = Stdlib.max 1 (!i - w) and hi = Stdlib.min m (!i + w) in
+      (* Sentinels: stale cells from two rows ago must read as +inf. *)
+      c.(lo - 1) <- infinity;
+      if hi < m then c.(hi + 1) <- infinity;
+      let ai = a.(!i - 1) in
+      let row_min = ref infinity in
       for j = lo to hi do
-        let cost = Float.abs (a.(i - 1) -. b.(j - 1)) in
+        let cost = Float.abs (ai -. b.(j - 1)) in
         let best =
-          Float.min prev.(j) (Float.min cur.(j - 1) prev.(j - 1))
+          let pj = p.(j) and cl = c.(j - 1) in
+          let b1 = if pj < cl then pj else cl in
+          let pd = p.(j - 1) in
+          if b1 < pd then b1 else pd
         in
-        cur.(j) <- cost +. best
+        let v = cost +. best in
+        c.(j) <- v;
+        if v < !row_min then row_min := v
       done;
-      Array.blit cur 0 prev 0 (m + 1)
+      if !row_min > cutoff then abandoned := true
+      else begin
+        prev := c;
+        cur := p
+      end;
+      incr i
     done;
-    prev.(m)
+    if !abandoned then infinity else !prev.(m)
   end
 
 (** [path a b] additionally returns the optimal warping path as (i, j)

@@ -3,31 +3,48 @@
     Like DTW it aligns the two series monotonically, but the cost is the
     *maximum* pointwise gap along the best alignment instead of the sum —
     one bad excursion dominates the score. Included as the fourth metric
-    of the Figure 3 comparison. Computed with a rolling-row DP, O(nm)
-    time, O(m) space. *)
+    of the Figure 3 comparison. Computed with a rolling-row DP (rows
+    swapped, not copied), O(nm) time, O(m) space.
 
-let distance a b =
+    [?cutoff]: reach values are nondecreasing along any alignment and
+    every alignment visits each row, so the final distance is bounded
+    below by each row's minimum reach; a row whose minimum (strictly)
+    exceeds the cutoff abandons the scan with [infinity]. Results at or
+    below the cutoff are exact. *)
+
+let distance ?(cutoff = infinity) a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then infinity
   else begin
-    let prev = Array.make m infinity in
-    let cur = Array.make m infinity in
-    for i = 0 to n - 1 do
+    let prev = ref (Array.make m infinity) in
+    let cur = ref (Array.make m infinity) in
+    let abandoned = ref false in
+    let i = ref 0 in
+    while (not !abandoned) && !i < n do
+      let p = !prev and c = !cur in
+      let ai = a.(!i) in
+      let row_min = ref infinity in
       for j = 0 to m - 1 do
-        let d = Float.abs (a.(i) -. b.(j)) in
+        let d = Float.abs (ai -. b.(j)) in
         let reach =
-          if i = 0 && j = 0 then d
+          if !i = 0 && j = 0 then d
           else begin
             let best = ref infinity in
-            if i > 0 then best := Float.min !best prev.(j);
-            if j > 0 then best := Float.min !best cur.(j - 1);
-            if i > 0 && j > 0 then best := Float.min !best prev.(j - 1);
+            if !i > 0 then best := Float.min !best p.(j);
+            if j > 0 then best := Float.min !best c.(j - 1);
+            if !i > 0 && j > 0 then best := Float.min !best p.(j - 1);
             Float.max d !best
           end
         in
-        cur.(j) <- reach
+        c.(j) <- reach;
+        if reach < !row_min then row_min := reach
       done;
-      Array.blit cur 0 prev 0 m
+      if !row_min > cutoff then abandoned := true
+      else begin
+        prev := c;
+        cur := p
+      end;
+      incr i
     done;
-    prev.(m - 1)
+    if !abandoned then infinity else !prev.(m - 1)
   end

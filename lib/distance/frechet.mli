@@ -2,5 +2,8 @@
     series monotonically, but the cost is the *maximum* pointwise gap
     along the best alignment — one bad excursion dominates. *)
 
-val distance : float array -> float array -> float
-(** [distance a b]. Empty input yields [infinity]. *)
+val distance : ?cutoff:float -> float array -> float array -> float
+(** [distance ?cutoff a b]. Empty input yields [infinity]. With
+    [?cutoff], a distance that provably (strictly) exceeds the cutoff is
+    reported as [infinity] early; results at or below the cutoff are
+    exact. *)

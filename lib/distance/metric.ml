@@ -4,7 +4,13 @@
     resampling to a common length and normalizing by the ground truth's
     mean — happens here so every call site gets identical semantics. DTW
     is the default; the paper selects it for its tolerance to constant
-    error (Figure 3) and accepts its extra cost. *)
+    error (Figure 3) and accepts its extra cost.
+
+    The ground-truth side of that preparation is identical for every
+    candidate scored against a segment, so it is cached: {!prepare} does
+    the truth-side resample + normalize once, and {!compute_prepared}
+    scores any number of candidates against it. A {!prepared} value is
+    immutable and safe to share across domains. *)
 
 type kind = Dtw | Euclidean | Manhattan | Frechet
 
@@ -22,16 +28,37 @@ let of_name s =
 (* DTW band: 10% of the series length, the standard Sakoe-Chiba default. *)
 let dtw_band length = Stdlib.max 2 (length / 10)
 
+type prepared = {
+  kind : kind;
+  length : int;
+  reference : float array;  (* truth, resampled to [length] and normalized *)
+  scale : float;  (* multiplier that maps candidates into the same space *)
+}
+
+(** [prepare ?length kind ~truth] does the truth-side preparation once,
+    for reuse across every candidate scored against this segment. *)
+let prepare ?(length = Series.default_length) kind ~truth =
+  let reference, scale = Series.prepare_truth ~length truth in
+  { kind; length; reference; scale }
+
+(** [compute_prepared ?cutoff prepared ~candidate] is the distance of a
+    candidate series against a prepared ground truth. With [?cutoff],
+    the metric abandons early once the distance provably (strictly)
+    exceeds it and returns [infinity]; results at or below the cutoff
+    are exact, so a best-so-far fold keeps the same winner. *)
+let compute_prepared ?cutoff { kind; length; reference; scale } ~candidate =
+  let candidate' = Series.prepare_candidate ~length ~scale candidate in
+  match kind with
+  | Dtw -> Dtw.distance ~band:(dtw_band length) ?cutoff reference candidate'
+  | Euclidean -> Pointwise.euclidean ?cutoff reference candidate'
+  | Manhattan -> Pointwise.manhattan ?cutoff reference candidate'
+  | Frechet -> Frechet.distance ?cutoff reference candidate'
+
 (** [compute kind ~truth ~candidate] is the distance between the
     ground-truth and candidate visible-CWND value series. Lower is a
-    better match. *)
-let compute ?(length = Series.default_length) kind ~truth ~candidate =
-  let truth', candidate' = Series.prepare ~length ~truth ~candidate () in
-  match kind with
-  | Dtw -> Dtw.distance ~band:(dtw_band length) truth' candidate'
-  | Euclidean -> Pointwise.euclidean truth' candidate'
-  | Manhattan -> Pointwise.manhattan truth' candidate'
-  | Frechet -> Frechet.distance truth' candidate'
+    better match. One-shot form of {!prepare} + {!compute_prepared}. *)
+let compute ?(length = Series.default_length) ?cutoff kind ~truth ~candidate =
+  compute_prepared ?cutoff (prepare ~length kind ~truth) ~candidate
 
 (** Default metric used by the synthesis pipeline. *)
 let default = Dtw

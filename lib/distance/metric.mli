@@ -3,7 +3,9 @@
     All metrics consume raw (possibly unequal-length) value series;
     resampling to a common length and normalization by the ground truth's
     mean happen inside {!compute}, so every call site gets identical
-    semantics. *)
+    semantics. The truth-side half of that preparation can be cached with
+    {!prepare} and reused across every candidate scored against the same
+    segment ({!compute_prepared}). *)
 
 type kind = Dtw | Euclidean | Manhattan | Frechet
 
@@ -15,12 +17,36 @@ val dtw_band : int -> int
 (** [dtw_band length] — the Sakoe–Chiba band used for series of the given
     length (10%, minimum 2). *)
 
+type prepared
+(** A ground-truth series resampled and normalized once, plus the metric
+    and scale needed to score candidates against it. Immutable — safe to
+    share across domains. *)
+
+val prepare : ?length:int -> kind -> truth:float array -> prepared
+(** [prepare kind ~truth] caches the truth-side preparation (resample to
+    [length], default {!Series.default_length}, and normalize by the
+    truth's mean) for reuse across candidates. *)
+
+val compute_prepared :
+  ?cutoff:float -> prepared -> candidate:float array -> float
+(** [compute_prepared prepared ~candidate] is the distance of a candidate
+    series against a prepared truth; equals
+    [compute kind ~truth ~candidate] for the prepared truth and kind.
+    [cutoff] abandons early with [infinity] once the distance provably
+    (strictly) exceeds it; results at or below the cutoff are exact. *)
+
 val compute :
-  ?length:int -> kind -> truth:float array -> candidate:float array -> float
+  ?length:int ->
+  ?cutoff:float ->
+  kind ->
+  truth:float array ->
+  candidate:float array ->
+  float
 (** [compute kind ~truth ~candidate] is the distance between a
     ground-truth and a candidate visible-CWND series, after resampling
     both to [length] points (default {!Series.default_length}) and
-    normalizing by the truth's mean. Lower is a better match. *)
+    normalizing by the truth's mean. Lower is a better match. See
+    {!compute_prepared} for [cutoff]. *)
 
 val default : kind
 (** The metric the synthesis pipeline uses unless told otherwise: DTW,

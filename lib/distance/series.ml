@@ -5,9 +5,25 @@
     a common scale so that a distance of "10" means comparable things
     across scenarios with different bandwidths. Normalization divides by
     the ground-truth series' mean (never by the candidate's: a candidate
-    must not be able to shrink its own error by inflating its output). *)
+    must not be able to shrink its own error by inflating its output).
+
+    The truth side of this work is identical for every candidate scored
+    against a segment, so it is split out: {!prepare_truth} runs once per
+    segment and its result (the prepared reference plus the scale it
+    implies) is reused by {!prepare_candidate} for each candidate. *)
 
 let default_length = 128
+
+let resample ~length xs =
+  let n = Array.length xs in
+  if n = length then Array.copy xs
+  else if n = 0 then Array.make length 0.0
+  else begin
+    (* Index-based linear interpolation handles both up- and
+       down-sampling. *)
+    let times = Array.init n float_of_int in
+    Abg_util.Resample.linear ~times ~values:xs ~n:length
+  end
 
 (** [normalize ~reference xs] scales both series by the reference mean. *)
 let normalize ~reference xs =
@@ -17,20 +33,26 @@ let normalize ~reference xs =
   let scale = if mean > 1e-9 then 1.0 /. mean else 1.0 in
   (Array.map (fun v -> v *. scale) reference, Array.map (fun v -> v *. scale) xs)
 
+(** [prepare_truth ?length truth] resamples and normalizes the
+    ground-truth series once, returning [(reference, scale)] where
+    [scale] is the multiplier candidates must be scaled by to live in the
+    same normalized space. *)
+let prepare_truth ?(length = default_length) truth =
+  let reference = resample ~length truth in
+  let n = Array.length reference in
+  assert (n > 0);
+  let mean = Array.fold_left ( +. ) 0.0 reference /. float_of_int n in
+  let scale = if mean > 1e-9 then 1.0 /. mean else 1.0 in
+  (Array.map (fun v -> v *. scale) reference, scale)
+
+(** [prepare_candidate ?length ~scale candidate] resamples a candidate
+    series and scales it by a truth-derived [scale]. *)
+let prepare_candidate ?(length = default_length) ~scale candidate =
+  Array.map (fun v -> v *. scale) (resample ~length candidate)
+
 (** [prepare ?length ~truth ~candidate ()] resamples both value series to
     [length] points and normalizes by the truth's mean, returning
     [(truth', candidate')]. *)
 let prepare ?(length = default_length) ~truth ~candidate () =
-  let resample xs =
-    let n = Array.length xs in
-    if n = length then Array.copy xs
-    else if n = 0 then Array.make length 0.0
-    else begin
-      (* Index-based linear interpolation handles both up- and
-         down-sampling. *)
-      let times = Array.init n float_of_int in
-      Abg_util.Resample.linear ~times ~values:xs ~n:length
-    end
-  in
-  let truth = resample truth and candidate = resample candidate in
-  normalize ~reference:truth candidate
+  let reference, scale = prepare_truth ~length truth in
+  (reference, prepare_candidate ~length ~scale candidate)

@@ -1,14 +1,32 @@
 (** Preparation of CWND series for distance computation: resampling to a
     fixed length and normalization by the ground-truth mean, so a
-    candidate cannot shrink its own error by inflating its output. *)
+    candidate cannot shrink its own error by inflating its output. The
+    truth-side work is exposed separately ({!prepare_truth}) so it can be
+    done once per segment and shared across all candidates. *)
 
 val default_length : int
 (** Points per prepared series (128). *)
+
+val resample : length:int -> float array -> float array
+(** [resample ~length xs] — [xs] linearly interpolated to [length]
+    points (a copy when already that length, zeros when empty). *)
 
 val normalize :
   reference:float array -> float array -> float array * float array
 (** [normalize ~reference xs] scales both series by the reference's mean;
     returns [(reference', xs')]. *)
+
+val prepare_truth : ?length:int -> float array -> float array * float
+(** [prepare_truth truth] resamples and normalizes the ground-truth
+    series, returning [(reference, scale)]. [scale] is the multiplier a
+    candidate series must be scaled by to be comparable to [reference];
+    feed it to {!prepare_candidate}. *)
+
+val prepare_candidate :
+  ?length:int -> scale:float -> float array -> float array
+(** [prepare_candidate ~scale candidate] resamples a candidate series and
+    scales it into the normalized space of the truth that produced
+    [scale]. *)
 
 val prepare :
   ?length:int ->
@@ -18,4 +36,4 @@ val prepare :
   float array * float array
 (** [prepare ~truth ~candidate ()] resamples both value series to
     [length] points (index-based linear interpolation) and normalizes by
-    the truth's mean. *)
+    the truth's mean. Equivalent to {!prepare_truth} + {!prepare_candidate}. *)

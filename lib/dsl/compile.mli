@@ -1,0 +1,22 @@
+(** Staged compilation of DSL expressions into OCaml closures.
+
+    Compiling once moves all AST dispatch out of the per-record replay
+    loop: constant subexpressions are folded at compile time (with exactly
+    {!Eval}'s arithmetic, so results are bit-identical), and a binary node
+    with a constant operand captures the float directly in its closure.
+    {!Eval} remains the reference interpreter; the property
+    [Compile.num e env = Eval.num e env] is tested over random
+    expressions and environments. *)
+
+val num : Expr.num -> Env.t -> float
+(** [num e] compiles [e]; the returned closure agrees with
+    [Eval.num env e] on every environment. Applying the closure to an
+    expression with an unfilled hole raises {!Eval.Unfilled_hole}. *)
+
+val boolean : Expr.boolean -> Env.t -> bool
+(** [boolean b] compiles a predicate; agrees with [Eval.boolean]. *)
+
+val handler : Expr.num -> Env.t -> float
+(** [handler e] compiles [e] with {!Eval.handler}'s guard: the result is
+    finite and at least one MSS. One compilation amortizes over a whole
+    segment replay. *)

@@ -1,51 +1,205 @@
 (** Parallel work distribution over OCaml 5 domains.
 
     The paper distributes bucket scoring over a Ray cluster (§5); this
-    module is the laptop-scale substitute. Work is split into contiguous
-    chunks, one per domain, because bucket scoring is embarrassingly
-    parallel and chunking avoids any shared mutable state: each worker
-    writes to a disjoint slice of the result array.
+    module is the laptop-scale substitute. Earlier versions spawned fresh
+    domains per [map] call and split work into one static chunk per
+    domain; both hurt the refinement loop, which calls [map] every
+    iteration over buckets whose costs vary by orders of magnitude
+    (sketch counts differ widely), leaving domains idle behind the
+    biggest chunk. Instead, a pool of worker domains is created once and
+    each job's items are claimed dynamically: every participant —
+    including the calling domain — pulls the next unclaimed index from a
+    shared atomic counter until none remain. Imbalanced items therefore
+    pack tightly, and per-call overhead is a mutex broadcast instead of a
+    domain spawn.
 
-    [num_domains] defaults to the machine's recommended domain count, and a
-    sequential fallback is used for tiny inputs where domain spawn overhead
+    The [map]/[mapi]/[map_list] wrappers run on a lazily-created global
+    pool (shut down via [at_exit]); explicit pools are available through
+    {!create}/{!shutdown}. A sequential fallback is used for tiny inputs
+    and single-domain machines, where any coordination overhead
     dominates. *)
 
 let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
 
-(** [map ?num_domains f xs] is [Array.map f xs] computed in parallel.
-    [f] must be safe to run concurrently on distinct elements. Exceptions
-    raised by [f] are re-raised in the caller. *)
-let map ?num_domains f xs =
+type job = {
+  run : int -> unit;
+  n : int;
+  next : int Atomic.t;  (* next unclaimed item index *)
+  left : int Atomic.t;  (* items not yet completed *)
+  active : int;  (* participation cap, caller included *)
+  participants : int Atomic.t;
+  mutable exn : exn option;  (* first exception, re-raised by the caller *)
+}
+
+type t = {
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  cv : Condition.t;  (* new job submitted, or shutdown *)
+  done_cv : Condition.t;  (* some job completed its last item *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped per submitted job *)
+  mutable stop : bool;
+}
+
+(* Claim and run items until none remain. Any participant may run any
+   item; the last one to finish wakes the submitter. *)
+let work t job =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.n then continue := false
+    else begin
+      (try job.run i
+       with e ->
+         Mutex.lock t.m;
+         if job.exn = None then job.exn <- Some e;
+         Mutex.unlock t.m);
+      if Atomic.fetch_and_add job.left (-1) = 1 then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.m
+      end
+    end
+  done
+
+let worker_loop t () =
+  let last_gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while
+      (not t.stop) && (t.job = None || t.generation = !last_gen)
+    do
+      Condition.wait t.cv t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      continue := false
+    end
+    else begin
+      let job = Option.get t.job in
+      last_gen := t.generation;
+      Mutex.unlock t.m;
+      (* Honor the job's participation cap (?num_domains): claim one of
+         the [active] slots or sit this job out. *)
+      if Atomic.fetch_and_add job.participants 1 < job.active then work t job
+    end
+  done
+
+(** [create ?size ()] spawns a pool of [size] worker domains (default:
+    the machine's recommended parallelism minus the calling domain, which
+    participates in every job). [size = 0] is valid: jobs then run
+    entirely on the caller, still through the same claiming loop. *)
+let create ?size () =
+  let size =
+    match size with
+    | Some s -> Stdlib.max 0 s
+    | None -> Stdlib.max 0 (default_domains () - 1)
+  in
+  let t =
+    {
+      workers = [||];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      done_cv = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+    }
+  in
+  t.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+(** [shutdown t] stops and joins the worker domains. Idempotent; [t] must
+    not be used afterwards. *)
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let size t = Array.length t.workers
+
+(* Submit a job, participate, wait for the last item, re-raise the first
+   worker exception. Submitting from inside a running job's [f] is safe
+   (the inner submitter participates in its own job, so it always makes
+   progress), though such jobs share the worker pool. *)
+let run_job t ~active ~n ~body =
+  Mutex.lock t.m;
+  let job =
+    {
+      run = body;
+      n;
+      next = Atomic.make 0;
+      left = Atomic.make n;
+      active;
+      participants = Atomic.make 1 (* the caller *);
+      exn = None;
+    }
+  in
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  work t job;
+  Mutex.lock t.m;
+  while Atomic.get job.left > 0 do
+    Condition.wait t.done_cv t.m
+  done;
+  if t.job == Some job then t.job <- None;
+  Mutex.unlock t.m;
+  match job.exn with Some e -> raise e | None -> ()
+
+(* The global pool behind map/mapi/map_list: created on first parallel
+   call, torn down at exit. *)
+let global_pool = ref None
+let global_m = Mutex.create ()
+
+let global () =
+  Mutex.lock global_m;
+  let t =
+    match !global_pool with
+    | Some t -> t
+    | None ->
+        let t = create () in
+        at_exit (fun () -> shutdown t);
+        global_pool := Some t;
+        t
+  in
+  Mutex.unlock global_m;
+  t
+
+(** [map ?pool ?num_domains f xs] is [Array.map f xs] computed in
+    parallel. [f] must be safe to run concurrently on distinct elements.
+    Exceptions raised by [f] are re-raised in the caller. [num_domains]
+    caps how many domains participate (the available parallelism is
+    otherwise bounded by the pool's size). *)
+let map ?pool ?num_domains f xs =
   let n = Array.length xs in
-  let domains = match num_domains with Some d -> Stdlib.max 1 d | None -> default_domains () in
+  let domains =
+    match num_domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> default_domains ()
+  in
   if n = 0 then [||]
   else if domains = 1 || n < 4 then Array.map f xs
   else begin
+    let t = match pool with Some t -> t | None -> global () in
     let out = Array.make n None in
-    let workers = Stdlib.min domains n in
-    let chunk = (n + workers - 1) / workers in
-    let run lo hi () =
-      for i = lo to hi do
-        out.(i) <- Some (f xs.(i))
-      done
-    in
-    let handles =
-      List.init workers (fun w ->
-          let lo = w * chunk in
-          let hi = Stdlib.min (lo + chunk - 1) (n - 1) in
-          if lo > hi then None else Some (Domain.spawn (run lo hi)))
-    in
-    List.iter (function Some d -> Domain.join d | None -> ()) handles;
+    run_job t ~active:(Stdlib.min domains n) ~n
+      ~body:(fun i -> out.(i) <- Some (f xs.(i)));
     Array.map
       (function Some v -> v | None -> invalid_arg "Pool.map: missing result")
       out
   end
 
-(** [mapi ?num_domains f xs] is the indexed variant of {!map}. *)
-let mapi ?num_domains f xs =
+(** [mapi ?pool ?num_domains f xs] is the indexed variant of {!map}. *)
+let mapi ?pool ?num_domains f xs =
   let indexed = Array.mapi (fun i x -> (i, x)) xs in
-  map ?num_domains (fun (i, x) -> f i x) indexed
+  map ?pool ?num_domains (fun (i, x) -> f i x) indexed
 
-(** [map_list ?num_domains f xs] is {!map} over lists. *)
-let map_list ?num_domains f xs =
-  Array.to_list (map ?num_domains f (Array.of_list xs))
+(** [map_list ?pool ?num_domains f xs] is {!map} over lists. *)
+let map_list ?pool ?num_domains f xs =
+  Array.to_list (map ?pool ?num_domains f (Array.of_list xs))

@@ -1,15 +1,35 @@
 (** Parallel work distribution over OCaml 5 domains — the laptop-scale
-    substitute for the paper's Ray cluster (§5). Work is split into
-    contiguous chunks, one per domain; falls back to sequential execution
-    for tiny inputs or single-domain machines. *)
+    substitute for the paper's Ray cluster (§5). A persistent pool of
+    worker domains serves every job; participants (including the calling
+    domain) claim item indices dynamically from a shared atomic counter,
+    so imbalanced items pack tightly and per-call overhead is a condition
+    broadcast, not a domain spawn. Falls back to sequential execution for
+    tiny inputs or single-domain machines. *)
 
 val default_domains : unit -> int
 (** Recommended worker count for this machine (at least 1). *)
 
-val map : ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map f xs] is [Array.map f xs] computed in parallel. [f] must be safe
-    to run concurrently on distinct elements; exceptions re-raise in the
-    caller. *)
+type t
+(** A persistent pool of worker domains. *)
 
-val mapi : ?num_domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
-val map_list : ?num_domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val create : ?size:int -> unit -> t
+(** [create ()] spawns a pool of [size] worker domains (default: the
+    machine's recommended parallelism minus the calling domain, which
+    participates in every job). [size = 0] is valid — jobs run entirely
+    on the caller. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's domains. Idempotent. The pool must not be
+    used afterwards. *)
+
+val size : t -> int
+(** Number of worker domains (excluding callers). *)
+
+val map : ?pool:t -> ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] is [Array.map f xs] computed in parallel on [pool]
+    (default: a lazily-created global pool, shut down at exit). [f] must
+    be safe to run concurrently on distinct elements; exceptions re-raise
+    in the caller. [num_domains] caps how many domains participate. *)
+
+val mapi : ?pool:t -> ?num_domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val map_list : ?pool:t -> ?num_domains:int -> ('a -> 'b) -> 'a list -> 'b list

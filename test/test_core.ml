@@ -67,6 +67,38 @@ let test_replay_total_distance_sums () =
   let sum = List.fold_left (fun acc s -> acc +. Abg_core.Replay.distance h s) 0.0 segs in
   Alcotest.(check (float 1e-6)) "sum" sum total
 
+let test_replay_prepared_matches_plain () =
+  (* The prepared fast path (compile once, cached envs, scratch buffer)
+     must agree bit for bit with the one-shot entry points. *)
+  let segs = Lazy.force segments in
+  let h = Option.get (Abg_core.Fine_tuned.find_fine_tuned "reno") in
+  let compiled = Abg_core.Replay.compile h in
+  let seg = List.hd segs in
+  let plain = Abg_core.Replay.synthesize h seg in
+  let fast = Abg_core.Replay.synthesize_prepared (Abg_core.Replay.prepare seg) compiled in
+  Alcotest.(check int) "series length" (Array.length plain) (Array.length fast);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "series bit-identical" true (Float.equal v fast.(i)))
+    plain;
+  let prepared = List.map Abg_core.Replay.prepare segs in
+  let total = Abg_core.Replay.total_distance h segs in
+  let total_fast = Abg_core.Replay.total_distance_prepared prepared compiled in
+  Alcotest.(check bool) "total bit-identical" true (Float.equal total total_fast)
+
+let test_replay_total_distance_cutoff () =
+  (* Cutoffs are an optimisation, never an approximation: above the true
+     total the result is exact; below it the result is either [infinity]
+     (abandoned) or still the exact total. *)
+  let segs = Lazy.force segments in
+  let h = Option.get (Abg_core.Fine_tuned.find_fine_tuned "reno") in
+  let full = Abg_core.Replay.total_distance h segs in
+  let above = Abg_core.Replay.total_distance ~cutoff:(2.0 *. full) h segs in
+  Alcotest.(check bool) "exact below cutoff" true (Float.equal full above);
+  let below = Abg_core.Replay.total_distance ~cutoff:(full /. 4.0) h segs in
+  Alcotest.(check bool) "sound above cutoff" true
+    (below = infinity || Float.equal below full)
+
 (* -- Concretize -- *)
 
 let test_plausible_rejects_identity () =
@@ -219,6 +251,26 @@ let test_synthesis_sorted_by_length () =
   let lengths = List.map Abg_trace.Segmentation.length segs in
   Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) lengths) lengths
 
+let test_synthesis_deterministic () =
+  (* The hot-path machinery (compiled handlers, cutoffs, prepared truths,
+     domain pool) must not change *which* handler wins or its score: the
+     full default-config synthesis on the seeded reno suite pins the exact
+     winner recorded before the overhaul. *)
+  let traces =
+    Abg_trace.Trace.collect_suite ~duration:20.0 ~n:4 ~name:"reno"
+      (fun ~mss () -> Abg_cca.Reno.create ~mss ())
+  in
+  match
+    Abg_core.Synthesis.run ~config:Abg_core.Refinement.default_config
+      ~dsl:Abg_dsl.Catalog.reno ~name:"reno" traces
+  with
+  | None -> Alcotest.fail "synthesis returned nothing"
+  | Some o ->
+      Alcotest.(check string) "winning handler" "CWND + reno-inc"
+        o.Abg_core.Synthesis.pretty;
+      Alcotest.(check (float 1e-9)) "winning distance" 10.782077104571155
+        o.Abg_core.Synthesis.distance
+
 let test_abagnale_facade () =
   let cfg = Abg_netsim.Config.make ~duration:8.0 ~bandwidth_mbps:10.0 ~rtt_ms:50.0 () in
   let traces =
@@ -242,6 +294,8 @@ let suites =
         Alcotest.test_case "ceiling" `Quick test_replay_ceiling;
         Alcotest.test_case "distance ordering" `Quick test_replay_distance_ordering;
         Alcotest.test_case "total = sum" `Quick test_replay_total_distance_sums;
+        Alcotest.test_case "prepared = plain" `Quick test_replay_prepared_matches_plain;
+        Alcotest.test_case "cutoff sound" `Quick test_replay_total_distance_cutoff;
       ] );
     ( "core.concretize",
       [
@@ -264,6 +318,7 @@ let suites =
     ( "core.pipeline",
       [
         Alcotest.test_case "refinement end-to-end" `Slow test_refinement_end_to_end;
+        Alcotest.test_case "synthesis deterministic" `Slow test_synthesis_deterministic;
         Alcotest.test_case "segments fallback" `Quick test_synthesis_segments_fallback;
         Alcotest.test_case "segments sorted" `Quick test_synthesis_sorted_by_length;
         Alcotest.test_case "facade" `Quick test_abagnale_facade;

@@ -131,6 +131,79 @@ let prop_band_lower_bounds_exact =
       Abg_distance.Dtw.distance ~band:3 a b
       >= Abg_distance.Dtw.distance a b -. 1e-9)
 
+(* -- Cutoff (early-abandon) semantics: exact at or below the cutoff,
+   infinity only when provably worse. One property per metric. -- *)
+
+let arb_pair_cutoff =
+  QCheck.(
+    triple arb_series arb_series
+      (make QCheck.Gen.(float_range 0.0 2000.0)))
+
+let cutoff_sound name dist =
+  (* [dist ?cutoff a b]: at or below the cutoff the result is exact;
+     above it, the only admissible answers are the exact value or
+     infinity. *)
+  QCheck.Test.make ~name ~count:300 arb_pair_cutoff (fun (a, b, cutoff) ->
+      let full = dist ?cutoff:None a b in
+      let cut = dist ?cutoff:(Some cutoff) a b in
+      if full <= cutoff then cut = full else cut = full || cut = infinity)
+
+let prop_dtw_cutoff_sound =
+  cutoff_sound "dtw cutoff: exact below, inf-or-exact above"
+    (fun ?cutoff a b -> Abg_distance.Dtw.distance ~band:3 ?cutoff a b)
+
+let prop_euclidean_cutoff_sound =
+  cutoff_sound "euclidean cutoff: exact below, inf-or-exact above"
+    (fun ?cutoff a b ->
+      let n = min (Array.length a) (Array.length b) in
+      Abg_distance.Pointwise.euclidean ?cutoff (Array.sub a 0 n)
+        (Array.sub b 0 n))
+
+let prop_manhattan_cutoff_sound =
+  cutoff_sound "manhattan cutoff: exact below, inf-or-exact above"
+    (fun ?cutoff a b ->
+      let n = min (Array.length a) (Array.length b) in
+      Abg_distance.Pointwise.manhattan ?cutoff (Array.sub a 0 n)
+        (Array.sub b 0 n))
+
+let prop_frechet_cutoff_sound =
+  cutoff_sound "frechet cutoff: exact below, inf-or-exact above"
+    (fun ?cutoff a b -> Abg_distance.Frechet.distance ?cutoff a b)
+
+let test_dtw_cutoff_abandons () =
+  (* A cutoff far below the true distance must abandon. *)
+  let a = Array.init 64 (fun i -> float_of_int i) in
+  let b = Array.init 64 (fun i -> float_of_int i +. 50.0) in
+  let full = Abg_distance.Dtw.distance ~band:6 a b in
+  Alcotest.(check bool) "abandons" true
+    (Abg_distance.Dtw.distance ~band:6 ~cutoff:(full /. 10.0) a b = infinity)
+
+let test_metric_prepared_matches_compute () =
+  (* Prepared truth must give exactly the one-shot compute result. *)
+  let truth = Array.init 100 (fun i -> 100.0 +. (3.0 *. float_of_int i)) in
+  let cand = Array.init 73 (fun i -> 90.0 +. (3.5 *. float_of_int i)) in
+  List.iter
+    (fun kind ->
+      let p = Abg_distance.Metric.prepare kind ~truth in
+      Alcotest.(check (float 0.0))
+        (Abg_distance.Metric.name kind ^ " prepared = compute")
+        (Abg_distance.Metric.compute kind ~truth ~candidate:cand)
+        (Abg_distance.Metric.compute_prepared p ~candidate:cand))
+    Abg_distance.Metric.all
+
+let test_metric_cutoff_exact_below () =
+  let truth = Array.init 100 (fun i -> 100.0 +. (3.0 *. float_of_int i)) in
+  let cand = Array.map (fun v -> v *. 1.1) truth in
+  List.iter
+    (fun kind ->
+      let full = Abg_distance.Metric.compute kind ~truth ~candidate:cand in
+      Alcotest.(check (float 0.0))
+        (Abg_distance.Metric.name kind ^ " exact below cutoff")
+        full
+        (Abg_distance.Metric.compute kind ~cutoff:(full +. 1.0) ~truth
+           ~candidate:cand))
+    Abg_distance.Metric.all
+
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let suites =
@@ -144,24 +217,30 @@ let suites =
         Alcotest.test_case "empty" `Quick test_dtw_empty;
         Alcotest.test_case "path endpoints" `Quick test_dtw_path_endpoints;
       ]
-      @ qcheck [ prop_dtw_nonnegative; prop_dtw_le_manhattan; prop_band_lower_bounds_exact ]
+      @ qcheck
+          [ prop_dtw_nonnegative; prop_dtw_le_manhattan;
+            prop_band_lower_bounds_exact; prop_dtw_cutoff_sound ]
+      @ [ Alcotest.test_case "cutoff abandons" `Quick test_dtw_cutoff_abandons ]
     );
     ( "distance.pointwise",
       [
         Alcotest.test_case "euclidean" `Quick test_euclidean_known;
         Alcotest.test_case "manhattan" `Quick test_manhattan_known;
-      ] );
+      ]
+      @ qcheck [ prop_euclidean_cutoff_sound; prop_manhattan_cutoff_sound ] );
     ( "distance.frechet",
       [
         Alcotest.test_case "identical" `Quick test_frechet_identical;
         Alcotest.test_case "offset" `Quick test_frechet_constant_offset;
       ]
-      @ qcheck [ prop_frechet_le_max_gap ] );
+      @ qcheck [ prop_frechet_le_max_gap; prop_frechet_cutoff_sound ] );
     ( "distance.metric",
       [
         Alcotest.test_case "prepare normalizes" `Quick test_series_prepare_normalizes;
         Alcotest.test_case "prepare resamples" `Quick test_series_prepare_resamples;
         Alcotest.test_case "dispatch" `Quick test_metric_dispatch;
         Alcotest.test_case "orders candidates" `Quick test_metric_orders_candidates;
+        Alcotest.test_case "prepared = compute" `Quick test_metric_prepared_matches_compute;
+        Alcotest.test_case "cutoff exact below" `Quick test_metric_cutoff_exact_below;
       ] );
   ]

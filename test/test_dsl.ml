@@ -311,6 +311,114 @@ let prop_pretty_total =
   QCheck.Test.make ~name:"pretty printing is total" ~count:300 arbitrary_expr
     (fun e -> String.length (Pretty.num e) > 0)
 
+(* -- QCheck: compiled closures agree with the reference interpreter -- *)
+
+(* Wider generator than [gen_expr]: all macros, more signals, negative and
+   zero constants (to hit the safe-division guards), Cube/Cbrt, and all
+   three boolean connectives — everything Compile.stage has cases for,
+   including the fused affine-increase shapes. *)
+let gen_expr_full =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return Cwnd; return ri; return vd;
+        return (Macro Macro.Htcp_diff); return (Macro Macro.Rtts_since_loss);
+        return (Signal Signal.Mss); return (Signal Signal.Rtt);
+        return (Signal Signal.Ack_rate); return (Signal Signal.Wmax);
+        return (Const 0.0);
+        map (fun v -> Const v) (float_range (-4.0) 8.0) ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then leaf
+          else
+            frequency
+              [ (2, leaf);
+                (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Div (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> Cube a) (self (n - 1)));
+                (1, map (fun a -> Cbrt a) (self (n - 1)));
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Lt (a, b), t, Cwnd))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Gt (a, b), t, b))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Mod_eq (a, b), t, a))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) ) ])
+        (min n 10))
+
+(* Random environments, with zeros mixed in so divisor guards and the
+   handler's MSS floor are exercised, not just the generic arithmetic. *)
+let gen_env =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ cwnd; mss; acked_bytes; time_since_loss; rtt; min_rtt; max_rtt;
+            ack_rate; rtt_gradient; delay_gradient; wmax ] ->
+            { Env.cwnd; mss; acked_bytes; time_since_loss; rtt; min_rtt;
+              max_rtt; ack_rate; rtt_gradient; delay_gradient; wmax }
+        | _ -> assert false)
+      (list_repeat 11
+         (oneof
+            [ float_range 0.0 50000.0; return 0.0; float_range (-10.0) 10.0 ])))
+
+let arbitrary_expr_env =
+  QCheck.make
+    ~print:(fun (e, _) -> Pretty.num e)
+    QCheck.Gen.(pair gen_expr_full gen_env)
+
+(* Float.equal: NaN agrees with NaN, so compiled and interpreted results
+   must be the same value, not just approximately close. *)
+let prop_compile_matches_eval =
+  QCheck.Test.make ~name:"Compile.num = Eval.num (bit-exact)" ~count:1000
+    arbitrary_expr_env (fun (e, env) ->
+      Float.equal (Eval.num env e) (Compile.num e env))
+
+let prop_compile_handler_matches_eval =
+  QCheck.Test.make ~name:"Compile.handler = Eval.handler (bit-exact)"
+    ~count:1000 arbitrary_expr_env (fun (e, env) ->
+      Float.equal (Eval.handler e env) (Compile.handler e env))
+
+let prop_compile_boolean_matches_eval =
+  QCheck.Test.make ~name:"Compile.boolean = Eval.boolean" ~count:1000
+    (QCheck.make QCheck.Gen.(pair (pair gen_expr_full gen_expr_full) gen_env))
+    (fun ((a, b), env) ->
+      List.for_all
+        (fun p -> Bool.equal (Eval.boolean env p) (Compile.boolean p env))
+        [ Lt (a, b); Gt (a, b); Mod_eq (a, b) ])
+
+let test_compile_hole_raises () =
+  let f = Compile.num (Add (Cwnd, Hole 3)) in
+  Alcotest.check_raises "unfilled hole" (Eval.Unfilled_hole 3) (fun () ->
+      ignore (f env))
+
+let test_compile_affine_exact () =
+  (* The fused affine-increase fast path must match the interpreter on
+     the catalog handlers that take it. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun k ->
+          let e = Add (Cwnd, Mul (c k, Macro m)) in
+          Alcotest.(check bool)
+            (Pretty.num e) true
+            (Float.equal (Eval.handler e env) (Compile.handler e env));
+          let e' = Add (Cwnd, Macro m) in
+          Alcotest.(check bool)
+            (Pretty.num e') true
+            (Float.equal (Eval.handler e' env) (Compile.handler e' env)))
+        [ 0.0; 0.7; 1.0; -2.5 ])
+    Macro.all
+
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let suites =
@@ -352,6 +460,14 @@ let suites =
         Alcotest.test_case "is_simplifiable" `Quick test_is_simplifiable;
       ]
       @ qcheck [ prop_simplify_preserves_value; prop_simplify_never_grows ] );
+    ( "dsl.compile",
+      [
+        Alcotest.test_case "unfilled hole raises" `Quick test_compile_hole_raises;
+        Alcotest.test_case "affine fast path" `Quick test_compile_affine_exact;
+      ]
+      @ qcheck
+          [ prop_compile_matches_eval; prop_compile_handler_matches_eval;
+            prop_compile_boolean_matches_eval ] );
     ( "dsl.units",
       [
         Alcotest.test_case "reno typed" `Quick test_units_reno;

@@ -301,6 +301,31 @@ let test_pool_map_list () =
   Alcotest.(check (list int)) "list variant" [ 2; 3; 4 ]
     (Abg_parallel.Pool.map_list succ [ 1; 2; 3 ])
 
+let test_pool_explicit_reuse () =
+  (* An explicit pool serves many jobs before shutdown; shutdown is
+     idempotent. *)
+  let pool = Abg_parallel.Pool.create ~size:2 () in
+  Alcotest.(check int) "size" 2 (Abg_parallel.Pool.size pool);
+  let xs = Array.init 64 (fun i -> i) in
+  for _ = 1 to 3 do
+    Alcotest.(check (array int)) "reused pool"
+      (Array.map (fun x -> x * x) xs)
+      (Abg_parallel.Pool.map ~pool ~num_domains:3 (fun x -> x * x) xs)
+  done;
+  Abg_parallel.Pool.shutdown pool;
+  Abg_parallel.Pool.shutdown pool
+
+let test_pool_exception_reraised () =
+  let xs = Array.init 50 (fun i -> i) in
+  Alcotest.check_raises "re-raises worker exception" Exit (fun () ->
+      ignore
+        (Abg_parallel.Pool.map ~num_domains:2
+           (fun x -> if x = 17 then raise Exit else x)
+           xs));
+  (* The pool must remain usable after a failed job. *)
+  Alcotest.(check (array int)) "usable after failure" (Array.map succ xs)
+    (Abg_parallel.Pool.map ~num_domains:2 succ xs)
+
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let pool_suite =
@@ -311,6 +336,8 @@ let pool_suite =
       Alcotest.test_case "mapi" `Quick test_pool_mapi;
       Alcotest.test_case "empty" `Quick test_pool_empty;
       Alcotest.test_case "map_list" `Quick test_pool_map_list;
+      Alcotest.test_case "explicit pool reuse" `Quick test_pool_explicit_reuse;
+      Alcotest.test_case "exception re-raise" `Quick test_pool_exception_reraised;
     ] )
 
 let suites =
