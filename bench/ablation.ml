@@ -15,7 +15,8 @@
 let reno_traces ~jitter =
   let ctor = Option.get (Abg_cca.Registry.find "reno") in
   Abg_netsim.Config.testbed_grid ~duration:15.0 ~ack_jitter:jitter ~n:3 ()
-  |> List.map (fun cfg -> Abg_trace.Trace.collect cfg ~name:"reno" ctor)
+  |> Abg_parallel.Pool.map_list (fun cfg ->
+         Abg_trace.Trace.collect_cached cfg ~name:"reno" ctor)
 
 let ablate_units () =
   Printf.printf "\n-- a. unit constraints --\n";

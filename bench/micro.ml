@@ -36,8 +36,15 @@ let euclidean_test =
     (Staged.stage (fun () -> ignore (Abg_distance.Pointwise.euclidean a b)))
 
 let frechet_test =
+  (* The production configuration (Metric threads the same Sakoe–Chiba
+     band DTW uses); the -full variant keeps the unbanded cost visible. *)
   let a = series 128 and b = series 128 in
   Test.make ~name:"fig3: frechet-128"
+    (Staged.stage (fun () -> ignore (Abg_distance.Frechet.distance ~band:12 a b)))
+
+let frechet_full_test =
+  let a = series 128 and b = series 128 in
+  Test.make ~name:"fig3: frechet-128-full"
     (Staged.stage (fun () -> ignore (Abg_distance.Frechet.distance a b)))
 
 (* The scoring inner loop before and after the hot-path overhaul. The
@@ -157,6 +164,16 @@ let simulate_test =
          let cca = Abg_cca.Reno.create ~mss:1448.0 () in
          ignore (Abg_netsim.Sim.run cfg cca)))
 
+(* Whole-suite collection over the parallel pool, cache bypassed so the
+   measurement is the simulate+derive cost, not a store lookup. *)
+let collect_suite_test =
+  let ctor = Option.get (Abg_cca.Registry.find "reno") in
+  Test.make ~name:"table3: collect-suite-grid"
+    (Staged.stage (fun () ->
+         ignore
+           (Abg_trace.Trace.collect_suite ~duration:1.0 ~cache:false ~n:4
+              ~name:"reno" ctor)))
+
 let classify_features_test =
   lazy
     (let traces = Runs.traces "reno" in
@@ -222,9 +239,9 @@ let run () =
   let pool_persistent, pool_spawning = Lazy.force pool_tests in
   let tests =
     [ dtw_test; dtw_cutoff_test; euclidean_test; frechet_test;
-      replay_compiled; replay_interp; bucket_cutoff; bucket_full;
-      pool_persistent; pool_spawning; Lazy.force enumerate_test;
-      simulate_test; Lazy.force classify_features_test ]
+      frechet_full_test; replay_compiled; replay_interp; bucket_cutoff;
+      bucket_full; pool_persistent; pool_spawning; Lazy.force enumerate_test;
+      simulate_test; collect_suite_test; Lazy.force classify_features_test ]
   in
   let rows = List.concat_map measure tests in
   write_json "BENCH_micro.json" rows;

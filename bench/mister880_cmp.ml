@@ -11,7 +11,8 @@
 let clean_traces () =
   let ctor = Option.get (Abg_cca.Registry.find "reno") in
   Abg_netsim.Config.testbed_grid ~duration:15.0 ~ack_jitter:0.0 ~n:2 ()
-  |> List.map (fun cfg -> Abg_trace.Trace.collect cfg ~name:"reno" ctor)
+  |> Abg_parallel.Pool.map_list (fun cfg ->
+         Abg_trace.Trace.collect_cached cfg ~name:"reno" ctor)
 
 let segments_of traces =
   let rng = Abg_util.Rng.create 7 in

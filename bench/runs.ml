@@ -30,23 +30,16 @@ let student_rows =
   [ "student1"; "student2"; "student3"; "student4"; "student5"; "student6";
     "student7" ]
 
-let traces_cache : (string, Abg_trace.Trace.t list) Hashtbl.t =
-  Hashtbl.create 31
-
+(* Suites come from the process-wide trace store (collect_suite caches by
+   (cca, config digest)), so repeated calls per name — and any other
+   section or example asking for the same grid — are cache hits. *)
 let traces name =
-  match Hashtbl.find_opt traces_cache name with
-  | Some t -> t
-  | None ->
-      let ctor =
-        match Abg_cca.Registry.find name with
-        | Some c -> c
-        | None -> invalid_arg ("unknown CCA " ^ name)
-      in
-      let t =
-        Abg_trace.Trace.collect_suite ~duration ~n:scenarios ~name ctor
-      in
-      Hashtbl.replace traces_cache name t;
-      t
+  let ctor =
+    match Abg_cca.Registry.find name with
+    | Some c -> c
+    | None -> invalid_arg ("unknown CCA " ^ name)
+  in
+  Abg_trace.Trace.collect_suite ~duration ~n:scenarios ~name ctor
 
 (* Sub-DSL per CCA, following the paper's classifier-hint procedure
    (Table 3 drives §3.3): the Gordon verdict picks the family for kernel

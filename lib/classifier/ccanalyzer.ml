@@ -19,8 +19,8 @@ let reference_traces = lazy (
       | None -> None
       | Some ctor ->
           let traces =
-            List.map
-              (fun cfg -> Abg_trace.Trace.collect cfg ~name ctor)
+            Abg_parallel.Pool.map_list
+              (fun cfg -> Abg_trace.Trace.collect_cached cfg ~name ctor)
               (Gordon.reference_scenarios ())
           in
           Some (name, traces))

@@ -33,14 +33,16 @@ let segment_slopes (seg : Abg_trace.Segmentation.segment) =
   let n = Array.length records in
   if n < 6 then None
   else begin
-    let times = Array.map (fun r -> r.Abg_trace.Record.time) records in
-    let cwnds = Array.map Abg_trace.Record.observed_cwnd records in
     let mss = records.(0).Abg_trace.Record.mss in
-    let rtt = Stats.median (Array.map (fun r -> r.Abg_trace.Record.rtt) records) in
+    let rtt = Stats.median_fn (fun i -> records.(i).Abg_trace.Record.rtt) ~len:n in
     let third = n / 3 in
+    (* Regress directly over record index ranges — no [Array.sub]/[map]
+       copies per slope; results are bit-identical to regressing over
+       copies. *)
+    let time i = records.(i).Abg_trace.Record.time in
+    let cwnd i = Abg_trace.Record.observed_cwnd records.(i) in
     let slope_of lo len =
-      let t = Array.sub times lo len and c = Array.sub cwnds lo len in
-      let slope, _ = Stats.linear_regression t c in
+      let slope, _ = Stats.linear_regression_fn time cwnd ~lo ~len in
       (* bytes/s -> MSS per RTT *)
       slope *. rtt /. mss
     in
@@ -80,7 +82,12 @@ let extract (traces : Abg_trace.Trace.t list) =
   in
   (* Loss response: the window just before a loss vs the *post-recovery
      minimum* shortly after it. Reading the window immediately after the
-     loss would still see the pre-loss flight draining out. *)
+     loss would still see the pre-loss flight draining out. Records and
+     loss times are both time-sorted, so one merged sweep per trace
+     suffices: a cursor tracks the first record at-or-after each loss,
+     advancing monotonically across losses, and only the <= 0.6 s
+     post-loss window is rescanned — O(records + losses * window) instead
+     of the former O(losses * records) full rescan per loss. *)
   let decreases = ref [] in
   let losses = ref 0 in
   let duration = ref 0.0 in
@@ -93,20 +100,34 @@ let extract (traces : Abg_trace.Trace.t list) =
           !duration
           +. records.(n - 1).Abg_trace.Record.time
           -. records.(0).Abg_trace.Record.time;
+        let cursor = ref 0 in
         Array.iter
           (fun loss_t ->
             incr losses;
-            let before = ref nan in
-            let after = ref infinity in
-            Array.iter
-              (fun r ->
-                let t = r.Abg_trace.Record.time in
-                if t < loss_t then before := Abg_trace.Record.observed_cwnd r
-                else if t <= loss_t +. 0.6 then
-                  after := Float.min !after (Abg_trace.Record.observed_cwnd r))
-              records;
-            if Float.is_finite !before && Float.is_finite !after && !before > 0.0
-            then decreases := (!after /. !before) :: !decreases)
+            while
+              !cursor < n
+              && records.(!cursor).Abg_trace.Record.time < loss_t
+            do
+              incr cursor
+            done;
+            if !cursor > 0 then begin
+              let before =
+                Abg_trace.Record.observed_cwnd records.(!cursor - 1)
+              in
+              let after = ref infinity in
+              let j = ref !cursor in
+              while
+                !j < n
+                && records.(!j).Abg_trace.Record.time <= loss_t +. 0.6
+              do
+                after :=
+                  Float.min !after
+                    (Abg_trace.Record.observed_cwnd records.(!j));
+                incr j
+              done;
+              if Float.is_finite !after && before > 0.0 then
+                decreases := (!after /. before) :: !decreases
+            end)
           tr.Abg_trace.Trace.loss_times
       end)
     traces;
@@ -117,8 +138,20 @@ let extract (traces : Abg_trace.Trace.t list) =
     if !duration > 0.0 then float_of_int !losses /. !duration else 0.0
   in
   (* Per-record growth vs RTT correlation, and time-resampled flatness and
-     pulse structure. *)
-  let all_growth = ref [] and all_rtt = ref [] in
+     pulse structure. The growth/RTT pairs are written into preallocated
+     arrays (their total count is known up front) instead of list-cons +
+     [Array.of_list]; they are filled back-to-front to reproduce the cons
+     order, so the Pearson accumulation — and thus the feature — stays
+     bit-identical to the list-based implementation. *)
+  let total_pairs =
+    List.fold_left
+      (fun acc tr ->
+        acc + Stdlib.max 0 (Array.length tr.Abg_trace.Trace.records - 1))
+      0 traces
+  in
+  let all_growth = Array.make total_pairs 0.0 in
+  let all_rtt = Array.make total_pairs 0.0 in
+  let pair_idx = ref total_pairs in
   let flat = ref 0 and total = ref 0 in
   let reversals = ref 0.0 in
   let cwnd_sum = ref 0.0 and cwnd_n = ref 0 in
@@ -126,23 +159,31 @@ let extract (traces : Abg_trace.Trace.t list) =
     (fun tr ->
       let records = tr.Abg_trace.Trace.records in
       let n = Array.length records in
+      let prev = ref (if n > 0 then Abg_trace.Record.observed_cwnd records.(0) else 0.0) in
       for i = 1 to n - 1 do
-        let prev = Abg_trace.Record.observed_cwnd records.(i - 1) in
         let cur = Abg_trace.Record.observed_cwnd records.(i) in
         let mss = records.(i).Abg_trace.Record.mss in
-        all_growth := ((cur -. prev) /. mss) :: !all_growth;
-        all_rtt := records.(i).Abg_trace.Record.rtt :: !all_rtt;
+        decr pair_idx;
+        all_growth.(!pair_idx) <- (cur -. !prev) /. mss;
+        all_rtt.(!pair_idx) <- records.(i).Abg_trace.Record.rtt;
         cwnd_sum := !cwnd_sum +. (cur /. mss);
-        incr cwnd_n
+        incr cwnd_n;
+        prev := cur
       done;
       if n > 10 then begin
         (* Resample the visible window to a 20 Hz step series so the
            following shape features are invariant to the ACK rate. *)
-        let times = Array.map (fun r -> r.Abg_trace.Record.time) records in
-        let values = Array.map Abg_trace.Record.observed_cwnd records in
-        let span = times.(n - 1) -. times.(0) in
+        let span =
+          records.(n - 1).Abg_trace.Record.time
+          -. records.(0).Abg_trace.Record.time
+        in
         let steps = Stdlib.max 10 (int_of_float (span *. 20.0)) in
-        let series = Abg_util.Resample.hold ~times ~values ~n:steps in
+        let series =
+          Abg_util.Resample.hold_fn
+            ~time:(fun i -> records.(i).Abg_trace.Record.time)
+            ~value:(fun i -> Abg_trace.Record.observed_cwnd records.(i))
+            ~len:n ~n:steps
+        in
         (* Flatness: fraction of ~0.5 s windows whose relative span is
            under 1%. A Vegas-style hold is dead flat; any additive
            increase drifts past the threshold. *)
@@ -182,8 +223,7 @@ let extract (traces : Abg_trace.Trace.t list) =
     if !total = 0 then 0.0 else float_of_int !flat /. float_of_int !total
   in
   let rtt_growth_correlation =
-    let g = Array.of_list !all_growth and r = Array.of_list !all_rtt in
-    if Array.length g > 2 then Stats.pearson g r else 0.0
+    if total_pairs > 2 then Stats.pearson all_growth all_rtt else 0.0
   in
   let mean_cwnd_mss =
     if !cwnd_n = 0 then 0.0 else !cwnd_sum /. float_of_int !cwnd_n

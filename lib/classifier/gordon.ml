@@ -44,8 +44,8 @@ let references = lazy (
       | None -> None
       | Some ctor ->
           let traces =
-            List.map
-              (fun cfg -> Abg_trace.Trace.collect cfg ~name ctor)
+            Abg_parallel.Pool.map_list
+              (fun cfg -> Abg_trace.Trace.collect_cached cfg ~name ctor)
               (reference_scenarios ())
           in
           Some (name, Features.to_vector (Features.extract traces)))

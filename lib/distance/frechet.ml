@@ -6,36 +6,57 @@
     of the Figure 3 comparison. Computed with a rolling-row DP (rows
     swapped, not copied), O(nm) time, O(m) space.
 
+    The optional Sakoe–Chiba [band] constrains the alignment to
+    |i - j| <= band, cutting cost from O(nm) to O(n*band) exactly as for
+    DTW — the constrained optimum upper-bounds the unconstrained one, and
+    a band covering the whole lattice reproduces it exactly. [band = None]
+    computes the exact unconstrained distance.
+
     [?cutoff]: reach values are nondecreasing along any alignment and
     every alignment visits each row, so the final distance is bounded
     below by each row's minimum reach; a row whose minimum (strictly)
     exceeds the cutoff abandons the scan with [infinity]. Results at or
     below the cutoff are exact. *)
 
-let distance ?(cutoff = infinity) a b =
+let distance ?band ?(cutoff = infinity) a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then infinity
   else begin
-    let prev = ref (Array.make m infinity) in
-    let cur = ref (Array.make m infinity) in
+    let w =
+      match band with
+      | None -> Stdlib.max n m
+      | Some w -> Stdlib.max w (abs (n - m))
+    in
+    (* Rolling two-row DP over a bordered (n+1) x (m+1) reach lattice,
+       restricted to the band — same layout as DTW, so the inner loop is
+       branch-free. Border cells hold +inf (unreachable) except the
+       corner prev.(0) = -inf, which makes the (1,1) recurrence
+       max(d, min(.., -inf, ..)) = d without a special case. Rows are
+       swapped, not copied; the band shifts by at most one cell per row,
+       so reads never escape [lo-1 .. hi+1] of either row — those edge
+       cells are reset to +inf (sentinels) before each row so stale
+       values from two rows ago read as unreachable. *)
+    let prev = ref (Array.make (m + 1) infinity) in
+    let cur = ref (Array.make (m + 1) infinity) in
+    !prev.(0) <- neg_infinity;
     let abandoned = ref false in
-    let i = ref 0 in
-    while (not !abandoned) && !i < n do
+    let i = ref 1 in
+    while (not !abandoned) && !i <= n do
       let p = !prev and c = !cur in
-      let ai = a.(!i) in
+      let lo = Stdlib.max 1 (!i - w) and hi = Stdlib.min m (!i + w) in
+      c.(lo - 1) <- infinity;
+      if hi < m then c.(hi + 1) <- infinity;
+      let ai = a.(!i - 1) in
       let row_min = ref infinity in
-      for j = 0 to m - 1 do
-        let d = Float.abs (ai -. b.(j)) in
-        let reach =
-          if !i = 0 && j = 0 then d
-          else begin
-            let best = ref infinity in
-            if !i > 0 then best := Float.min !best p.(j);
-            if j > 0 then best := Float.min !best c.(j - 1);
-            if !i > 0 && j > 0 then best := Float.min !best p.(j - 1);
-            Float.max d !best
-          end
+      for j = lo to hi do
+        let d = Float.abs (ai -. b.(j - 1)) in
+        let best =
+          let pj = p.(j) and cl = c.(j - 1) in
+          let b1 = if pj < cl then pj else cl in
+          let pd = p.(j - 1) in
+          if b1 < pd then b1 else pd
         in
+        let reach = if d > best then d else best in
         c.(j) <- reach;
         if reach < !row_min then row_min := reach
       done;
@@ -46,5 +67,5 @@ let distance ?(cutoff = infinity) a b =
       end;
       incr i
     done;
-    if !abandoned then infinity else !prev.(m - 1)
+    if !abandoned then infinity else !prev.(m)
   end

@@ -2,8 +2,12 @@
     series monotonically, but the cost is the *maximum* pointwise gap
     along the best alignment — one bad excursion dominates. *)
 
-val distance : ?cutoff:float -> float array -> float array -> float
-(** [distance ?cutoff a b]. Empty input yields [infinity]. With
+val distance : ?band:int -> ?cutoff:float -> float array -> float array -> float
+(** [distance ?band ?cutoff a b]. Empty input yields [infinity]. The
+    Sakoe–Chiba [band] restricts the alignment to [|i - j| <= band]
+    (widened to [|n - m|] if smaller, so a path always exists), cutting
+    cost from O(nm) to O(n*band); the banded optimum upper-bounds the
+    exact one and matches it when the band covers the lattice. With
     [?cutoff], a distance that provably (strictly) exceeds the cutoff is
     reported as [infinity] early; results at or below the cutoff are
     exact. *)

@@ -25,7 +25,8 @@ let name = function
 let of_name s =
   List.find_opt (fun k -> String.equal (name k) s) all
 
-(* DTW band: 10% of the series length, the standard Sakoe-Chiba default. *)
+(* Sakoe-Chiba band for the warping metrics (DTW, Fréchet): 10% of the
+   series length, the standard default. *)
 let dtw_band length = Stdlib.max 2 (length / 10)
 
 type prepared = {
@@ -52,7 +53,7 @@ let compute_prepared ?cutoff { kind; length; reference; scale } ~candidate =
   | Dtw -> Dtw.distance ~band:(dtw_band length) ?cutoff reference candidate'
   | Euclidean -> Pointwise.euclidean ?cutoff reference candidate'
   | Manhattan -> Pointwise.manhattan ?cutoff reference candidate'
-  | Frechet -> Frechet.distance ?cutoff reference candidate'
+  | Frechet -> Frechet.distance ~band:(dtw_band length) ?cutoff reference candidate'
 
 (** [compute kind ~truth ~candidate] is the distance between the
     ground-truth and candidate visible-CWND value series. Lower is a

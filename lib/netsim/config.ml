@@ -95,6 +95,15 @@ let testbed_grid ?(duration = 30.0) ?(ack_jitter = 0.001) ~n () =
      full RTT x bandwidth ranges. *)
   List.filteri (fun i _ -> i * keep mod total < keep) all
 
+(** [digest cfg] is a canonical, collision-free rendering of every field
+    (floats in lossless hex notation) — the trace store's cache key, so
+    two configs share a digest iff every parameter, including the seed,
+    is bit-identical. *)
+let digest cfg =
+  Printf.sprintf "%h|%h|%d|%h|%h|%d|%h|%h" cfg.bandwidth_bps cfg.rtt_prop
+    cfg.queue_capacity cfg.mss cfg.duration cfg.seed cfg.loss_rate
+    cfg.ack_jitter
+
 let describe cfg =
   Printf.sprintf "%.0fMbit/%.0fms/q%d" (cfg.bandwidth_bps /. 1e6)
     (cfg.rtt_prop *. 1000.0) cfg.queue_capacity

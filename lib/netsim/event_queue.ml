@@ -1,72 +1,153 @@
 (** Binary min-heap event queue for the discrete-event simulator.
 
     Ordered by (time, sequence-of-insertion) so simultaneous events pop in
-    insertion order, which keeps runs deterministic. *)
+    insertion order, which keeps runs deterministic. Since (time, id) is a
+    total order, the pop sequence is exactly the sorted order of pushes —
+    independent of the heap's internal layout.
+
+    The heap is laid out as parallel unboxed arrays — [times] and [aux]
+    are flat float arrays, [ids] and [payloads] int/value arrays — instead
+    of an array of boxed [(float * int * 'a)] tuples. Sift compares touch
+    only the float and int arrays (no pointer chasing), pushes store into
+    preallocated slots, and {!pop} returns the payload directly with the
+    popped time available through {!popped_time} — so with an immediate
+    payload type the entire push/pop cycle allocates nothing. The [aux]
+    channel carries one caller-defined float per event (the simulator uses
+    it for ACK send timestamps), keeping float data out of the payload.
+
+    [pushed]/[peak] counters are maintained for observability; the
+    simulator surfaces them in its run statistics. *)
 
 type 'a t = {
-  mutable heap : (float * int * 'a) array;
+  mutable times : float array;
+  mutable aux : float array;
+  mutable ids : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_id : int;
+  dummy : 'a;  (* fills vacated payload slots so the heap never retains them *)
+  popped : float array;  (* [| time; aux |] of the most recent pop *)
+  mutable pushed : int;
+  mutable peak : int;
 }
 
-let create () = { heap = [||]; size = 0; next_id = 0 }
+let create ~dummy () =
+  {
+    times = Array.make 64 0.0;
+    aux = Array.make 64 0.0;
+    ids = Array.make 64 0;
+    payloads = Array.make 64 dummy;
+    size = 0;
+    next_id = 0;
+    dummy;
+    popped = [| nan; nan |];
+    pushed = 0;
+    peak = 0;
+  }
 
 let is_empty q = q.size = 0
 let length q = q.size
 
-let before (t1, i1, _) (t2, i2, _) = t1 < t2 || (t1 = t2 && i1 < i2)
+(** Total pushes over the queue's lifetime. *)
+let events_pushed q = q.pushed
 
-(* The array is allocated lazily from the first pushed entry, so no dummy
-   element of type 'a is ever needed. *)
-let ensure_capacity q entry =
-  if Array.length q.heap = 0 then q.heap <- Array.make 64 entry
-  else if q.size = Array.length q.heap then begin
-    let heap = Array.make (2 * Array.length q.heap) q.heap.(0) in
-    Array.blit q.heap 0 heap 0 q.size;
-    q.heap <- heap
-  end
+(** High-water mark of the heap size. *)
+let heap_peak q = q.peak
 
-let push q time payload =
-  let entry = (time, q.next_id, payload) in
-  ensure_capacity q entry;
-  q.next_id <- q.next_id + 1;
-  (* Sift up. *)
+let grow q =
+  let cap = Array.length q.times in
+  let times = Array.make (2 * cap) 0.0 in
+  Array.blit q.times 0 times 0 cap;
+  q.times <- times;
+  let aux = Array.make (2 * cap) 0.0 in
+  Array.blit q.aux 0 aux 0 cap;
+  q.aux <- aux;
+  let ids = Array.make (2 * cap) 0 in
+  Array.blit q.ids 0 ids 0 cap;
+  q.ids <- ids;
+  let payloads = Array.make (2 * cap) q.dummy in
+  Array.blit q.payloads 0 payloads 0 cap;
+  q.payloads <- payloads
+
+(* before i j: does slot i order strictly before slot j? Indices come
+   from the sift loops, which keep them below [size] <= capacity, so the
+   bounds checks are elided. *)
+let before q i j =
+  let ti = Array.unsafe_get q.times i and tj = Array.unsafe_get q.times j in
+  ti < tj
+  || (ti = tj && Array.unsafe_get q.ids i < Array.unsafe_get q.ids j)
+
+let swap q i j =
+  let t = Array.unsafe_get q.times i in
+  Array.unsafe_set q.times i (Array.unsafe_get q.times j);
+  Array.unsafe_set q.times j t;
+  let x = Array.unsafe_get q.aux i in
+  Array.unsafe_set q.aux i (Array.unsafe_get q.aux j);
+  Array.unsafe_set q.aux j x;
+  let d = Array.unsafe_get q.ids i in
+  Array.unsafe_set q.ids i (Array.unsafe_get q.ids j);
+  Array.unsafe_set q.ids j d;
+  let p = Array.unsafe_get q.payloads i in
+  Array.unsafe_set q.payloads i (Array.unsafe_get q.payloads j);
+  Array.unsafe_set q.payloads j p
+
+(** [push q ~time ~aux payload] inserts an event. [aux] is an arbitrary
+    float riding along with the payload (pass 0.0 when unused). *)
+let push q ~time ~aux payload =
+  if q.size = Array.length q.times then grow q;
   let i = ref q.size in
+  q.times.(!i) <- time;
+  q.aux.(!i) <- aux;
+  q.ids.(!i) <- q.next_id;
+  q.payloads.(!i) <- payload;
+  q.next_id <- q.next_id + 1;
   q.size <- q.size + 1;
-  q.heap.(!i) <- entry;
+  q.pushed <- q.pushed + 1;
+  if q.size > q.peak then q.peak <- q.size;
+  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before q.heap.(!i) q.heap.(parent) then begin
-      let tmp = q.heap.(parent) in
-      q.heap.(parent) <- q.heap.(!i);
-      q.heap.(!i) <- tmp;
+    if before q !i parent then begin
+      swap q !i parent;
       i := parent
     end
     else continue := false
   done
 
+(** [pop q] removes and returns the payload of the earliest event; its
+    time and aux value are readable through {!popped_time}/{!popped_aux}
+    until the next pop. The queue must be non-empty (check {!is_empty}).
+    Allocation-free for immediate payload types. *)
 let pop q =
-  if q.size = 0 then None
-  else begin
-    let (time, _, payload) = q.heap.(0) in
-    q.size <- q.size - 1;
-    q.heap.(0) <- q.heap.(q.size);
-    (* Sift down. *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
-      if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = q.heap.(!smallest) in
-        q.heap.(!smallest) <- q.heap.(!i);
-        q.heap.(!i) <- tmp;
-        i := !smallest
-      end
-      else continue := false
-    done;
-    Some (time, payload)
-  end
+  q.popped.(0) <- q.times.(0);
+  q.popped.(1) <- q.aux.(0);
+  let payload = q.payloads.(0) in
+  let last = q.size - 1 in
+  q.size <- last;
+  q.times.(0) <- q.times.(last);
+  q.aux.(0) <- q.aux.(last);
+  q.ids.(0) <- q.ids.(last);
+  q.payloads.(0) <- q.payloads.(last);
+  q.payloads.(last) <- q.dummy;
+  (* Sift down. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < q.size && before q l !smallest then smallest := l;
+    if r < q.size && before q r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      swap q !smallest !i;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  payload
+
+(** Time of the most recently popped event. *)
+let popped_time q = q.popped.(0)
+
+(** Aux value of the most recently popped event. *)
+let popped_aux q = q.popped.(1)

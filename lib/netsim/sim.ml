@@ -12,18 +12,29 @@
 
     The queue is represented implicitly by the time the link becomes free:
     with fixed-size packets, backlog divided by serialization time is the
-    queue length. This is exact for DropTail FIFO. *)
+    queue length. This is exact for DropTail FIFO.
+
+    The event loop is allocation-free: events are packed into a single
+    immediate int (a 2-bit tag plus the integer argument), the one float
+    an event carries — the ACK-triggering segment's send time — rides in
+    the queue's unboxed aux channel, and the per-ACK observation record is
+    a flat float record allocated once per run and mutated in place. *)
 
 open Abg_util
 
 (** One observation delivered to the trace-collection callback, one per
-    cumulative ACK arriving at the sender. *)
+    cumulative ACK arriving at the sender.
+
+    The record handed to [on_ack_obs] is reused across calls (it is
+    rewritten in place before each delivery); copy the fields out — do not
+    retain the record itself. *)
 type ack_observation = {
-  time : float;
-  cwnd : float;  (** CCA's window after processing this ACK, bytes *)
-  in_flight : float;  (** bytes outstanding after this ACK ("visible CWND") *)
-  acked_bytes : float;  (** bytes newly acknowledged *)
-  rtt_sample : float;  (** RTT measured from the triggering segment, s *)
+  mutable time : float;
+  mutable cwnd : float;  (** CCA's window after processing this ACK, bytes *)
+  mutable in_flight : float;
+      (** bytes outstanding after this ACK ("visible CWND") *)
+  mutable acked_bytes : float;  (** bytes newly acknowledged *)
+  mutable rtt_sample : float;  (** RTT measured from the triggering segment, s *)
 }
 
 type observer = {
@@ -33,20 +44,27 @@ type observer = {
 
 let null_observer = { on_ack_obs = ignore; on_loss_obs = (fun ~time:_ -> ()) }
 
-type event =
-  | Deliver of int  (** segment [seq] reaches the receiver *)
-  | Ack_arrival of { cum : int; sent_at : float; sample_ok : bool }
-      (** cumulative ACK up to [cum] reaches the sender; [sent_at] is the
-          send time of the segment that triggered it, and [sample_ok] is
-          false when that segment was ever retransmitted (Karn's
-          algorithm: such RTT samples are ambiguous and discarded) *)
-  | Rto_check of int  (** RTO timer with its generation number *)
+(* Events are packed into one immediate int: the low two bits are the
+   tag, the rest the argument. An ACK arrival's argument carries the
+   cumulative point and the Karn sample-validity bit (false when the
+   triggering segment was ever retransmitted: such RTT samples are
+   ambiguous and discarded); its send timestamp travels in the event
+   queue's unboxed aux float channel. *)
+let tag_deliver = 0 (* arg = segment [seq] reaching the receiver *)
+let tag_ack = 1 (* arg = (cum lsl 1) lor sample_ok; aux = sent_at *)
+let tag_rto = 2 (* arg unused; the timer state lives on the simulator *)
+
+let encode_deliver seq = (seq lsl 2) lor tag_deliver
+let encode_ack ~cum ~sample_ok =
+  (((cum lsl 1) lor (if sample_ok then 1 else 0)) lsl 2) lor tag_ack
+let encode_rto arg = (arg lsl 2) lor tag_rto
 
 type t = {
   cfg : Config.t;
   cca : Abg_cca.Cca_sig.t;
-  events : event Event_queue.t;
+  events : int Event_queue.t;
   rng : Rng.t;
+  obs : ack_observation;  (* reusable observation record, see above *)
   mutable now : float;
   (* Sender state. *)
   mutable next_seq : int;
@@ -56,14 +74,23 @@ type t = {
   mutable in_recovery : bool;
   mutable srtt : float;
   mutable rttvar : float;
-  mutable rto_generation : int;
+  (* Lazy RTO timer: [rto_deadline] is where the timer conceptually sits;
+     at most one RTO event lives in the queue at a time ([rto_outstanding]
+     is its pop time, or [infinity] when none). Re-arming just moves the
+     deadline; the queued event re-schedules itself when it pops early.
+     This avoids pushing (and later popping) a stale RTO event per ACK —
+     about a third of all heap traffic in steady state. *)
+  mutable rto_deadline : float;
+  mutable rto_outstanding : float;
   (* Per-segment send times, for RTT samples; grows with next_seq. *)
   mutable sent_at : float array;
   mutable retransmitted : bool array;
   (* Link state. *)
   mutable link_free : float;
-  (* Receiver state: segments received beyond the cumulative point. *)
-  ooo : (int, unit) Hashtbl.t;
+  (* Receiver state: [received.(seq)] once segment [seq] has arrived
+     (never cleared — sequence numbers are not reused, so a flat flag
+     array replaces the former out-of-order hash table). *)
+  mutable received : bool array;
   mutable rcv_next : int;
   mutable rcv_high : int;  (** highest sequence number received *)
   mutable last_ack_arrival : float;  (** ACK-path FIFO ordering floor *)
@@ -71,6 +98,7 @@ type t = {
   mutable delivered : int;
   mutable drops : int;
   mutable losses_detected : int;
+  mutable events_processed : int;
 }
 
 let serialize_time cfg = cfg.Config.mss *. 8.0 /. cfg.Config.bandwidth_bps
@@ -80,8 +108,11 @@ let create cfg cca =
   {
     cfg;
     cca;
-    events = Event_queue.create ();
+    events = Event_queue.create ~dummy:0 ();
     rng = Rng.create cfg.Config.seed;
+    obs =
+      { time = 0.0; cwnd = 0.0; in_flight = 0.0; acked_bytes = 0.0;
+        rtt_sample = 0.0 };
     now = 0.0;
     next_seq = 0;
     snd_una = 0;
@@ -90,17 +121,19 @@ let create cfg cca =
     in_recovery = false;
     srtt = 0.0;
     rttvar = 0.0;
-    rto_generation = 0;
+    rto_deadline = infinity;
+    rto_outstanding = infinity;
     sent_at = Array.make 1024 0.0;
     retransmitted = Array.make 1024 false;
     link_free = 0.0;
-    ooo = Hashtbl.create 97;
+    received = Array.make 1024 false;
     rcv_next = 0;
     rcv_high = -1;
     last_ack_arrival = 0.0;
     delivered = 0;
     drops = 0;
     losses_detected = 0;
+    events_processed = 0;
   }
 
 let ensure_seq_capacity sim seq =
@@ -112,7 +145,10 @@ let ensure_seq_capacity sim seq =
     sim.sent_at <- sent_at;
     let retransmitted = Array.make new_len false in
     Array.blit sim.retransmitted 0 retransmitted 0 len;
-    sim.retransmitted <- retransmitted
+    sim.retransmitted <- retransmitted;
+    let received = Array.make new_len false in
+    Array.blit sim.received 0 received 0 len;
+    sim.received <- received
   end
 
 let queue_length sim =
@@ -133,15 +169,19 @@ let transmit sim seq =
     let start = Float.max sim.now sim.link_free in
     let departure = start +. serialize_time sim.cfg in
     sim.link_free <- departure;
-    Event_queue.push sim.events (departure +. one_way sim.cfg) (Deliver seq)
+    Event_queue.push sim.events
+      ~time:(departure +. one_way sim.cfg)
+      ~aux:0.0 (encode_deliver seq)
   end
 
 let in_flight_bytes sim =
   float_of_int (sim.next_seq - sim.snd_una) *. sim.cfg.Config.mss
 
 (* Oracle view of the receiver, standing in for SACK blocks: the sender of
-   a real (SACK-enabled) stack knows which segments above snd_una arrived. *)
-let is_received sim seq = seq < sim.rcv_next || Hashtbl.mem sim.ooo seq
+   a real (SACK-enabled) stack knows which segments above snd_una arrived.
+   Every seq below rcv_next has its flag set (rcv_next only advances over
+   received segments), so one array read answers both cases. *)
+let is_received sim seq = sim.received.(seq)
 
 (* A segment is scored lost when it is unreceived and either carries SACK
    evidence (>= 3 segments received above its first transmission, RFC
@@ -213,9 +253,16 @@ let rto sim =
   if sim.srtt = 0.0 then 1.0
   else Float.max 0.2 (sim.srtt +. (4.0 *. sim.rttvar))
 
+(* Move the RTO deadline; only queue an event if none is in flight. The
+   deadline an armed timer eventually fires at is the same float the
+   eager push-per-arm scheme produced, so firing times are unchanged. *)
 let arm_rto sim =
-  sim.rto_generation <- sim.rto_generation + 1;
-  Event_queue.push sim.events (sim.now +. rto sim) (Rto_check sim.rto_generation)
+  sim.rto_deadline <- sim.now +. rto sim;
+  if sim.rto_outstanding = infinity then begin
+    sim.rto_outstanding <- sim.rto_deadline;
+    Event_queue.push sim.events ~time:sim.rto_deadline ~aux:0.0
+      (encode_rto 0)
+  end
 
 let update_rtt_estimators sim rtt =
   if sim.srtt = 0.0 then begin
@@ -230,10 +277,10 @@ let update_rtt_estimators sim rtt =
 (* Receiver side: segment [seq] arrives; emit a cumulative ACK. *)
 let receive sim seq =
   if seq > sim.rcv_high then sim.rcv_high <- seq;
-  if seq >= sim.rcv_next && not (Hashtbl.mem sim.ooo seq) then begin
-    Hashtbl.replace sim.ooo seq ();
-    while Hashtbl.mem sim.ooo sim.rcv_next do
-      Hashtbl.remove sim.ooo sim.rcv_next;
+  if seq >= sim.rcv_next && not sim.received.(seq) then begin
+    sim.received.(seq) <- true;
+    let len = Array.length sim.received in
+    while sim.rcv_next < len && sim.received.(sim.rcv_next) do
       sim.rcv_next <- sim.rcv_next + 1
     done
   end;
@@ -248,13 +295,8 @@ let receive sim seq =
     Float.max (sim.now +. one_way sim.cfg +. jitter) sim.last_ack_arrival
   in
   sim.last_ack_arrival <- arrival;
-  Event_queue.push sim.events arrival
-    (Ack_arrival
-       {
-         cum = sim.rcv_next;
-         sent_at = sim.sent_at.(seq);
-         sample_ok = not sim.retransmitted.(seq);
-       })
+  Event_queue.push sim.events ~time:arrival ~aux:sim.sent_at.(seq)
+    (encode_ack ~cum:sim.rcv_next ~sample_ok:(not sim.retransmitted.(seq)))
 
 let handle_loss sim observer =
   sim.losses_detected <- sim.losses_detected + 1;
@@ -289,14 +331,13 @@ let handle_ack sim observer ~cum ~sent_at ~sample_ok =
       sim.in_recovery <- false;
     (* A partial ACK (still in recovery) keeps repairing holes. *)
     fill_window ~force_rtx:sim.in_recovery sim;
-    observer.on_ack_obs
-      {
-        time = sim.now;
-        cwnd = sim.cca.Abg_cca.Cca_sig.cwnd ();
-        in_flight = in_flight_bytes sim;
-        acked_bytes;
-        rtt_sample = rtt;
-      };
+    let obs = sim.obs in
+    obs.time <- sim.now;
+    obs.cwnd <- sim.cca.Abg_cca.Cca_sig.cwnd ();
+    obs.in_flight <- in_flight_bytes sim;
+    obs.acked_bytes <- acked_bytes;
+    obs.rtt_sample <- rtt;
+    observer.on_ack_obs obs;
     arm_rto sim
   end
   else begin
@@ -307,8 +348,16 @@ let handle_ack sim observer ~cum ~sent_at ~sample_ok =
     else fill_window ~force_rtx:sim.in_recovery sim
   end
 
-let handle_rto sim observer generation =
-  if generation = sim.rto_generation && sim.next_seq > sim.snd_una then begin
+let handle_rto sim observer =
+  sim.rto_outstanding <- infinity;
+  if sim.now < sim.rto_deadline then begin
+    (* The deadline moved while this event was queued (the timer was
+       re-armed by intervening ACKs); chase it instead of firing. *)
+    sim.rto_outstanding <- sim.rto_deadline;
+    Event_queue.push sim.events ~time:sim.rto_deadline ~aux:0.0
+      (encode_rto 0)
+  end
+  else if sim.next_seq > sim.snd_una then begin
     (* After a timeout the RACK timer has expired for the whole
        outstanding flight, so handle_loss's scoreboard pass retransmits
        from the head. *)
@@ -324,6 +373,8 @@ type stats = {
   loss_events : int;
   final_time : float;
   delivered_bytes : float;
+  events_processed : int;  (** events dequeued by the run loop *)
+  heap_peak : int;  (** event-queue high-water mark *)
 }
 
 (** [run cfg cca ~observer] simulates the flow for [cfg.duration] seconds,
@@ -343,18 +394,27 @@ let run ?(observer = null_observer) cfg cca =
   in
   fill_window sim;
   arm_rto sim;
+  let events = sim.events in
   let continue = ref true in
   while !continue do
-    match Event_queue.pop sim.events with
-    | None -> continue := false
-    | Some (time, _) when time > cfg.Config.duration -> continue := false
-    | Some (time, ev) ->
+    if Event_queue.is_empty events then continue := false
+    else begin
+      let code = Event_queue.pop events in
+      let time = Event_queue.popped_time events in
+      if time > cfg.Config.duration then continue := false
+      else begin
         sim.now <- time;
-        (match ev with
-        | Deliver seq -> receive sim seq
-        | Ack_arrival { cum; sent_at; sample_ok } ->
-            handle_ack sim counting_observer ~cum ~sent_at ~sample_ok
-        | Rto_check generation -> handle_rto sim counting_observer generation)
+        sim.events_processed <- sim.events_processed + 1;
+        let tag = code land 3 in
+        let arg = code lsr 2 in
+        if tag = tag_deliver then receive sim arg
+        else if tag = tag_ack then
+          handle_ack sim counting_observer ~cum:(arg lsr 1)
+            ~sent_at:(Event_queue.popped_aux events)
+            ~sample_ok:(arg land 1 = 1)
+        else handle_rto sim counting_observer
+      end
+    end
   done;
   {
     acks_processed = !acks;
@@ -362,4 +422,6 @@ let run ?(observer = null_observer) cfg cca =
     loss_events = sim.losses_detected;
     final_time = sim.now;
     delivered_bytes = float_of_int sim.delivered *. cfg.Config.mss;
+    events_processed = sim.events_processed;
+    heap_peak = Event_queue.heap_peak sim.events;
   }

@@ -55,5 +55,5 @@ let spurious_losses rng ~rate (trace : Trace.t) =
   let loss_times =
     Array.append trace.Trace.loss_times (Array.of_list extra)
   in
-  Array.sort compare loss_times;
+  Array.sort Float.compare loss_times;
   { trace with Trace.loss_times }

@@ -62,21 +62,22 @@ let split ?(min_length = 30) ?(skip_initial = false) ?loss_times
      loss-recovery machinery, not the cwnd-ack handler being synthesized.
      Start each segment at the observed-window minimum within its first
      half, where the post-loss window is established. *)
-  let trim_head seg_records =
-    let n = Array.length seg_records in
-    let probe = Stdlib.max 1 (n / 2) in
-    let arg = ref 0 in
-    for i = 1 to probe - 1 do
-      if
-        Record.observed_cwnd seg_records.(i)
-        < Record.observed_cwnd seg_records.(!arg)
+  (* Scans [records.(lo .. lo+len-1)] directly and returns the offset to
+     trim, so [flush] copies the segment once instead of sub-then-sub. *)
+  let trim_head lo len =
+    let probe = Stdlib.max 1 (len / 2) in
+    let arg = ref lo in
+    for i = lo + 1 to lo + probe - 1 do
+      if Record.observed_cwnd records.(i) < Record.observed_cwnd records.(!arg)
       then arg := i
     done;
-    Array.sub seg_records !arg (n - !arg)
+    !arg - lo
   in
   let flush stop =
     if stop - !start >= min_length then begin
-      let seg_records = trim_head (Array.sub records !start (stop - !start)) in
+      let len = stop - !start in
+      let skip = trim_head !start len in
+      let seg_records = Array.sub records (!start + skip) (len - skip) in
       if Array.length seg_records >= min_length then
         segments :=
           {

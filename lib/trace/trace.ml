@@ -125,11 +125,75 @@ let collect cfg ~name (constructor : Abg_cca.Cca_sig.constructor) =
     loss_times = Array.of_list (List.rev !losses);
   }
 
-(** [collect_suite ?duration ?ack_jitter ~n ~name constructor] collects
-    traces for a diverse scenario grid (§3.2's RTT x bandwidth ranges). *)
-let collect_suite ?(duration = 30.0) ?ack_jitter ~n ~name constructor =
+(* -- Process-wide trace store --
+
+   Collection is deterministic: a trace is a pure function of (CCA name,
+   config) — the simulator's RNG is seeded from the config — so identical
+   requests from the bench sections, figures, examples and tests can share
+   one simulation. Keys are the CCA name plus {!Config.digest} (which
+   covers every field including the seed). The store trusts the name: two
+   different constructors registered under the same name in one process
+   would collide, so anonymous/ad-hoc CCAs should use {!collect} or a
+   unique name. *)
+
+let store : (string, t) Hashtbl.t = Hashtbl.create 256
+let store_mutex = Mutex.create ()
+let store_hits = Atomic.make 0
+let store_misses = Atomic.make 0
+
+let store_key ~name cfg = name ^ "|" ^ Config.digest cfg
+
+(** [collect_cached cfg ~name constructor] is {!collect} memoized in the
+    process-wide trace store: the first call per (name, config digest)
+    simulates, later calls return the stored trace. Safe to call
+    concurrently from pool workers (a race re-simulates; the first insert
+    wins, so all callers see the same physical trace). *)
+let collect_cached cfg ~name constructor =
+  let key = store_key ~name cfg in
+  Mutex.lock store_mutex;
+  let cached = Hashtbl.find_opt store key in
+  Mutex.unlock store_mutex;
+  match cached with
+  | Some t ->
+      Atomic.incr store_hits;
+      t
+  | None ->
+      Atomic.incr store_misses;
+      let t = collect cfg ~name constructor in
+      Mutex.lock store_mutex;
+      let t =
+        match Hashtbl.find_opt store key with
+        | Some existing -> existing
+        | None ->
+            Hashtbl.replace store key t;
+            t
+      in
+      Mutex.unlock store_mutex;
+      t
+
+(** [(hits, misses)] of the trace store since start (or {!store_clear}). *)
+let store_stats () = (Atomic.get store_hits, Atomic.get store_misses)
+
+(** Empty the trace store and reset its counters (tests). *)
+let store_clear () =
+  Mutex.lock store_mutex;
+  Hashtbl.reset store;
+  Mutex.unlock store_mutex;
+  Atomic.set store_hits 0;
+  Atomic.set store_misses 0
+
+(** [collect_suite ?duration ?ack_jitter ?cache ~n ~name constructor]
+    collects traces for a diverse scenario grid (§3.2's RTT x bandwidth
+    ranges). The grid is simulated in parallel over the domain pool; each
+    scenario carries its own pre-derived RNG seed (from
+    {!Config.testbed_grid}), so the result is bit-identical to a
+    sequential pass regardless of scheduling. Results go through the
+    process-wide trace store unless [~cache:false]. *)
+let collect_suite ?(duration = 30.0) ?ack_jitter ?(cache = true) ~n ~name
+    constructor =
+  let grab = if cache then collect_cached else collect in
   Config.testbed_grid ~duration ?ack_jitter ~n ()
-  |> List.map (fun cfg -> collect cfg ~name constructor)
+  |> Abg_parallel.Pool.map_list (fun cfg -> grab cfg ~name constructor)
 
 (** Observed (visible) CWND series and its timestamps. *)
 let observed_series trace =

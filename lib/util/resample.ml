@@ -58,6 +58,32 @@ let hold ~times ~values ~n =
     out
   end
 
+(** [hold_fn ~time ~value ~len ~n] is {!hold} over the points
+    [(time i, value i)], [i] in [0 .. len-1], reading samples through
+    accessors instead of materialized arrays. The output floats are the
+    same accessor results {!hold} would read from copies, so the series is
+    bit-identical — without the two [O(len)] array allocations a caller
+    holding an array of records would need. *)
+let hold_fn ~time ~value ~len ~n =
+  assert (len > 0 && n > 0);
+  if len = 1 then Array.make n (value 0)
+  else begin
+    let t0 = time 0 and t1 = time (len - 1) in
+    let span = t1 -. t0 in
+    let out = Array.make n 0.0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let t =
+        if n = 1 then t0 else t0 +. (span *. float_of_int i /. float_of_int (n - 1))
+      in
+      while !j < len - 1 && time (!j + 1) <= t do
+        incr j
+      done;
+      out.(i) <- value !j
+    done;
+    out
+  end
+
 (** [downsample xs n] keeps [n] evenly strided elements of [xs] (always
     including the first and last). *)
 let downsample xs n =

@@ -9,5 +9,11 @@ val hold : times:float array -> values:float array -> n:int -> float array
 (** Zero-order hold — the value at [t] is the last sample at or before
     [t], matching the step-function semantics of a congestion window. *)
 
+val hold_fn :
+  time:(int -> float) -> value:(int -> float) -> len:int -> n:int -> float array
+(** {!hold} over the points [(time i, value i)], [i] in [0 .. len-1],
+    without materialized input arrays; bit-identical to calling {!hold}
+    on copies. *)
+
 val downsample : 'a array -> int -> 'a array
 (** Evenly strided subset keeping first and last elements. *)

@@ -57,6 +57,90 @@ let test_features_distinguish_families () =
     (f_vegas.Abg_classifier.Features.flatness
     > f_reno.Abg_classifier.Features.flatness)
 
+(* Regression for the merged decrease-factor sweep: on a synthetic trace
+   with one loss per sawtooth period — landing both exactly on record
+   timestamps and between them, plus losses outside the recorded span —
+   the linear-time cursor scan must reproduce the old
+   O(losses * records) rescan bit for bit. *)
+let synthetic_many_loss_trace () =
+  let cfg =
+    Abg_netsim.Config.make ~duration:60.0 ~bandwidth_mbps:10.0 ~rtt_ms:50.0 ()
+  in
+  let mss = cfg.Abg_netsim.Config.mss in
+  let dt = 0.01 in
+  let n = 6000 in
+  let records =
+    Array.init n (fun i ->
+        let time = float_of_int i *. dt in
+        let phase = Float.rem time 0.5 in
+        let in_flight = mss *. (10.0 +. (20.0 *. phase)) in
+        {
+          Abg_trace.Record.time;
+          cwnd = in_flight;
+          in_flight;
+          acked_bytes = mss;
+          rtt = 0.05 +. (0.01 *. phase);
+          min_rtt = 0.05;
+          max_rtt = 0.08;
+          ack_rate = 1e6;
+          rtt_gradient = 0.0;
+          delay_gradient = 0.0;
+          time_since_loss = phase;
+          wmax = 30.0 *. mss;
+          mss;
+        })
+  in
+  let mid_losses =
+    (* Even ones at exact record timestamps, odd ones between records. *)
+    Array.init 110 (fun k ->
+        (0.5 *. float_of_int (k + 1))
+        +. if k mod 2 = 0 then 0.0 else 0.003)
+  in
+  let loss_times = Array.concat [ [| -1.0 |]; mid_losses; [| 70.0 |] ] in
+  {
+    Abg_trace.Trace.cca_name = "synthetic";
+    scenario = "sawtooth";
+    config = cfg;
+    records;
+    loss_times;
+  }
+
+(* The pre-optimization decrease scan, verbatim: full rescan per loss. *)
+let reference_decrease_factor (tr : Abg_trace.Trace.t) =
+  let records = tr.Abg_trace.Trace.records in
+  let decreases = ref [] in
+  Array.iter
+    (fun loss_t ->
+      let before = ref nan in
+      let after = ref infinity in
+      Array.iter
+        (fun r ->
+          let t = r.Abg_trace.Record.time in
+          if t < loss_t then before := Abg_trace.Record.observed_cwnd r
+          else if t <= loss_t +. 0.6 then
+            after := Float.min !after (Abg_trace.Record.observed_cwnd r))
+        records;
+      if Float.is_finite !before && Float.is_finite !after && !before > 0.0
+      then decreases := (!after /. !before) :: !decreases)
+    tr.Abg_trace.Trace.loss_times;
+  if !decreases = [] then 1.0
+  else Abg_util.Stats.median (Array.of_list !decreases)
+
+let test_features_decrease_regression () =
+  let tr = synthetic_many_loss_trace () in
+  let f = Abg_classifier.Features.extract [ tr ] in
+  Alcotest.(check (float 0.0)) "decrease factor bit-identical"
+    (reference_decrease_factor tr)
+    f.Abg_classifier.Features.decrease_factor;
+  let span =
+    let n = Array.length tr.Abg_trace.Trace.records in
+    tr.Abg_trace.Trace.records.(n - 1).Abg_trace.Record.time
+    -. tr.Abg_trace.Trace.records.(0).Abg_trace.Record.time
+  in
+  Alcotest.(check (float 0.0)) "loss rate counts every loss"
+    (float_of_int (Array.length tr.Abg_trace.Trace.loss_times) /. span)
+    f.Abg_classifier.Features.loss_rate
+
 let test_gordon_rank_nonempty () =
   let ranked = Abg_classifier.Gordon.rank (traces "reno") in
   Alcotest.(check int) "all known CCAs ranked"
@@ -119,6 +203,8 @@ let suites =
         Alcotest.test_case "sane ranges" `Quick test_features_sane;
         Alcotest.test_case "vector finite" `Quick test_features_vector_finite;
         Alcotest.test_case "distinguishes families" `Quick test_features_distinguish_families;
+        Alcotest.test_case "decrease sweep regression" `Quick
+          test_features_decrease_regression;
       ] );
     ( "classifier.gordon",
       [

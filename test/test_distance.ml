@@ -170,6 +170,32 @@ let prop_frechet_cutoff_sound =
   cutoff_sound "frechet cutoff: exact below, inf-or-exact above"
     (fun ?cutoff a b -> Abg_distance.Frechet.distance ?cutoff a b)
 
+let prop_frechet_banded_cutoff_sound =
+  cutoff_sound "banded frechet cutoff: exact below, inf-or-exact above"
+    (fun ?cutoff a b -> Abg_distance.Frechet.distance ~band:3 ?cutoff a b)
+
+(* A Sakoe–Chiba band restricts the admissible couplings, so the banded
+   discrete Fréchet distance can only over-estimate the exact one. *)
+let prop_frechet_band_upper_bounds_exact =
+  QCheck.Test.make ~name:"banded frechet upper-bounds exact frechet" ~count:200
+    (QCheck.pair arb_series arb_series) (fun (a, b) ->
+      Abg_distance.Frechet.distance ~band:3 a b
+      >= Abg_distance.Frechet.distance a b -. 1e-9)
+
+let test_frechet_band_matches_full_when_wide () =
+  let a = Array.init 50 (fun i -> Float.sin (float_of_int i /. 5.0)) in
+  let b = Array.init 37 (fun i -> Float.cos (float_of_int i /. 7.0)) in
+  Alcotest.(check (float 0.0))
+    "band >= max length is exact" (Abg_distance.Frechet.distance a b)
+    (Abg_distance.Frechet.distance ~band:50 a b)
+
+let test_frechet_cutoff_abandons () =
+  let a = Array.init 64 (fun i -> float_of_int i) in
+  let b = Array.init 64 (fun i -> float_of_int i +. 50.0) in
+  let full = Abg_distance.Frechet.distance ~band:6 a b in
+  Alcotest.(check bool) "abandons" true
+    (Abg_distance.Frechet.distance ~band:6 ~cutoff:(full /. 10.0) a b = infinity)
+
 let test_dtw_cutoff_abandons () =
   (* A cutoff far below the true distance must abandon. *)
   let a = Array.init 64 (fun i -> float_of_int i) in
@@ -232,8 +258,17 @@ let suites =
       [
         Alcotest.test_case "identical" `Quick test_frechet_identical;
         Alcotest.test_case "offset" `Quick test_frechet_constant_offset;
+        Alcotest.test_case "band wide = exact" `Quick
+          test_frechet_band_matches_full_when_wide;
       ]
-      @ qcheck [ prop_frechet_le_max_gap; prop_frechet_cutoff_sound ] );
+      @ qcheck
+          [ prop_frechet_le_max_gap; prop_frechet_cutoff_sound;
+            prop_frechet_banded_cutoff_sound;
+            prop_frechet_band_upper_bounds_exact ]
+      @ [
+          Alcotest.test_case "cutoff abandons" `Quick
+            test_frechet_cutoff_abandons;
+        ] );
     ( "distance.metric",
       [
         Alcotest.test_case "prepare normalizes" `Quick test_series_prepare_normalizes;

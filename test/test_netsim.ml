@@ -9,32 +9,70 @@ let quick_config ?(duration = 5.0) ?(bandwidth_mbps = 10.0) ?(rtt_ms = 50.0) ()
 (* -- Event queue -- *)
 
 let test_event_queue_order () =
-  let q = Event_queue.create () in
-  Event_queue.push q 3.0 "c";
-  Event_queue.push q 1.0 "a";
-  Event_queue.push q 2.0 "b";
-  let pops = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
-  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
-    (List.map snd pops);
+  let q = Event_queue.create ~dummy:"" () in
+  Event_queue.push q ~time:3.0 ~aux:0.0 "c";
+  Event_queue.push q ~time:1.0 ~aux:0.0 "a";
+  Event_queue.push q ~time:2.0 ~aux:0.0 "b";
+  let pops = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] pops;
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
 
 let test_event_queue_fifo_ties () =
-  let q = Event_queue.create () in
-  Event_queue.push q 1.0 "first";
-  Event_queue.push q 1.0 "second";
-  Alcotest.(check string) "insertion order on ties" "first"
-    (snd (Option.get (Event_queue.pop q)))
+  let q = Event_queue.create ~dummy:"" () in
+  Event_queue.push q ~time:1.0 ~aux:0.0 "first";
+  Event_queue.push q ~time:1.0 ~aux:0.0 "second";
+  Alcotest.(check string) "insertion order on ties" "first" (Event_queue.pop q)
+
+let test_event_queue_popped_metadata () =
+  let q = Event_queue.create ~dummy:0 () in
+  Event_queue.push q ~time:2.0 ~aux:42.0 7;
+  Event_queue.push q ~time:1.0 ~aux:13.0 5;
+  Alcotest.(check int) "payload" 5 (Event_queue.pop q);
+  Alcotest.(check (float 0.0)) "popped time" 1.0 (Event_queue.popped_time q);
+  Alcotest.(check (float 0.0)) "popped aux" 13.0 (Event_queue.popped_aux q);
+  Alcotest.(check int) "second payload" 7 (Event_queue.pop q);
+  Alcotest.(check (float 0.0)) "second aux" 42.0 (Event_queue.popped_aux q);
+  Alcotest.(check int) "pushed counter" 2 (Event_queue.events_pushed q);
+  Alcotest.(check int) "heap peak" 2 (Event_queue.heap_peak q)
+
+(* The rewritten heap must pop in exactly (time, insertion-order): drain
+   the queue and compare against a stable sort by time, whose tie handling
+   is precisely insertion order. Times are drawn from a handful of
+   distinct values so simultaneous events are common. *)
+let prop_event_queue_reference_order =
+  QCheck.Test.make ~name:"pops match stable sort by (time, insertion)"
+    ~count:500
+    QCheck.(
+      list_of_size (Gen.int_range 0 200)
+        (map (fun k -> float_of_int k /. 4.0) (int_range 0 10)))
+    (fun times ->
+      let q = Event_queue.create ~dummy:(-1) () in
+      List.iteri (fun i t -> Event_queue.push q ~time:t ~aux:0.0 i) times;
+      let popped = ref [] in
+      while not (Event_queue.is_empty q) do
+        let payload = Event_queue.pop q in
+        popped := (Event_queue.popped_time q, payload) :: !popped
+      done;
+      let popped = List.rev !popped in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+      in
+      popped = expected)
 
 let prop_event_queue_sorted =
   QCheck.Test.make ~name:"pops are time-sorted" ~count:200
     QCheck.(list_of_size (Gen.int_range 0 100) (float_range 0.0 100.0))
     (fun times ->
-      let q = Event_queue.create () in
-      List.iter (fun t -> Event_queue.push q t ()) times;
+      let q = Event_queue.create ~dummy:() () in
+      List.iter (fun t -> Event_queue.push q ~time:t ~aux:0.0 ()) times;
       let rec drain last =
-        match Event_queue.pop q with
-        | None -> true
-        | Some (t, ()) -> t >= last && drain t
+        if Event_queue.is_empty q then true
+        else begin
+          let () = Event_queue.pop q in
+          let t = Event_queue.popped_time q in
+          t >= last && drain t
+        end
       in
       drain neg_infinity)
 
@@ -89,6 +127,12 @@ let test_sim_never_exceeds_link () =
   Alcotest.(check bool) "<= link capacity" true
     (stats.Sim.delivered_bytes *. 8.0
     <= cfg.Config.bandwidth_bps *. cfg.Config.duration *. 1.02)
+
+let test_sim_counters () =
+  let _, stats = run_reno () in
+  Alcotest.(check bool) "events processed" true
+    (stats.Sim.events_processed > stats.Sim.acks_processed);
+  Alcotest.(check bool) "heap peak recorded" true (stats.Sim.heap_peak > 1)
 
 let test_sim_deterministic () =
   let _, s1 = run_reno () in
@@ -175,8 +219,10 @@ let suites =
       [
         Alcotest.test_case "ordering" `Quick test_event_queue_order;
         Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
+        Alcotest.test_case "popped metadata" `Quick
+          test_event_queue_popped_metadata;
       ]
-      @ qcheck [ prop_event_queue_sorted ] );
+      @ qcheck [ prop_event_queue_sorted; prop_event_queue_reference_order ] );
     ( "netsim.config",
       [
         Alcotest.test_case "bdp" `Quick test_config_bdp;
@@ -190,6 +236,7 @@ let suites =
         Alcotest.test_case "utilization" `Quick test_sim_utilization;
         Alcotest.test_case "never exceeds link" `Quick test_sim_never_exceeds_link;
         Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "event counters" `Quick test_sim_counters;
         Alcotest.test_case "small queue loses" `Quick test_sim_losses_with_small_queue;
         Alcotest.test_case "tiny window lossless" `Quick test_sim_tiny_window_no_loss;
         Alcotest.test_case "iid loss recovery" `Quick test_sim_random_loss;

@@ -189,6 +189,61 @@ let test_noise_spurious_losses () =
     (Array.length spurious.Abg_trace.Trace.loss_times
     > Array.length t.Abg_trace.Trace.loss_times)
 
+(* -- Process-wide trace store -- *)
+
+let reno_ctor ~mss () = Abg_cca.Reno.create ~mss ()
+
+let test_store_second_call_hits () =
+  Abg_trace.Trace.store_clear ();
+  let first = Abg_trace.Trace.collect_suite ~duration:2.0 ~n:2 ~name:"reno" reno_ctor in
+  let _, misses_after_first = Abg_trace.Trace.store_stats () in
+  let second = Abg_trace.Trace.collect_suite ~duration:2.0 ~n:2 ~name:"reno" reno_ctor in
+  let hits, misses = Abg_trace.Trace.store_stats () in
+  Alcotest.(check int) "no new misses" misses_after_first misses;
+  Alcotest.(check bool) "hits recorded" true (hits >= List.length second);
+  (* A hit returns the stored trace itself, not a re-simulation. *)
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "physically equal" true (a == b))
+    first second
+
+let test_store_parallel_matches_sequential () =
+  (* Parallel, cached collection must be bit-identical to a plain
+     sequential sweep of the same grid. *)
+  let parallel =
+    Abg_trace.Trace.collect_suite ~duration:2.0 ~n:2 ~name:"reno" reno_ctor
+  in
+  let sequential =
+    Abg_netsim.Config.testbed_grid ~duration:2.0 ~n:2 ()
+    |> List.map (fun cfg -> Abg_trace.Trace.collect cfg ~name:"reno" reno_ctor)
+  in
+  Alcotest.(check int) "same suite size" (List.length sequential)
+    (List.length parallel);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same length" (Abg_trace.Trace.length a)
+        (Abg_trace.Trace.length b);
+      Alcotest.(check bool) "records bit-identical" true
+        (a.Abg_trace.Trace.records = b.Abg_trace.Trace.records);
+      Alcotest.(check bool) "losses bit-identical" true
+        (a.Abg_trace.Trace.loss_times = b.Abg_trace.Trace.loss_times))
+    sequential parallel
+
+let test_store_uncached_is_fresh () =
+  let a =
+    Abg_trace.Trace.collect_suite ~duration:2.0 ~n:2 ~cache:false ~name:"reno"
+      reno_ctor
+  in
+  let b =
+    Abg_trace.Trace.collect_suite ~duration:2.0 ~n:2 ~cache:false ~name:"reno"
+      reno_ctor
+  in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "fresh traces" true (x != y);
+      Alcotest.(check bool) "still deterministic" true
+        (x.Abg_trace.Trace.records = y.Abg_trace.Trace.records))
+    a b
+
 (* -- IO -- *)
 
 let test_io_roundtrip () =
@@ -256,6 +311,13 @@ let suites =
         Alcotest.test_case "subsample" `Quick test_noise_subsample;
         Alcotest.test_case "time jitter monotone" `Quick test_noise_time_jitter_monotone;
         Alcotest.test_case "spurious losses" `Quick test_noise_spurious_losses;
+      ] );
+    ( "trace.store",
+      [
+        Alcotest.test_case "second call hits" `Quick test_store_second_call_hits;
+        Alcotest.test_case "parallel = sequential" `Quick
+          test_store_parallel_matches_sequential;
+        Alcotest.test_case "uncached is fresh" `Quick test_store_uncached_is_fresh;
       ] );
     ( "trace.io",
       [
