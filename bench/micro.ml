@@ -154,6 +154,28 @@ let enumerate_test =
      Test.make ~name:"sec61: sat-enumerate-sketch"
        (Staged.stage (fun () -> ignore (Abg_enum.Encode.next enc))))
 
+(* Per-sketch cost of the enumeration's static pruning stages, so the
+   overhead the analysis adds to every [Encode.next] is visible next to
+   the SAT solve it rides on: the abstract-interpretation dead-sketch
+   check and the commutative-normal-form dedup lookup, both on a
+   representative depth-3 Reno sketch. *)
+let analysis_sketch =
+  let open Abg_dsl.Expr in
+  Add (Cwnd, Mul (Hole 0, Macro Abg_dsl.Macro.Reno_inc))
+
+let absint_prune_test =
+  let box = Abg_analysis.Absint.box_for Abg_dsl.Catalog.reno in
+  Test.make ~name:"sec61: absint-prune-sketch"
+    (Staged.stage (fun () ->
+         ignore (Abg_analysis.Absint.prune box analysis_sketch)))
+
+let canonical_intern_test =
+  lazy
+    (let tbl = Abg_analysis.Canonical.Tbl.create () in
+     Test.make ~name:"sec61: canonical-intern-sketch"
+       (Staged.stage (fun () ->
+            ignore (Abg_analysis.Canonical.Tbl.intern tbl analysis_sketch))))
+
 let simulate_test =
   Test.make ~name:"table3: simulate-1s-reno"
     (Staged.stage (fun () ->
@@ -241,7 +263,8 @@ let run () =
     [ dtw_test; dtw_cutoff_test; euclidean_test; frechet_test;
       frechet_full_test; replay_compiled; replay_interp; bucket_cutoff;
       bucket_full; pool_persistent; pool_spawning; Lazy.force enumerate_test;
-      simulate_test; collect_suite_test; Lazy.force classify_features_test ]
+      absint_prune_test; Lazy.force canonical_intern_test; simulate_test;
+      collect_suite_test; Lazy.force classify_features_test ]
   in
   let rows = List.concat_map measure tests in
   write_json "BENCH_micro.json" rows;

@@ -8,13 +8,17 @@
 let count_viable_sketches ~cap dsl =
   let enc = Abg_enum.Encode.create dsl in
   let rec go n =
-    if n >= cap then (n, true)
+    if n >= cap then (n, true, enc)
     else
       match Abg_enum.Encode.next enc with
       | Some _ -> go (n + 1)
-      | None -> (n, false)
+      | None -> (n, false, enc)
   in
   go 0
+
+let pp_pruned counters =
+  String.concat ", "
+    (List.map (fun (reason, n) -> Printf.sprintf "%s %d" reason n) counters)
 
 let run () =
   Runs.heading "Sec 6.1: search efficiency on Reno";
@@ -22,7 +26,7 @@ let run () =
   Printf.printf "raw universe (depth %d): %s sketches\n"
     dsl.Abg_dsl.Catalog.max_depth
     (Abg_enum.Count.to_string (Abg_enum.Count.universe dsl));
-  let viable, capped =
+  let viable, capped, enc =
     Runs.timed "exhaustive enumeration" (fun () ->
         count_viable_sketches ~cap:20_000 dsl)
   in
@@ -31,6 +35,10 @@ let run () =
      1,617)\n"
     (if capped then ">= " else "")
     viable;
+  Printf.printf "statically pruned before simulation: %s (%.1f%% of %d)\n"
+    (pp_pruned (Abg_enum.Encode.prune_stats enc))
+    (100.0 *. Abg_enum.Encode.prune_rate enc)
+    (viable + Abg_enum.Encode.skipped enc);
   Printf.printf "buckets: %d (paper: 218)\n"
     (List.length (Abg_enum.Buckets.all dsl));
   match Runs.synthesis "reno" with
@@ -51,6 +59,10 @@ let run () =
       Printf.printf "total: %d sketches scored, %d concrete handlers scored\n"
         r.Abg_core.Refinement.total_sketches_scored
         r.Abg_core.Refinement.total_handlers_scored;
+      Printf.printf
+        "statically pruned during refinement: %s (%.1f%% of enumerated)\n"
+        (pp_pruned r.Abg_core.Refinement.pruned)
+        (100.0 *. r.Abg_core.Refinement.prune_rate);
       if (not capped) && viable > 0 then
         Printf.printf
           "fraction of viable sketch space explored: %.0f%% (paper: ~33%%)\n"

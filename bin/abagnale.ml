@@ -5,6 +5,7 @@
      classify  — run the Gordon / CCAnalyzer classifiers on saved traces
      synth     — reverse-engineer a cwnd-ack handler from traces
      distance  — score a handler expression against traces
+     lint      — run the static-analysis diagnostics over handlers
      list      — show the available CCAs and sub-DSLs *)
 
 open Cmdliner
@@ -132,7 +133,13 @@ let synth dsl_name verbose trace_files =
       Printf.printf "search:    %d sketches, %d handlers scored, %d buckets\n"
         r.Abg_core.Refinement.total_sketches_scored
         r.Abg_core.Refinement.total_handlers_scored
-        r.Abg_core.Refinement.buckets_initial
+        r.Abg_core.Refinement.buckets_initial;
+      Printf.printf "pruned:    %s (%.1f%% of enumerated sketches)\n"
+        (String.concat ", "
+           (List.map
+              (fun (reason, n) -> Printf.sprintf "%s %d" reason n)
+              r.Abg_core.Refinement.pruned))
+        (100.0 *. r.Abg_core.Refinement.prune_rate)
 
 let synth_cmd =
   let info =
@@ -171,6 +178,88 @@ let distance_cmd =
   in
   Cmd.v info Term.(const distance $ handler_arg $ distance_files_arg)
 
+(* -- lint -- *)
+
+let lint_names_arg =
+  let doc =
+    "Handlers to lint: Table-2 names (e.g. reno, student6), `catalog' for \
+     every Table-2 handler, or `showcase' for the built-in rule \
+     demonstrations. Default: catalog plus showcase."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"HANDLER" ~doc)
+
+let strict_arg =
+  let doc = "Exit non-zero if any error-severity diagnostic is produced." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let lint strict names =
+  let showcase =
+    List.map (fun (n, e) -> ("showcase/" ^ n, e)) Abg_analysis.Lint.showcase
+  in
+  let catalog =
+    List.map
+      (fun (n, e) -> ("synthesized/" ^ n, e))
+      Abg_core.Fine_tuned.synthesized
+    @ List.map
+        (fun (n, e) -> ("fine-tuned/" ^ n, e))
+        Abg_core.Fine_tuned.fine_tuned
+  in
+  let targets =
+    match names with
+    | [] -> catalog @ showcase
+    | names ->
+        List.concat_map
+          (fun name ->
+            if name = "showcase" then showcase
+            else if name = "catalog" then catalog
+            else begin
+              let found =
+                List.filter
+                  (fun (n, _) ->
+                    n = name
+                    || n = "synthesized/" ^ name
+                    || n = "fine-tuned/" ^ name)
+                  catalog
+              in
+              if found = [] then begin
+                Printf.eprintf "no handler named %s; try `abagnale list'\n"
+                  name;
+                exit 1
+              end;
+              found
+            end)
+          names
+  in
+  let errors = ref 0 and warnings = ref 0 in
+  List.iter
+    (fun (name, handler) ->
+      match Abg_analysis.Lint.check handler with
+      | [] -> ()
+      | diags ->
+          Printf.printf "%s: %s\n" name (Abg_dsl.Pretty.num handler);
+          List.iter
+            (fun d ->
+              (match d.Abg_analysis.Lint.severity with
+              | Abg_analysis.Lint.Error -> incr errors
+              | Abg_analysis.Lint.Warning -> incr warnings
+              | Abg_analysis.Lint.Info -> ());
+              Printf.printf "  %s\n"
+                (Fmt.str "%a" Abg_analysis.Lint.pp_diag d))
+            diags)
+    targets;
+  Printf.printf "%d handler(s) linted: %d error(s), %d warning(s)\n"
+    (List.length targets) !errors !warnings;
+  if strict && !errors > 0 then exit 1
+
+let lint_cmd =
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Run the interval-analysis diagnostics over handler expressions \
+         (rule id, expression, reason, interval witness)"
+  in
+  Cmd.v info Term.(const lint $ strict_arg $ lint_names_arg)
+
 (* -- list -- *)
 
 let list_all () =
@@ -189,6 +278,7 @@ let list_cmd =
 let main_cmd =
   let doc = "reverse-engineer congestion control algorithm behavior" in
   let info = Cmd.info "abagnale" ~version:"1.0.0" ~doc in
-  Cmd.group info [ collect_cmd; classify_cmd; synth_cmd; distance_cmd; list_cmd ]
+  Cmd.group info
+    [ collect_cmd; classify_cmd; synth_cmd; distance_cmd; lint_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,183 @@
+(* Abstract interpretation of DSL expressions over an interval domain.
+
+   Every leaf of an expression is bounded by its physical contract — the
+   signal ranges published by [Abg_dsl.Signal.range], the replay clamp on
+   cwnd, and the concretization pool for constant holes — and the
+   transfer functions of [Abg_util.Interval] mirror the evaluator's float
+   semantics exactly (safe division, sign-aware cube root, NaN
+   propagation). The derived interval therefore contains every value
+   [Eval.num] can produce on any in-range environment; that containment
+   is the soundness property qcheck exercises in test_analysis.ml.
+
+   On top of the interpreter sit the prune rules: a handler is dead on
+   arrival when its interval proves the replayed window can never differ
+   from the floor the evaluator would impose anyway (provably <= 0 or
+   provably non-finite, both of which [Eval.handler] maps to one MSS), or
+   when a subterm makes the whole sketch semantically equal to a sketch
+   the enumerator emits elsewhere at smaller size (a division whose
+   denominator is provably inside the safe-div guard, a conditional whose
+   guard is constant over the whole box). Pruning one of these never
+   loses behavior: the surviving space still contains an equivalent
+   handler. *)
+
+open Abg_util
+open Abg_dsl
+
+type box = {
+  cwnd : Interval.t;
+  hole : Interval.t;
+  signal : Signal.t -> Interval.t;
+}
+
+let signal_interval s =
+  let lo, hi = Signal.range s in
+  Interval.v lo hi
+
+(* The replay loop clamps the window to [1e12] and the handler floors it
+   at one MSS, but the *input* cwnd of the very first record is the
+   observed one, so the lower bound is kept at a conservative 1. *)
+let cwnd_interval = Interval.v 1.0 1e12
+
+let pool_interval pool =
+  if Array.length pool = 0 then Interval.v Float.neg_infinity Float.infinity
+  else begin
+    let lo = Array.fold_left Float.min pool.(0) pool
+    and hi = Array.fold_left Float.max pool.(0) pool in
+    Interval.v lo hi
+  end
+
+let default_box ?hole () =
+  let hole =
+    match hole with
+    | Some h -> h
+    | None -> Interval.v Float.neg_infinity Float.infinity
+  in
+  { cwnd = cwnd_interval; hole; signal = signal_interval }
+
+let box_for (dsl : Catalog.t) =
+  default_box ~hole:(pool_interval dsl.Catalog.constant_pool) ()
+
+let macro box m =
+  let s x = box.signal x in
+  let open Interval in
+  match m with
+  | Macro.Reno_inc ->
+      safe_div (mul (s Signal.Acked_bytes) (s Signal.Mss)) box.cwnd
+  | Macro.Vegas_diff ->
+      safe_div
+        (mul (sub (s Signal.Rtt) (s Signal.Min_rtt)) (s Signal.Ack_rate))
+        (s Signal.Mss)
+  | Macro.Htcp_diff ->
+      safe_div (sub (s Signal.Rtt) (s Signal.Min_rtt)) (s Signal.Max_rtt)
+  | Macro.Rtts_since_loss ->
+      safe_div (s Signal.Time_since_loss) (s Signal.Rtt)
+
+let rec num box (e : Expr.num) : Interval.t =
+  match e with
+  | Expr.Cwnd -> box.cwnd
+  | Expr.Signal s -> box.signal s
+  | Expr.Macro m -> macro box m
+  | Expr.Const c -> Interval.const c
+  | Expr.Hole _ -> box.hole
+  | Expr.Add (a, b) -> Interval.add (num box a) (num box b)
+  | Expr.Sub (a, b) -> Interval.sub (num box a) (num box b)
+  | Expr.Mul (a, b) -> Interval.mul (num box a) (num box b)
+  | Expr.Div (a, b) -> Interval.safe_div (num box a) (num box b)
+  | Expr.Ite (c, t, e) -> begin
+      match boolean box c with
+      | Interval.True -> num box t
+      | Interval.False -> num box e
+      | Interval.Unknown -> Interval.join (num box t) (num box e)
+    end
+  | Expr.Cube a -> Interval.cube (num box a)
+  | Expr.Cbrt a -> Interval.cbrt (num box a)
+
+and boolean box (b : Expr.boolean) : Interval.verdict =
+  match b with
+  | Expr.Lt (a, b) -> Interval.lt (num box a) (num box b)
+  | Expr.Gt (a, b) -> Interval.gt (num box a) (num box b)
+  | Expr.Mod_eq (a, b) -> Interval.mod_eq (num box a) (num box b)
+
+(* Guard oracle for [Simplify.simplify ~facts]. *)
+let facts box : Simplify.facts =
+ fun b ->
+  match boolean box b with
+  | Interval.True -> `True
+  | Interval.False -> `False
+  | Interval.Unknown -> `Unknown
+
+let simplify box e = Simplify.simplify ~facts:(facts box) e
+let is_simplifiable box e = Simplify.is_simplifiable ~facts:(facts box) e
+
+type reason =
+  | Collapses_to_floor
+  | Always_nonfinite
+  | Zero_denominator
+  | Dead_guard
+
+let all_reasons =
+  [ Collapses_to_floor; Always_nonfinite; Zero_denominator; Dead_guard ]
+
+let reason_name = function
+  | Collapses_to_floor -> "collapses-to-floor"
+  | Always_nonfinite -> "always-nonfinite"
+  | Zero_denominator -> "zero-denominator"
+  | Dead_guard -> "dead-guard"
+
+(* Near-zero divisor threshold of [Floatx.safe_div]. *)
+let div_eps = 1e-12
+
+let provably_near_zero (i : Interval.t) =
+  (not i.Interval.nan) && i.Interval.hi < div_eps && i.Interval.lo > -.div_eps
+
+(* First structural witness of a subterm-level dead pattern: a division
+   whose denominator the evaluator is guaranteed to guard to 0, or a
+   conditional whose guard is constant over the whole box. Either way the
+   expression is semantically equal to a strictly smaller one, which the
+   enumerator emits in some (possibly different) bucket. *)
+let rec dead_subterm box (e : Expr.num) : (reason * Interval.t) option =
+  let first a b = match a with Some _ -> a | None -> b () in
+  match e with
+  | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _ ->
+      None
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) ->
+      first (dead_subterm box a) (fun () -> dead_subterm box b)
+  | Expr.Div (a, b) ->
+      let di = num box b in
+      if provably_near_zero di then Some (Zero_denominator, di)
+      else
+        first (dead_subterm box a) (fun () -> dead_subterm box b)
+  | Expr.Ite (c, t, e) -> begin
+      match boolean box c with
+      | Interval.True | Interval.False ->
+          (* Witness: the interval of the guard's left-hand side, which
+             together with the right-hand side's proves the verdict. *)
+          let lhs =
+            match c with
+            | Expr.Lt (a, _) | Expr.Gt (a, _) | Expr.Mod_eq (a, _) -> num box a
+          in
+          Some (Dead_guard, lhs)
+      | Interval.Unknown ->
+          first (dead_bool box c) (fun () ->
+              first (dead_subterm box t) (fun () -> dead_subterm box e))
+    end
+  | Expr.Cube a | Expr.Cbrt a -> dead_subterm box a
+
+and dead_bool box (b : Expr.boolean) =
+  let first a b = match a with Some _ -> a | None -> b () in
+  match b with
+  | Expr.Lt (a, b) | Expr.Gt (a, b) | Expr.Mod_eq (a, b) ->
+      first (dead_subterm box a) (fun () -> dead_subterm box b)
+
+(** [prune box e] is [Some (reason, witness)] when the interval analysis
+    proves [e] dead on arrival: every environment in [box] (and every
+    hole filling from the pool) replays identically to a handler the
+    search retains anyway — the constant floor for [Collapses_to_floor]
+    and [Always_nonfinite] (cf. [Eval.handler]'s non-finite/minimum
+    guard), a strictly smaller equivalent sketch for [Zero_denominator]
+    and [Dead_guard]. *)
+let prune box (e : Expr.num) : (reason * Interval.t) option =
+  let i = num box e in
+  if i.Interval.hi <= 0.0 then Some (Collapses_to_floor, i)
+  else if i.Interval.lo = Float.infinity then Some (Always_nonfinite, i)
+  else dead_subterm box e

@@ -1,0 +1,35 @@
+(** Commutative normal form + hash-consed keys for DSL expressions.
+
+    The SAT enumerator has no symmetry-breaking over operand order, so
+    [a + b] and [b + a] are emitted as distinct sketches. IEEE [+]/[*]
+    are exactly commutative, so both denote the same function;
+    {!normalize} maps them to one representative. *)
+
+open Abg_dsl
+
+val compare_num : Expr.num -> Expr.num -> int
+(** Total preorder used for operand ordering: leaves before compounds,
+    [Cwnd] first, holes interchangeable (they compare equal regardless of
+    index). *)
+
+val normalize : Expr.num -> Expr.num
+(** Commutative normal form: operands of [Add]/[Mul] sorted under
+    {!compare_num}, holes renumbered left-to-right. Semantically
+    identical to the input, idempotent, and equal for any two expressions
+    differing only in commutative operand order or hole numbering. *)
+
+val equal : Expr.num -> Expr.num -> bool
+(** Equality of normal forms. *)
+
+(** Hash-consing table assigning dense ids to distinct normal forms. *)
+module Tbl : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val length : t -> int
+
+  val intern : t -> Expr.num -> int * bool
+  (** [intern t e] is [(id, fresh)]: the dense id of [normalize e], and
+      whether this is the first expression interned with that normal
+      form. *)
+end

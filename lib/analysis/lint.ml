@@ -1,0 +1,158 @@
+(* Lint diagnostics for DSL handlers, built on the abstract interpreter.
+
+   Each rule reports (rule id, offending subexpression, reason, interval
+   witness). Errors are handlers the search itself would prune as dead on
+   arrival; warnings flag behavior that is legal but almost certainly not
+   what the handler's author intended (a window that can silently
+   overflow to the one-MSS floor, a denominator that can cross zero);
+   infos flag redundant structure. *)
+
+open Abg_util
+open Abg_dsl
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type diag = {
+  rule : string;
+  severity : severity;
+  expr : Expr.num;  (** the offending (sub)expression *)
+  message : string;
+  witness : Interval.t option;
+}
+
+let diag ?witness rule severity expr message =
+  { rule; severity; expr; message; witness }
+
+let div_eps = 1e-12
+
+let rec sub_diags box (e : Expr.num) acc =
+  match e with
+  | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _ ->
+      acc
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) ->
+      sub_diags box a (sub_diags box b acc)
+  | Expr.Div (a, b) ->
+      let di = Absint.num box b in
+      let acc =
+        if (not di.Interval.nan) && di.Interval.hi < div_eps
+           && di.Interval.lo > -.div_eps
+        then
+          diag ~witness:di "zero-denominator" Error e
+            "denominator is provably inside the safe-division guard; the \
+             quotient is identically 0"
+          :: acc
+        else if di.Interval.lo < div_eps && di.Interval.hi > -.div_eps then
+          diag ~witness:di "possible-zero-denominator" Warning e
+            "denominator can enter the safe-division guard, silently \
+             zeroing the quotient"
+          :: acc
+        else acc
+      in
+      sub_diags box a (sub_diags box b acc)
+  | Expr.Ite (c, t, el) ->
+      let acc =
+        match Absint.boolean box c with
+        | Interval.True ->
+            diag "dead-guard" Warning e
+              "guard is true over the whole input box; the else-branch is \
+               unreachable"
+            :: acc
+        | Interval.False ->
+            diag "dead-guard" Warning e
+              "guard is false over the whole input box; the then-branch \
+               is unreachable"
+            :: acc
+        | Interval.Unknown -> acc
+      in
+      let acc =
+        match c with
+        | Expr.Lt (a, b) | Expr.Gt (a, b) | Expr.Mod_eq (a, b) ->
+            sub_diags box a (sub_diags box b acc)
+      in
+      sub_diags box t (sub_diags box el acc)
+  | Expr.Cube a | Expr.Cbrt a -> sub_diags box a acc
+
+(** [check ?box e] is every diagnostic the analysis can prove about
+    handler [e], outermost rules first. *)
+let check ?box (e : Expr.num) : diag list =
+  let box = match box with Some b -> b | None -> Absint.default_box () in
+  let i = Absint.num box e in
+  let root = [] in
+  let root =
+    if i.Interval.hi <= 0.0 then
+      diag ~witness:i "collapses-to-floor" Error e
+        "window is provably <= 0 everywhere; the handler replays as the \
+         constant one-MSS floor"
+      :: root
+    else if i.Interval.lo = Float.infinity then
+      diag ~witness:i "always-nonfinite" Error e
+        "window is provably non-finite everywhere; the handler replays \
+         as the constant one-MSS floor"
+      :: root
+    else if i.Interval.hi = Float.infinity then
+      diag ~witness:i "unbounded-window" Warning e
+        "window can overflow to non-finite, which the evaluator maps to \
+         the one-MSS floor"
+      :: root
+    else root
+  in
+  let root =
+    if i.Interval.nan && i.Interval.lo <> Float.infinity && i.Interval.hi > 0.0
+    then
+      diag ~witness:i "possible-nan" Warning e
+        "some input produces NaN, which the evaluator maps to the \
+         one-MSS floor"
+      :: root
+    else root
+  in
+  let structural = List.rev (sub_diags box e []) in
+  let redundancy =
+    let simp =
+      if Absint.is_simplifiable box e then
+        [ diag "simplifiable" Info e
+            "rewriting strictly reduces the node count; an equivalent \
+             smaller handler exists" ]
+      else []
+    in
+    let canon =
+      if not (Expr.equal_num e (Canonical.normalize e)) then
+        [ diag "non-canonical" Info e
+            "operands of a commutative operator are not in canonical \
+             order" ]
+      else []
+    in
+    simp @ canon
+  in
+  List.rev root @ structural @ redundancy
+
+(** Named degenerate handlers demonstrating every rule — living
+    documentation for [abagnale lint], and fixtures for the tests and the
+    CI smoke run. *)
+let showcase : (string * Expr.num) list =
+  let open Expr in
+  [ ("collapse", Sub (Const 0.0, Cwnd));
+    ("overflow", Cube (Cube (Cube Cwnd)));
+    ( "nonfinite",
+      Cube (Cube (Cube (Cube (Mul (Const 1e10, Cwnd))))) );
+    ( "nan-window",
+      Sub (Cube (Cube (Cube Cwnd)), Cube (Cube (Cube (Mul (Cwnd, Cwnd))))) );
+    ( "dead-guard",
+      Ite (Gt (Signal Signal.Rtt, Const 200.0), Mul (Const 2.0, Cwnd), Cwnd)
+    );
+    ("zero-div", Div (Macro Macro.Reno_inc, Const 0.0));
+    ("gradient-div", Div (Cwnd, Signal Signal.Delay_gradient));
+    ("unsorted", Add (Signal Signal.Mss, Cwnd)) ]
+
+let pp_diag ppf d =
+  let witness =
+    match d.witness with
+    | None -> ""
+    | Some w -> Fmt.str " (witness %a)" Interval.pp w
+  in
+  Fmt.pf ppf "%s[%s]: %s: %s%s" (severity_name d.severity) d.rule
+    (Pretty.num d.expr) d.message witness

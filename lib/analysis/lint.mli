@@ -1,0 +1,33 @@
+(** Lint diagnostics for DSL handlers, built on {!Absint}.
+
+    Errors are handlers the search itself prunes as dead on arrival;
+    warnings flag legal-but-suspicious behavior (silent overflow or NaN
+    to the one-MSS floor, a denominator crossing zero); infos flag
+    redundant structure. *)
+
+open Abg_util
+open Abg_dsl
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type diag = {
+  rule : string;
+  severity : severity;
+  expr : Expr.num;  (** the offending (sub)expression *)
+  message : string;
+  witness : Interval.t option;
+}
+
+val check : ?box:Absint.box -> Expr.num -> diag list
+(** Every diagnostic the analysis can prove about a handler, root rules
+    first, then structural (per-subterm) rules in syntactic order, then
+    redundancy infos. [box] defaults to {!Absint.default_box}. *)
+
+val showcase : (string * Expr.num) list
+(** Named degenerate handlers demonstrating every rule — living
+    documentation for [abagnale lint] and fixtures for tests/CI. *)
+
+val pp_diag : Format.formatter -> diag -> unit
+(** ["severity[rule]: expr: message (witness [lo, hi])"]. *)

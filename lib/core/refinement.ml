@@ -72,7 +72,23 @@ type result = {
   total_handlers_scored : int;
   total_sketches_scored : int;
   buckets_initial : int;
+  pruned : (string * int) list;
+      (** sketches rejected before simulation, per reason, aggregated
+          over every bucket enumerator (see [Abg_enum.Encode.prune_stats]) *)
+  prune_rate : float;
+      (** fraction of decoded sketches pruned before simulation *)
 }
+
+(* Sum per-reason prune counters across bucket enumerators, preserving
+   the reporting order of [Encode.prune_stats]. *)
+let aggregate_prune_stats encs =
+  match List.map Abg_enum.Encode.prune_stats encs with
+  | [] -> []
+  | first :: rest ->
+      List.fold_left
+        (fun acc stats ->
+          List.map2 (fun (name, n) (_, n') -> (name, n + n')) acc stats)
+        first rest
 
 (* Long segments are thinned (stride with ACK aggregation), not truncated:
    a truncated prefix covers only a couple of RTTs of window evolution, on
@@ -118,6 +134,10 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
              best = None;
            })
   in
+  (* The working array below shrinks to the kept subset each iteration;
+     the full initial list is retained so end-of-run statistics (prune
+     counters) cover every enumerator, dropped buckets included. *)
+  let all_buckets = buckets in
   let buckets = ref (Array.of_list buckets) in
   let buckets_initial = Array.length !buckets in
   let iteration = ref 1 in
@@ -285,7 +305,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
     List.fold_left
       (fun acc (s : Score.scored) ->
         if List.exists (fun (s' : Score.scored) ->
-               Expr.equal_num s'.Score.handler s.Score.handler)
+               Abg_analysis.Canonical.equal s'.Score.handler s.Score.handler)
              acc
         then acc
         else s :: acc)
@@ -318,6 +338,17 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         | Some b -> if s.Score.distance < b.Score.distance then Some s else acc)
       None rescored
   in
+  let pruned = aggregate_prune_stats (List.map (fun b -> b.enc) all_buckets) in
+  let prune_rate =
+    let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 pruned in
+    let returned =
+      List.fold_left
+        (fun acc b -> acc + fst (Abg_enum.Encode.stats b.enc))
+        0 all_buckets
+    in
+    let total = skipped + returned in
+    if total = 0 then 0.0 else float_of_int skipped /. float_of_int total
+  in
   match winner with
   | None -> None
   | Some best ->
@@ -332,6 +363,8 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
           total_handlers_scored = !total_handlers;
           total_sketches_scored = !total_sketches;
           buckets_initial;
+          pruned;
+          prune_rate;
         }
 
 (** [bucket_rank_of result ~target ~iteration] — the §6.2 instrumentation:

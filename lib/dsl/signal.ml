@@ -43,6 +43,33 @@ let unit_of = function
   | Ack_rate -> Units.rate
   | Rtt_gradient | Delay_gradient -> Units.dimensionless
 
+(* Physical range contract for each signal: every value the trace
+   substrate can record falls inside these bounds, by construction of the
+   recorder. They are deliberately generous — looseness only weakens
+   abstract-interpretation pruning, never its soundness — but each bound
+   is justified:
+   - [Mss]: IPv4 minimum-reassembly floor to 64 KiB jumbo frames.
+   - [Acked_bytes]: one thinning window of deliveries; 1e9 B covers any
+     window at the simulator's bandwidth grid with orders to spare.
+   - [Time_since_loss]: bounded by trace duration; 1e6 s ~ 11 days.
+   - RTTs: clamped positive by the recorder (samples <= 0 are dropped);
+     100 s dwarfs any simulated path.
+   - [Ack_rate]: an EWMA of window_bytes/span, span >= 5 ms; 1e12 B/s is
+     ~8 Tbit/s.
+   - Gradients: samples are d(rtt)/span with span >= 5 ms and rtt bounded
+     by the RTT range, so |sample| <= 100/0.005 = 2e4; the EWMA never
+     exceeds the largest sample. The delay gradient rescales by at most
+     0.005/min_rtt <= 50. 1e6 bounds both with margin.
+   - [Wmax]: a recorded cwnd, bounded by the replay clamp (1e12). *)
+let range = function
+  | Mss -> (400.0, 65536.0)
+  | Acked_bytes -> (0.0, 1e9)
+  | Time_since_loss -> (0.0, 1e6)
+  | Rtt | Min_rtt | Max_rtt -> (1e-6, 100.0)
+  | Ack_rate -> (0.0, 1e12)
+  | Rtt_gradient | Delay_gradient -> (-1e6, 1e6)
+  | Wmax -> (0.0, 1e12)
+
 let equal (a : t) b = a = b
 let compare (a : t) b = Stdlib.compare a b
 let pp fmt s = Format.pp_print_string fmt (name s)

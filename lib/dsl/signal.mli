@@ -19,6 +19,13 @@ val all : t list
 val name : t -> string
 val of_name : string -> t option
 val unit_of : t -> Abg_util.Units.t
+
+val range : t -> float * float
+(** [range s] is the physical [(lo, hi)] contract for [s]: every value
+    the trace substrate can record falls inside it. Deliberately
+    generous; the single source of truth for the interval boxes used by
+    [Simplify] and the [Abg_analysis] abstract interpreter. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

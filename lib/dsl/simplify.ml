@@ -3,126 +3,196 @@
     The enumerator rejects sketches that are "arithmetically simplifiable":
     a sketch whose rewritten form has fewer nodes carries redundant
     structure, and some smaller sketch in the space denotes the same
-    function. The rewriter below implements the local rules that matter for
-    this DSL; like sympy as used by the paper, it performs no interval
-    reasoning, so e.g. a conditional that is only *semantically* vacuous
-    (Student 5, §5.6) is not reduced. *)
+    function. The rewriter below implements the local rules that matter
+    for this DSL, plus an optional [facts] oracle through which a caller
+    (in practice [Abg_analysis.Absint]) can resolve guards that interval
+    reasoning proves constant over the whole input box.
+
+    What remains of the §5.6 gap: the oracle is non-relational, so facts
+    that hold only *between* signals — min-rtt <= rtt <= max-rtt, acked
+    bounded by cwnd — are not representable, and a guard like Student 5's
+    [{vegas-diff / min-rtt < 5}] that is vacuous only because of such a
+    relation stays open, exactly as in the paper.
+
+    Caveat on the cancellation rules: [x / x -> 1], [x % x = 0 -> true],
+    [(a * b) / a -> b] and friends are algebraic identities, exact except
+    when the cancelled divisor lands inside [Floatx.safe_div]'s near-zero
+    guard (where the quotient is 0, not the identity) or the modulus
+    inside the divisibility epsilon. The paper's sympy filter has the
+    same blind spot; the enumeration accepts the (measure-zero-ish)
+    over-pruning, and the property test states the hypothesis exactly:
+    preservation holds whenever no intermediate is non-finite and no
+    divisor or modulus is guard-adjacent. *)
 
 open Expr
 
 let is_const = function Const _ -> true | _ -> false
 
+(* Structural equality modulo commutativity of [Add] and [Mul]. IEEE
+   addition and multiplication are exactly commutative, so terms equal
+   under this relation evaluate bit-identically and every rewrite guarded
+   by it is as sound as one guarded by [equal_num]. This is what catches
+   the "guard compares an expression to itself" conditionals the seed
+   rewriter missed when the two copies order their operands differently. *)
+let rec equal_mod_comm a b =
+  match (a, b) with
+  | Add (x, y), Add (x', y') | Mul (x, y), Mul (x', y') ->
+      (equal_mod_comm x x' && equal_mod_comm y y')
+      || (equal_mod_comm x y' && equal_mod_comm y x')
+  | Sub (x, y), Sub (x', y') | Div (x, y), Div (x', y') ->
+      equal_mod_comm x x' && equal_mod_comm y y'
+  | Ite (c, t, e), Ite (c', t', e') ->
+      equal_bool_mod_comm c c' && equal_mod_comm t t' && equal_mod_comm e e'
+  | Cube x, Cube x' | Cbrt x, Cbrt x' -> equal_mod_comm x x'
+  | a, b -> equal_num a b
+
+and equal_bool_mod_comm a b =
+  match (a, b) with
+  | Lt (x, y), Lt (x', y') | Gt (x, y), Gt (x', y') | Mod_eq (x, y), Mod_eq (x', y') ->
+      equal_mod_comm x x' && equal_mod_comm y y'
+  | _ -> false
+
+(* Near-zero divisor threshold of [Floatx.safe_div]; the rewriter must
+   mirror the evaluator exactly or rewriting would change semantics. *)
+let div_eps = 1e-12
+
+(* The evaluator's tolerant divisibility predicate, mirrored for constant
+   folding (the seed folded [Mod_eq] with a strict epsilon and disagreed
+   with [Eval.boolean] on e.g. 2.05 % 2). *)
+let mod_eq_const x y =
+  if Float.abs y < 1e-9 then false
+  else begin
+    let r = Abg_util.Floatx.fmod x y in
+    let tol = 0.05 *. Float.abs y in
+    r <= tol || Float.abs y -. r <= tol
+  end
+
+type facts = Expr.boolean -> [ `True | `False | `Unknown ]
+
+let no_facts : facts = fun _ -> `Unknown
+
 (* One bottom-up rewriting pass. *)
-let rec pass e =
+let rec pass facts e =
   match e with
   | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> e
   | Add (a, b) -> begin
-      match (pass a, pass b) with
+      match (pass facts a, pass facts b) with
       | Const x, Const y -> Const (x +. y)
       | Const 0.0, b' -> b'
       | a', Const 0.0 -> a'
       (* a + (b - a) = b, in either operand order. *)
-      | a', Sub (x, y) when equal_num a' y -> x
-      | Sub (x, y), b' when equal_num b' y -> x
+      | a', Sub (x, y) when equal_mod_comm a' y -> x
+      | Sub (x, y), b' when equal_mod_comm b' y -> x
       | a', b' -> Add (a', b')
     end
   | Sub (a, b) -> begin
-      match (pass a, pass b) with
+      match (pass facts a, pass facts b) with
       | Const x, Const y -> Const (x -. y)
       | a', Const 0.0 -> a'
-      | a', b' when equal_num a' b' -> Const 0.0
+      | a', b' when equal_mod_comm a' b' -> Const 0.0
       (* (a + b) - a = b; a - (a - c) = c; a - (a + c) = -... (left out:
          negative results are rarely sketches' intent and -1 * c is not
          smaller). *)
-      | Add (x, y), b' when equal_num x b' -> y
-      | Add (x, y), b' when equal_num y b' -> x
-      | a', Sub (x, c) when equal_num a' x -> c
+      | Add (x, y), b' when equal_mod_comm x b' -> y
+      | Add (x, y), b' when equal_mod_comm y b' -> x
+      | a', Sub (x, c) when equal_mod_comm a' x -> c
       | a', b' -> Sub (a', b')
     end
   | Mul (a, b) -> begin
-      match (pass a, pass b) with
+      match (pass facts a, pass facts b) with
       | Const x, Const y -> Const (x *. y)
       | Const 0.0, _ | _, Const 0.0 -> Const 0.0
       | Const 1.0, b' -> b'
       | a', Const 1.0 -> a'
       (* a * (b / a) = b, in either operand order. *)
-      | a', Div (x, y) when equal_num a' y -> x
-      | Div (x, y), b' when equal_num b' y -> x
+      | a', Div (x, y) when equal_mod_comm a' y -> x
+      | Div (x, y), b' when equal_mod_comm b' y -> x
       | a', b' -> Mul (a', b')
     end
   | Div (a, b) -> begin
-      match (pass a, pass b) with
-      | Const x, Const y when y <> 0.0 -> Const (x /. y)
+      match (pass facts a, pass facts b) with
+      (* Constant folding mirrors [Floatx.safe_div]: a near-zero divisor
+         yields 0, never an infinity (the seed folded to [x /. y]). *)
+      | Const x, Const y -> Const (Abg_util.Floatx.safe_div x y)
       | Const 0.0, _ -> Const 0.0
+      | _, Const y when Float.abs y < div_eps -> Const 0.0
       | a', Const 1.0 -> a'
-      | a', b' when equal_num a' b' && not (is_const a') -> Const 1.0
+      | a', b' when equal_mod_comm a' b' && not (is_const a') -> Const 1.0
       (* Cancellation through a nested quotient/product: a / (a / c) = c,
          (a * b) / a = b. These are the identity composites the enumerator
          would otherwise emit to smuggle CWND through a bigger tree. *)
-      | a', Div (x, c) when equal_num a' x -> c
-      | Mul (x, y), b' when equal_num x b' -> y
-      | Mul (x, y), b' when equal_num y b' -> x
+      | a', Div (x, c) when equal_mod_comm a' x -> c
+      | Mul (x, y), b' when equal_mod_comm x b' -> y
+      | Mul (x, y), b' when equal_mod_comm y b' -> x
       | a', b' -> Div (a', b')
     end
   | Ite (c, t, el) -> begin
-      let t' = pass t and el' = pass el in
-      match pass_bool c with
+      let t' = pass facts t and el' = pass facts el in
+      match pass_bool facts c with
       | `Known true -> t'
       | `Known false -> el'
-      | `Open c' -> if equal_num t' el' then t' else Ite (c', t', el')
+      | `Open c' -> if equal_mod_comm t' el' then t' else Ite (c', t', el')
     end
   | Cube a -> begin
-      match pass a with
+      match pass facts a with
       | Const x -> Const (x *. x *. x)
       | Cbrt inner -> inner
       | a' -> Cube a'
     end
   | Cbrt a -> begin
-      match pass a with
+      match pass facts a with
       | Const x -> Const (Abg_util.Floatx.cbrt x)
       | Cube inner -> inner
       | a' -> Cbrt a'
     end
 
-and pass_bool b =
+and pass_bool facts b =
+  (* Structural/constant resolution first, then the caller's interval
+     facts on whatever guard is left open. *)
+  let resolve b' =
+    match facts b' with
+    | `True -> `Known true
+    | `False -> `Known false
+    | `Unknown -> `Open b'
+  in
   let fold cmp a b =
-    match (pass a, pass b) with
+    match (pass facts a, pass facts b) with
     | Const x, Const y -> `Known (cmp x y)
-    | a', b' when equal_num a' b' -> `Known false
+    | a', b' when equal_mod_comm a' b' -> `Known false
     | a', b' -> `Open (a', b')
   in
   match b with
   | Lt (a, b) -> begin
       match fold ( < ) a b with
       | `Known k -> `Known k
-      | `Open (a', b') -> `Open (Lt (a', b'))
+      | `Open (a', b') -> resolve (Lt (a', b'))
     end
   | Gt (a, b) -> begin
       match fold ( > ) a b with
       | `Known k -> `Known k
-      | `Open (a', b') -> `Open (Gt (a', b'))
+      | `Open (a', b') -> resolve (Gt (a', b'))
     end
   | Mod_eq (a, b) -> begin
-      (* x % x = 0 is always true; constants fold. *)
-      match (pass a, pass b) with
-      | Const x, Const y when y <> 0.0 ->
-          `Known (Float.abs (Float.rem x y) < 1e-9)
-      | a', b' when equal_num a' b' -> `Known true
-      | a', b' -> `Open (Mod_eq (a', b'))
+      (* x % x = 0 is always true (for |x| >= the evaluator's epsilon);
+         constants fold through the evaluator's own tolerant predicate. *)
+      match (pass facts a, pass facts b) with
+      | Const x, Const y -> `Known (mod_eq_const x y)
+      | a', b' when equal_mod_comm a' b' -> `Known true
+      | a', b' -> resolve (Mod_eq (a', b'))
     end
 
-(** [simplify e] rewrites to a fixpoint (bounded; each pass shrinks or
-    preserves size, so the bound is generous). *)
-let simplify e =
+(** [simplify ?facts e] rewrites to a fixpoint (bounded; each pass shrinks
+    or preserves size, so the bound is generous). *)
+let simplify ?(facts = no_facts) e =
   let rec go e fuel =
     if fuel = 0 then e
     else begin
-      let e' = pass e in
+      let e' = pass facts e in
       if equal_num e' e then e else go e' (fuel - 1)
     end
   in
   go e 32
 
-(** [is_simplifiable e] — the §4.1 enumeration filter: [e] is redundant if
-    rewriting strictly reduces its node count. *)
-let is_simplifiable e = size (simplify e) < size e
+(** [is_simplifiable ?facts e] — the §4.1 enumeration filter: [e] is
+    redundant if rewriting strictly reduces its node count. *)
+let is_simplifiable ?facts e = size (simplify ?facts e) < size e

@@ -1,12 +1,31 @@
 (** Algebraic simplification — the sympy substitute (§4.1). Local
-    rewriting only (constant folding, identities, cancellation through
-    nested products/quotients, trivial conditionals); no interval
-    reasoning, reproducing the paper's Student-5 limitation (§5.6). *)
+    rewriting (constant folding through the evaluator's own semantics,
+    identities, cancellation through nested products/quotients, trivial
+    conditionals — including guards whose two sides are equal modulo
+    commutativity), plus an optional oracle for guards that interval
+    reasoning proves constant. What remains of the §5.6 gap is the
+    *relational* part: facts that hold only between signals (min-rtt <=
+    rtt) are not representable, so Student-5-style vacuous conditionals
+    stay open. *)
 
-val simplify : Expr.num -> Expr.num
+type facts = Expr.boolean -> [ `True | `False | `Unknown ]
+(** A guard oracle: [`True]/[`False] assert the guard is constant over
+    every environment of interest (see [Abg_analysis.Absint.facts]). *)
+
+val no_facts : facts
+(** The trivial oracle: every guard is [`Unknown]. *)
+
+val equal_mod_comm : Expr.num -> Expr.num -> bool
+(** Structural equality modulo commutativity of [Add]/[Mul]. IEEE [+] and
+    [*] are exactly commutative, so related terms evaluate
+    bit-identically. *)
+
+val simplify : ?facts:facts -> Expr.num -> Expr.num
 (** Rewrite to a fixpoint. Never grows the tree; preserves the evaluated
-    value on finite inputs. *)
+    value on finite, non-degenerate inputs (the x/x = 1 and x*0 = 0 rules
+    assume the evaluator's safe-division guard and infinities do not
+    fire, as §4.1's sympy filtering does). *)
 
-val is_simplifiable : Expr.num -> bool
+val is_simplifiable : ?facts:facts -> Expr.num -> bool
 (** The §4.1 enumeration filter: true when rewriting strictly reduces the
     node count (the sketch carries redundant structure). *)

@@ -28,7 +28,12 @@ let feasible ops =
 let all (dsl : Catalog.t) =
   let ops = Array.of_list (Catalog.operators dsl) in
   let n = Array.length ops in
-  assert (n <= 20);
+  if n > 20 then
+    invalid_arg
+      (Printf.sprintf
+         "Buckets.all: %d operators; the power-set bucketization is capped \
+          at 20"
+         n);
   let subsets = ref [] in
   for mask = 0 to (1 lsl n) - 1 do
     let subset = ref [] in

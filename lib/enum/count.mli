@@ -1,0 +1,17 @@
+(** Closed-form counting of the sketch universe (§4.1, §6.1): the number
+    of well-sorted trees before any pruning, by dynamic programming over
+    (sort, depth), in floating point (the values overflow integers
+    immediately). *)
+
+open Abg_dsl
+
+val universe : Catalog.t -> float
+(** Well-sorted num-trees of depth up to [max_depth] over the DSL's
+    components. *)
+
+val universe_at : components:Component.t list -> depth:int -> float
+(** Custom what-if counts (e.g. the paper's 25-component depth-7
+    figure). *)
+
+val to_string : float -> string
+(** Scientific-notation rendering ("2.1e9", "1.3e150"). *)

@@ -14,9 +14,16 @@
 
     Models are decoded into {!Abg_dsl.Expr} sketches with constant holes;
     each returned sketch is excluded with a blocking clause, so repeated
-    calls enumerate the space. Arithmetic simplifiability (§4.1's sympy
-    filter) is checked post-decode and such models are blocked and
-    skipped. *)
+    calls enumerate the space. Post-decode, three pruning stages run
+    before a sketch is handed to the scorer, each blocking-and-skipping
+    the model: arithmetic simplifiability (§4.1's sympy filter), the
+    interval-domain dead-on-arrival rules of {!Abg_analysis.Absint}
+    (window provably <= 0 or non-finite, provably-zero denominators,
+    guards constant over the whole input box), and commutative-duplicate
+    detection via {!Abg_analysis.Canonical} (the encoding has no
+    symmetry-breaking over operand order, so without it both [a + b] and
+    [b + a] reach the simulator). Returned sketches are in canonical
+    form; per-reason counters are surfaced via {!prune_stats}. *)
 
 open Abg_dsl
 open Abg_util
@@ -33,9 +40,22 @@ type t = {
   unit_vars : int array array;  (** [| |] rows when unit checking is off *)
   unit_domain : Units.t array;
   used_op : (Component.t * int) list;
+  box : Abg_analysis.Absint.box;
+      (** interval box: physical signal ranges, hole = the constant pool *)
+  seen : Abg_analysis.Canonical.Tbl.t;
+      (** canonical forms already returned, for commutative dedup *)
+  dead : int array;  (** per-{!Abg_analysis.Absint.reason} prune counts *)
   mutable enumerated : int;
   mutable blocked_simplifiable : int;
+  mutable blocked_duplicate : int;
 }
+
+let reason_index r =
+  let rec go i = function
+    | [] -> invalid_arg "Encode.reason_index"
+    | r' :: rest -> if r' = r then i else go (i + 1) rest
+  in
+  go 0 Abg_analysis.Absint.all_reasons
 
 let find_comp_index components c =
   let rec go i =
@@ -79,7 +99,10 @@ let create (dsl : Catalog.t) =
   let enc =
     {
       solver; dsl; nodes; components; active; comp; unit_vars; unit_domain;
-      used_op; enumerated = 0; blocked_simplifiable = 0;
+      used_op; box = Abg_analysis.Absint.box_for dsl;
+      seen = Abg_analysis.Canonical.Tbl.create ();
+      dead = Array.make (List.length Abg_analysis.Absint.all_reasons) 0;
+      enumerated = 0; blocked_simplifiable = 0; blocked_duplicate = 0;
     }
   in
   (* -- Structural constraints -- *)
@@ -377,10 +400,16 @@ let assumptions_for_bucket enc ops =
       if List.exists (Component.equal op) ops then v else -v)
     enc.used_op
 
+let skipped enc =
+  enc.blocked_simplifiable + enc.blocked_duplicate
+  + Array.fold_left ( + ) 0 enc.dead
+
 (** [next ?bucket enc] returns the next not-yet-enumerated sketch
-    (optionally restricted to an operator bucket), or [None] when the
-    (sub)space is exhausted. Arithmetically simplifiable sketches are
-    blocked and skipped, mirroring the paper's sympy filter. *)
+    (optionally restricted to an operator bucket) in canonical form, or
+    [None] when the (sub)space is exhausted. Three pruning stages block
+    and skip models before they reach the simulator: the §4.1
+    simplifiability filter, the interval-domain dead-on-arrival rules,
+    and commutative-duplicate detection. *)
 let rec next ?bucket enc =
   let assumptions =
     match bucket with
@@ -389,7 +418,7 @@ let rec next ?bucket enc =
   in
   (* Scatter successive models across the bucket (deterministically). *)
   Abg_sat.Solver.randomize enc.solver
-    ~seed:((enc.enumerated * 2654435761) + enc.blocked_simplifiable + 17);
+    ~seed:((enc.enumerated * 2654435761) + skipped enc + 17);
   match Abg_sat.Solver.solve ~assumptions enc.solver with
   | Abg_sat.Solver.Unsat -> None
   | Abg_sat.Solver.Sat model ->
@@ -400,12 +429,41 @@ let rec next ?bucket enc =
         next ?bucket enc
       end
       else begin
-        enc.enumerated <- enc.enumerated + 1;
-        Some sketch
+        match Abg_analysis.Absint.prune enc.box sketch with
+        | Some (reason, _witness) ->
+            let i = reason_index reason in
+            enc.dead.(i) <- enc.dead.(i) + 1;
+            next ?bucket enc
+        | None ->
+            let canonical = Abg_analysis.Canonical.normalize sketch in
+            let _id, fresh = Abg_analysis.Canonical.Tbl.intern enc.seen canonical in
+            if not fresh then begin
+              enc.blocked_duplicate <- enc.blocked_duplicate + 1;
+              next ?bucket enc
+            end
+            else begin
+              enc.enumerated <- enc.enumerated + 1;
+              Some canonical
+            end
       end
 
 (** Enumeration statistics: (returned, rejected-as-simplifiable). *)
 let stats enc = (enc.enumerated, enc.blocked_simplifiable)
+
+(** Per-reason prune counters, in reporting order: the §4.1
+    simplifiability filter, each {!Abg_analysis.Absint.reason}, and
+    commutative duplicates. *)
+let prune_stats enc =
+  ("simplifiable", enc.blocked_simplifiable)
+  :: List.mapi
+       (fun i r -> (Abg_analysis.Absint.reason_name r, enc.dead.(i)))
+       Abg_analysis.Absint.all_reasons
+  @ [ ("duplicate", enc.blocked_duplicate) ]
+
+(** Fraction of decoded sketches pruned before simulation. *)
+let prune_rate enc =
+  let total = enc.enumerated + skipped enc in
+  if total = 0 then 0.0 else float_of_int (skipped enc) /. float_of_int total
 
 (** Total SAT variables in the encoding (reported in §6.1-style output). *)
 let num_vars enc = Abg_sat.Solver.num_vars enc.solver

@@ -1,0 +1,46 @@
+(** Propositional encoding of the sketch space (§4.1) — the Z3-formula
+    substitute. One SAT instance describes all well-sorted,
+    unit-consistent sketches of a sub-DSL up to its depth and node
+    budgets; models are decoded into {!Abg_dsl.Expr} sketches with
+    constant holes and excluded with blocking clauses, so repeated calls
+    enumerate the space.
+
+    Three pruning stages run post-decode, each blocking-and-skipping the
+    model: the §4.1 simplifiability filter, the interval-domain
+    dead-on-arrival rules of {!Abg_analysis.Absint}, and
+    commutative-duplicate detection via {!Abg_analysis.Canonical}. *)
+
+open Abg_dsl
+
+type t
+
+val create : Catalog.t -> t
+
+val next : ?bucket:Buckets.bucket -> t -> Expr.num option
+(** The next not-yet-enumerated sketch in canonical form (optionally
+    restricted to an operator bucket), or [None] when the (sub)space is
+    exhausted. *)
+
+val next_raw : ?bucket:Buckets.bucket -> t -> Expr.num option
+(** {!next} without any post-decode filtering — exposed for diagnosing
+    the encoding's pruning quality. *)
+
+val assumptions_for_bucket : t -> Buckets.bucket -> int list
+(** Solver assumptions pinning the §4.4 bucket discriminator: the sketch
+    uses exactly the given operator set. *)
+
+val stats : t -> int * int
+(** [(returned, rejected-as-simplifiable)]. *)
+
+val prune_stats : t -> (string * int) list
+(** Per-reason prune counters, in reporting order: ["simplifiable"], each
+    {!Abg_analysis.Absint.reason_name}, ["duplicate"]. *)
+
+val skipped : t -> int
+(** Total decoded-but-pruned sketches (the sum of {!prune_stats}). *)
+
+val prune_rate : t -> float
+(** Fraction of decoded sketches pruned before simulation. *)
+
+val num_vars : t -> int
+(** Total SAT variables in the encoding (§6.1-style output). *)

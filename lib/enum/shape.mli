@@ -1,0 +1,20 @@
+(** Tree-shape bookkeeping for the sketch encoding: sketch ASTs are
+    embedded in a complete ternary tree (maximum component arity is 3,
+    for the conditional); node [i]'s children are [3i+1, 3i+2, 3i+3]. *)
+
+val arity_max : int
+
+val num_nodes : depth:int -> int
+(** Number of positions in a complete ternary tree of [depth] levels. *)
+
+val parent : int -> int
+(** Parent position; the root (0) has none. *)
+
+val child : int -> int -> int
+(** [child i k] is the position of [i]'s [k]-th child (0-based). *)
+
+val position : int -> int
+(** Position of a non-root node among its siblings (0-based). *)
+
+val level : int -> int
+(** Level of a node, root = 0. *)

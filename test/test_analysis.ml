@@ -1,0 +1,441 @@
+(* Tests for the analysis layer: the interval domain, the abstract
+   interpreter's soundness contract (concrete Eval is contained in the
+   derived interval for every environment inside the box), the dead-sketch
+   prune reasons, commutative canonicalization, and the lint rules. *)
+
+open Abg_dsl
+open Expr
+module I = Abg_util.Interval
+module A = Abg_analysis.Absint
+module C = Abg_analysis.Canonical
+module L = Abg_analysis.Lint
+
+let c v = Const v
+let ri = Macro Macro.Reno_inc
+let box = A.default_box ()
+
+(* -- Interval domain -- *)
+
+let test_interval_basics () =
+  let i = I.v 1.0 3.0 in
+  Alcotest.(check bool) "contains" true (I.contains i 2.0);
+  Alcotest.(check bool) "below" false (I.contains i 0.5);
+  Alcotest.(check bool) "nan off" false (I.contains i Float.nan);
+  Alcotest.(check bool) "nan on" true (I.contains (I.with_nan i) Float.nan);
+  Alcotest.(check bool) "flipped rejected" true
+    (try
+       ignore (I.v 2.0 1.0);
+       false
+     with Invalid_argument _ -> true);
+  let j = I.join i (I.v 10.0 20.0) in
+  Alcotest.(check bool) "join hull" true
+    (I.contains j 1.0 && I.contains j 20.0 && I.contains j 5.0)
+
+let test_interval_safe_div () =
+  (* A denominator straddling zero contributes the guard's 0 plus both
+     sign-definite quotient ranges. *)
+  let q = I.safe_div (I.const 1.0) (I.v (-1.0) 1.0) in
+  Alcotest.(check bool) "guard zero" true (I.contains q 0.0);
+  Alcotest.(check bool) "positive side" true
+    (I.contains q (Abg_util.Floatx.safe_div 1.0 0.5));
+  Alcotest.(check bool) "negative side" true
+    (I.contains q (Abg_util.Floatx.safe_div 1.0 (-0.5)));
+  (* Denominator provably inside the guard: exactly {0}. *)
+  let z = I.safe_div (I.v 1.0 2.0) (I.v (-1e-13) 1e-13) in
+  Alcotest.(check (float 0.0)) "guarded lo" 0.0 (z : I.t).I.lo;
+  Alcotest.(check (float 0.0)) "guarded hi" 0.0 z.I.hi
+
+let test_interval_verdicts () =
+  Alcotest.(check bool) "lt true" true (I.lt (I.v 0.0 1.0) (I.v 2.0 3.0) = I.True);
+  Alcotest.(check bool) "lt false" true (I.lt (I.v 2.0 3.0) (I.v 0.0 1.0) = I.False);
+  Alcotest.(check bool) "lt overlap" true
+    (I.lt (I.v 0.0 2.0) (I.v 1.0 3.0) = I.Unknown);
+  (* NaN comparisons are false, so possible NaN blocks True but not False. *)
+  Alcotest.(check bool) "nan blocks true" true
+    (I.lt (I.with_nan (I.v 0.0 1.0)) (I.v 2.0 3.0) = I.Unknown);
+  Alcotest.(check bool) "nan keeps false" true
+    (I.lt (I.with_nan (I.v 2.0 3.0)) (I.v 0.0 1.0) = I.False);
+  Alcotest.(check bool) "mod_eq zero numerator" true
+    (I.mod_eq (I.const 0.0) (I.const 2.0) = I.True);
+  Alcotest.(check bool) "mod_eq tiny divisor" true
+    (I.mod_eq (I.v 1.0 2.0) (I.v (-1e-10) 1e-10) = I.False)
+
+(* -- Generators -- *)
+
+(* Expressions without holes: every operator the evaluator has, plus
+   zero and negative constants to hit the safe-division guard. Cube
+   towers routinely overflow to inf/NaN, which is exactly what the
+   domain's NaN flag and the handler floor rules must absorb. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return Cwnd; return ri; return (Macro Macro.Vegas_diff);
+        return (Macro Macro.Htcp_diff); return (Macro Macro.Rtts_since_loss);
+        return (Signal Signal.Mss); return (Signal Signal.Rtt);
+        return (Signal Signal.Min_rtt); return (Signal Signal.Ack_rate);
+        return (Signal Signal.Delay_gradient); return (Signal Signal.Wmax);
+        return (Const 0.0);
+        map (fun v -> Const v) (float_range (-4.0) 8.0) ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then leaf
+          else
+            frequency
+              [ (2, leaf);
+                (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Div (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> Cube a) (self (n - 1)));
+                (1, map (fun a -> Cbrt a) (self (n - 1)));
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Lt (a, b), t, Cwnd))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Gt (a, b), t, b))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+                ( 1,
+                  map3
+                    (fun a b t -> Ite (Mod_eq (a, b), t, a))
+                    (self (n / 3)) (self (n / 3)) (self (n / 3)) ) ])
+        (min n 10))
+
+(* A value inside [lo, hi], with the endpoints and the low decades
+   over-weighted (a uniform draw over [0, 1e12] almost never lands in
+   the physically common range). *)
+let gen_in_range lo hi =
+  let open QCheck.Gen in
+  let near = Float.min hi (lo +. 10.0) in
+  frequency
+    [ (3, float_range lo hi); (3, float_range lo near); (1, return lo);
+      (1, return hi) ]
+
+(* Environments drawn inside the physical box the analysis assumes:
+   every field within Signal.range, cwnd within the replay clamp. *)
+let gen_box_env =
+  let open QCheck.Gen in
+  let r s =
+    let lo, hi = Signal.range s in
+    gen_in_range lo hi
+  in
+  gen_in_range 1.0 1e12 >>= fun cwnd ->
+  r Signal.Mss >>= fun mss ->
+  r Signal.Acked_bytes >>= fun acked_bytes ->
+  r Signal.Time_since_loss >>= fun time_since_loss ->
+  r Signal.Rtt >>= fun rtt ->
+  r Signal.Min_rtt >>= fun min_rtt ->
+  r Signal.Max_rtt >>= fun max_rtt ->
+  r Signal.Ack_rate >>= fun ack_rate ->
+  r Signal.Rtt_gradient >>= fun rtt_gradient ->
+  r Signal.Delay_gradient >>= fun delay_gradient ->
+  r Signal.Wmax >>= fun wmax ->
+  return
+    { Env.cwnd; mss; acked_bytes; time_since_loss; rtt; min_rtt; max_rtt;
+      ack_rate; rtt_gradient; delay_gradient; wmax }
+
+let arbitrary_expr_box_env =
+  QCheck.make
+    ~print:(fun (e, env) ->
+      Printf.sprintf "%s in cwnd=%g mss=%g rtt=%g" (Pretty.num e) env.Env.cwnd
+        env.Env.mss env.Env.rtt)
+    QCheck.Gen.(pair gen_expr gen_box_env)
+
+(* -- Soundness: concrete evaluation is inside the derived interval -- *)
+
+let prop_absint_sound =
+  QCheck.Test.make ~name:"Eval.num is contained in Absint.num" ~count:2000
+    arbitrary_expr_box_env (fun (e, env) ->
+      I.contains (A.num box e) (Eval.num env e))
+
+let prop_absint_boolean_sound =
+  QCheck.Test.make ~name:"definite guard verdicts agree with Eval.boolean"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair (pair gen_expr gen_expr) gen_box_env))
+    (fun ((a, b), env) ->
+      List.for_all
+        (fun g ->
+          match A.boolean box g with
+          | I.True -> Eval.boolean env g
+          | I.False -> not (Eval.boolean env g)
+          | I.Unknown -> true)
+        [ Lt (a, b); Gt (a, b); Mod_eq (a, b) ])
+
+(* -- Soundness: pruned sketches replay as their claimed equivalent -- *)
+
+let dead_floor = Sub (c 0.0, Cwnd)
+let dead_nonfinite = Cube (Cube (Cube (Cube (Mul (c 1e10, Cwnd)))))
+let dead_denominator = Add (Cwnd, Div (Signal Signal.Mss, c 0.0))
+let dead_guard = Add (Cwnd, Ite (Gt (Signal Signal.Rtt, c 200.0), c 1.0, c 2.0))
+
+let prop_pruned_replay_as_floor =
+  (* Collapses_to_floor / Always_nonfinite: the handler is the constant
+     one-MSS floor on every in-box environment. *)
+  QCheck.Test.make ~name:"pruned sketches replay as the one-MSS floor"
+    ~count:500
+    (QCheck.make gen_box_env)
+    (fun env ->
+      List.for_all
+        (fun sk -> Float.equal (Eval.handler sk env) env.Env.mss)
+        [ dead_floor; dead_nonfinite ])
+
+let prop_pruned_equivalents =
+  (* Zero_denominator / Dead_guard: the sketch evaluates exactly like the
+     strictly smaller handler the search retains anyway. *)
+  QCheck.Test.make ~name:"pruned sketches match their smaller equivalent"
+    ~count:500
+    (QCheck.make gen_box_env)
+    (fun env ->
+      Float.equal
+        (Eval.num env dead_denominator)
+        (Eval.num env (Add (Cwnd, c 0.0)))
+      && Float.equal
+           (Eval.num env dead_guard)
+           (Eval.num env (Add (Cwnd, c 2.0))))
+
+let test_prune_reasons () =
+  let reason e =
+    Option.map (fun (r, _) -> A.reason_name r) (A.prune box e)
+  in
+  Alcotest.(check (option string)) "collapse" (Some "collapses-to-floor")
+    (reason dead_floor);
+  Alcotest.(check (option string)) "nonfinite" (Some "always-nonfinite")
+    (reason dead_nonfinite);
+  Alcotest.(check (option string)) "zero denominator"
+    (Some "zero-denominator") (reason dead_denominator);
+  Alcotest.(check (option string)) "dead guard" (Some "dead-guard")
+    (reason dead_guard);
+  Alcotest.(check (option string)) "live reno" None
+    (reason (Add (Cwnd, Mul (c 0.7, ri))));
+  Alcotest.(check (option string)) "live vegas" None
+    (reason
+       (Add (Cwnd, Ite (Lt (Macro Macro.Vegas_diff, c 1.0), Mul (c 0.7, ri), c 0.0))))
+
+(* -- Simplify preserves evaluation -- *)
+
+(* Cancellation rules like [(a + b) - a -> b] or [x / x -> 1] are
+   algebraic, not floating-point identities. They are exact up to
+   rounding that scales with the largest intermediate — and not even
+   that when a cancelled divisor lands inside the evaluator's
+   safe-division guard, a modulus inside the divisibility epsilon, or an
+   intermediate overflows (inf - inf rewritten to 0). The audit below
+   computes the property's exact hypothesis: [None] when the evaluation
+   leaves the regime where the rewrites are identities, otherwise
+   [Some max_magnitude] for the rounding tolerance. *)
+let eval_audit env e =
+  let m = ref 0.0 in
+  let clean = ref true in
+  let note v =
+    if Float.is_finite v then begin
+      let a = Float.abs v in
+      if a > !m then m := a
+    end
+    else clean := false
+  in
+  let rec go e =
+    note (Eval.num env e);
+    match e with
+    | Add (a, b) | Sub (a, b) | Mul (a, b) -> go a; go b
+    | Div (a, b) ->
+        go a;
+        go b;
+        if Float.abs (Eval.num env b) < 1e-9 then clean := false
+    | Cube a | Cbrt a -> go a
+    | Ite (g, t, el) -> go_bool g; go t; go el
+    | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> ()
+  and go_bool = function
+    | Lt (a, b) | Gt (a, b) -> go a; go b
+    | Mod_eq (a, b) ->
+        go a;
+        go b;
+        if Float.abs (Eval.num env b) < 1e-9 then clean := false
+  in
+  go e;
+  if !clean then Some !m else None
+
+let close_up_to_magnitude env e before after =
+  match eval_audit env e with
+  | None -> true
+  | Some maxmag ->
+      let eps = 1e-9 *. (1.0 +. maxmag) in
+      Float.abs (before -. after) <= eps
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~name:"simplify preserves Eval up to rounding"
+    ~count:1000 arbitrary_expr_box_env (fun (e, env) ->
+      let before = Eval.num env e in
+      let after = Eval.num env (Simplify.simplify e) in
+      close_up_to_magnitude env e before after)
+
+let prop_facts_simplify_preserves_eval =
+  (* The interval-fact oracle may additionally resolve guards that are
+     constant over the box; for environments inside the box that is
+     exact, so the same tolerance applies. *)
+  QCheck.Test.make ~name:"interval-fact simplify preserves Eval in the box"
+    ~count:1000 arbitrary_expr_box_env (fun (e, env) ->
+      let before = Eval.num env e in
+      let after = Eval.num env (A.simplify box e) in
+      close_up_to_magnitude env e before after)
+
+let test_facts_resolve_dead_guard () =
+  (* The plain simplifier cannot decide {rtt > 200}; the box can. *)
+  let e = Ite (Gt (Signal Signal.Rtt, c 200.0), Mul (c 2.0, Cwnd), Cwnd) in
+  Alcotest.(check bool) "plain keeps the ite" true
+    (Expr.equal_num (Simplify.simplify e) e);
+  Alcotest.(check bool) "facts collapse it" true
+    (Expr.equal_num (A.simplify box e) Cwnd)
+
+let test_simplify_self_comparison () =
+  (* Commutative-equality reasoning: a guard comparing an expression to a
+     commuted copy of itself is decidable without intervals. *)
+  let a = Add (Cwnd, Signal Signal.Mss) and b = Add (Signal Signal.Mss, Cwnd) in
+  Alcotest.(check bool) "x < x is false" true
+    (Expr.equal_num (Simplify.simplify (Ite (Lt (a, b), c 1.0, c 2.0))) (c 2.0));
+  Alcotest.(check bool) "x % x = 0 is true" true
+    (Expr.equal_num
+       (Simplify.simplify (Ite (Mod_eq (a, b), c 1.0, c 2.0)))
+       (c 1.0))
+
+(* -- Canonicalization -- *)
+
+let arbitrary_expr_any_env =
+  (* Any finite-field environment, in or out of the box: normalization
+     must be exactly semantics-preserving everywhere. *)
+  QCheck.make
+    ~print:(fun (e, _) -> Pretty.num e)
+    QCheck.Gen.(
+      pair gen_expr
+        (map
+           (fun l ->
+             match l with
+             | [ cwnd; mss; acked_bytes; time_since_loss; rtt; min_rtt;
+                 max_rtt; ack_rate; rtt_gradient; delay_gradient; wmax ] ->
+                 { Env.cwnd; mss; acked_bytes; time_since_loss; rtt; min_rtt;
+                   max_rtt; ack_rate; rtt_gradient; delay_gradient; wmax }
+             | _ -> assert false)
+           (list_repeat 11
+              (oneof
+                 [ float_range 0.0 50000.0; return 0.0;
+                   float_range (-10.0) 10.0 ]))))
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:1000
+    (QCheck.make ~print:Pretty.num gen_expr)
+    (fun e -> Expr.equal_num (C.normalize (C.normalize e)) (C.normalize e))
+
+let prop_normalize_merges_commuted =
+  QCheck.Test.make ~name:"commuted operands share a normal form" ~count:1000
+    (QCheck.make QCheck.Gen.(pair gen_expr gen_expr))
+    (fun (a, b) -> C.equal (Add (a, b)) (Add (b, a)) && C.equal (Mul (a, b)) (Mul (b, a)))
+
+let prop_normalize_preserves_eval =
+  (* IEEE + and * are exactly commutative, so this is bit-exact (NaN
+     compares equal to NaN under Float.equal). *)
+  QCheck.Test.make ~name:"normalize preserves Eval bit-exactly" ~count:1000
+    arbitrary_expr_any_env (fun (e, env) ->
+      Float.equal (Eval.num env e) (Eval.num env (C.normalize e)))
+
+let test_normalize_holes () =
+  (* Holes are interchangeable for ordering and renumbered left-to-right
+     after sorting, so hole labelling never splits a normal form. *)
+  Alcotest.(check bool) "renumbered" true
+    (Expr.equal_num
+       (C.normalize (Mul (Hole 5, Add (Hole 2, Hole 5))))
+       (Mul (Hole 0, Add (Hole 1, Hole 2))));
+  Alcotest.(check bool) "labels do not split" true
+    (C.equal (Add (Hole 3, Mul (Hole 1, Cwnd))) (Add (Hole 0, Mul (Hole 7, Cwnd))))
+
+let test_tbl_intern () =
+  let t = C.Tbl.create () in
+  let id1, fresh1 = C.Tbl.intern t (Add (Cwnd, Signal Signal.Mss)) in
+  let id2, fresh2 = C.Tbl.intern t (Add (Signal Signal.Mss, Cwnd)) in
+  let id3, fresh3 = C.Tbl.intern t (Mul (Cwnd, Signal Signal.Mss)) in
+  Alcotest.(check bool) "first is fresh" true fresh1;
+  Alcotest.(check bool) "commuted copy is not" false fresh2;
+  Alcotest.(check int) "same id" id1 id2;
+  Alcotest.(check bool) "different operator is fresh" true fresh3;
+  Alcotest.(check bool) "distinct id" true (id3 <> id1);
+  Alcotest.(check int) "two normal forms" 2 (C.Tbl.length t)
+
+(* -- Lint -- *)
+
+let test_lint_showcase_coverage () =
+  let ids =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (_, e) -> List.map (fun d -> d.L.rule) (L.check e))
+         L.showcase)
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " demonstrated") true (List.mem id ids))
+    [ "collapses-to-floor"; "always-nonfinite"; "zero-denominator";
+      "dead-guard"; "possible-zero-denominator"; "possible-nan";
+      "unbounded-window"; "simplifiable"; "non-canonical" ];
+  Alcotest.(check bool) "at least four rules" true (List.length ids >= 4)
+
+let test_lint_errors_are_pruned () =
+  (* Error severity is reserved for what the search prunes. (Not "iff":
+     a dead guard also prunes — a smaller equivalent sketch exists — but
+     lints as a warning, because the handler itself is legal.) *)
+  List.iter
+    (fun (name, e) ->
+      if List.exists (fun d -> d.L.severity = L.Error) (L.check e) then
+        Alcotest.(check bool) (name ^ ": error implies pruned") true
+          (A.prune box e <> None))
+    L.showcase
+
+let test_lint_clean_handler () =
+  (* A canonical, live handler produces no diagnostics at all. *)
+  Alcotest.(check int) "no diags" 0
+    (List.length (L.check (Add (Cwnd, Mul (ri, c 0.7)))))
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "analysis.interval",
+      [
+        Alcotest.test_case "basics" `Quick test_interval_basics;
+        Alcotest.test_case "safe division" `Quick test_interval_safe_div;
+        Alcotest.test_case "verdicts" `Quick test_interval_verdicts;
+      ] );
+    ( "analysis.absint",
+      [ Alcotest.test_case "prune reasons" `Quick test_prune_reasons ]
+      @ qcheck
+          [
+            prop_absint_sound; prop_absint_boolean_sound;
+            prop_pruned_replay_as_floor; prop_pruned_equivalents;
+          ] );
+    ( "analysis.simplify",
+      [
+        Alcotest.test_case "facts resolve dead guard" `Quick
+          test_facts_resolve_dead_guard;
+        Alcotest.test_case "commuted self-comparison" `Quick
+          test_simplify_self_comparison;
+      ]
+      @ qcheck [ prop_simplify_preserves_eval; prop_facts_simplify_preserves_eval ]
+    );
+    ( "analysis.canonical",
+      [
+        Alcotest.test_case "hole renumbering" `Quick test_normalize_holes;
+        Alcotest.test_case "intern table" `Quick test_tbl_intern;
+      ]
+      @ qcheck
+          [
+            prop_normalize_idempotent; prop_normalize_merges_commuted;
+            prop_normalize_preserves_eval;
+          ] );
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "showcase covers the rules" `Quick
+          test_lint_showcase_coverage;
+        Alcotest.test_case "errors are exactly prunes" `Quick
+          test_lint_errors_are_pruned;
+        Alcotest.test_case "clean handler" `Quick test_lint_clean_handler;
+      ] );
+  ]

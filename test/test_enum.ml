@@ -113,7 +113,9 @@ let test_enumerate_empty_bucket () =
 let test_enumerate_exhaustion_micro_dsl () =
   (* cwnd/mss/add at depth 2, <= 3 nodes. Non-simplifiable num-trees:
      cwnd, mss, and the adds over distinct/same leaves: cwnd+cwnd,
-     cwnd+mss, mss+cwnd, mss+mss. Total 6. *)
+     cwnd+mss, mss+cwnd, mss+mss — of which cwnd+mss and mss+cwnd are
+     commutative duplicates, merged by the canonical-form dedup stage.
+     Total 5. *)
   let micro =
     {
       Catalog.name = "micro";
@@ -134,7 +136,12 @@ let test_enumerate_exhaustion_micro_dsl () =
     | Some _ -> incr count
     | None -> continue := false
   done;
-  Alcotest.(check int) "exhaustive count" 6 !count
+  Alcotest.(check int) "exhaustive count" 5 !count;
+  (* The merged pair shows up in the per-reason counters. *)
+  let dup =
+    List.assoc "duplicate" (Abg_enum.Encode.prune_stats enc)
+  in
+  Alcotest.(check int) "one commutative duplicate" 1 dup
 
 let test_enumerate_finds_reno_shape () =
   (* The paper's Reno sketch must be in the {+,*} bucket's enumeration. *)
