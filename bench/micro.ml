@@ -254,6 +254,29 @@ let write_json path rows =
   output_string oc "}\n";
   close_out oc
 
+(* Run metadata alongside the flat estimate map: what machine and
+   configuration produced the numbers, plus the telemetry snapshot of
+   the setup phase (trace collection, segment prep) so the workload
+   behind the estimates is auditable. BENCH_micro.json itself stays a
+   flat name -> ns/run map for cross-PR comparability. *)
+let write_meta path =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"abagnale-bench-meta/1\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"word_size\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"quota_s\": 0.5,\n\
+    \  \"limit\": 200,\n\
+    \  \"telemetry_during_measurement\": \"disabled\",\n\
+    \  \"setup_telemetry\": %s}\n"
+    (json_escape Sys.ocaml_version)
+    Sys.word_size
+    (Domain.recommended_domain_count ())
+    (Abg_obs.Report.to_json (Abg_obs.Obs.snapshot ()));
+  close_out oc
+
 let run () =
   Runs.heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let replay_compiled, replay_interp = Lazy.force replay_tests in
@@ -266,8 +289,20 @@ let run () =
       absint_prune_test; Lazy.force canonical_intern_test; simulate_test;
       collect_suite_test; Lazy.force classify_features_test ]
   in
-  let rows = List.concat_map measure tests in
+  (* Estimates are taken with telemetry off: they track the cost of the
+     kernel operations themselves, and the disabled path is the one the
+     <2% overhead claim in DESIGN.md §7 is measured against. The setup
+     snapshot above already captured the instrumented counts. *)
+  write_meta "BENCH_micro.meta.json";
+  Abg_obs.Obs.set_enabled false;
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Abg_obs.Obs.set_enabled true)
+      (fun () -> List.concat_map measure tests)
+  in
   write_json "BENCH_micro.json" rows;
-  Printf.printf "[micro: wrote %d estimates to BENCH_micro.json]\n"
+  Printf.printf
+    "[micro: wrote %d estimates to BENCH_micro.json, run metadata to \
+     BENCH_micro.meta.json]\n"
     (List.length rows);
   print_newline ()

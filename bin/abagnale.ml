@@ -6,7 +6,15 @@
      synth     — reverse-engineer a cwnd-ack handler from traces
      distance  — score a handler expression against traces
      lint      — run the static-analysis diagnostics over handlers
-     list      — show the available CCAs and sub-DSLs *)
+     telemetry — inspect / diff machine-readable telemetry reports
+     list      — show the available CCAs and sub-DSLs
+
+   Every pipeline subcommand accepts --telemetry FILE: on completion the
+   process's telemetry snapshot (lib/obs) is serialized there as JSON.
+   The "counters" section of that document is deterministic for a fixed
+   seed — `abagnale telemetry diff` compares it against a baseline, which
+   is what the CI telemetry gate runs. ABAGNALE_TELEMETRY=0 disables all
+   telemetry recording (the reports then contain only zeros). *)
 
 open Cmdliner
 
@@ -45,9 +53,25 @@ let verbose_arg =
   let doc = "Print refinement-loop progress to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Write the process's telemetry snapshot (counters, gauges, span \
+     timings) to $(docv) as JSON when the command completes."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+(* Run a subcommand body, then flush the telemetry report if requested.
+   An early [exit] skips the report — a truncated run has no meaningful
+   counters to gate on. *)
+let with_telemetry path f =
+  let result = f () in
+  Option.iter Abg_obs.Report.write path;
+  result
+
 (* -- collect -- *)
 
-let collect cca_name scenarios duration output_dir =
+let collect cca_name scenarios duration output_dir telemetry =
+  with_telemetry telemetry @@ fun () ->
   match Abg_cca.Registry.find cca_name with
   | None ->
       Printf.eprintf "unknown CCA %s; try `abagnale list'\n" cca_name;
@@ -75,11 +99,15 @@ let collect_cmd =
     Cmd.info "collect"
       ~doc:"Simulate a CCA on the testbed grid and save its traces"
   in
-  Cmd.v info Term.(const collect $ cca_arg $ scenarios_arg $ duration_arg $ output_dir_arg)
+  Cmd.v info
+    Term.(
+      const collect $ cca_arg $ scenarios_arg $ duration_arg $ output_dir_arg
+      $ telemetry_arg)
 
 (* -- classify -- *)
 
-let classify trace_files =
+let classify telemetry trace_files =
+  with_telemetry telemetry @@ fun () ->
   let traces = load_traces trace_files in
   let verdict = Abg_classifier.Gordon.classify traces in
   Printf.printf "gordon: %s\n" (Abg_classifier.Gordon.verdict_to_string verdict);
@@ -96,12 +124,75 @@ let classify trace_files =
 
 let classify_cmd =
   let info = Cmd.info "classify" ~doc:"Classify the CCA behind saved traces" in
-  Cmd.v info Term.(const classify $ trace_files_arg)
+  Cmd.v info Term.(const classify $ telemetry_arg $ trace_files_arg)
 
 (* -- synth -- *)
 
-let synth dsl_name verbose trace_files =
-  let traces = load_traces trace_files in
+let seed_arg =
+  let doc =
+    "Refinement RNG seed. For a fixed seed and workload the deterministic \
+     telemetry counters are bit-stable across runs."
+  in
+  Arg.(
+    value
+    & opt int Abg_core.Refinement.default_config.Abg_core.Refinement.seed
+    & info [ "seed" ] ~doc)
+
+let synth_cca_arg =
+  let doc =
+    "Collect the trace suite in-process from this ground-truth CCA (on the \
+     -n/-d testbed grid) instead of reading TRACE files."
+  in
+  Arg.(value & opt (some string) None & info [ "cca" ] ~docv:"CCA" ~doc)
+
+let synth_traces_arg =
+  let doc = "Trace files produced by `abagnale collect' (or use --cca)." in
+  Arg.(value & pos_all file [] & info [] ~docv:"TRACE" ~doc)
+
+(* The prune/cache summary is read from ONE telemetry snapshot — the same
+   counters the refinement loop itself rode on — rather than stitching
+   together Trace.store_stats and Refinement.result.pruned, which came
+   from two different accounting paths and could disagree mid-refactor. *)
+let print_synth_summary (outcome : Abg_core.Synthesis.outcome) =
+  Printf.printf "cca:       %s\n" outcome.Abg_core.Synthesis.cca_name;
+  Printf.printf "dsl:       %s\n" outcome.Abg_core.Synthesis.dsl_name;
+  Printf.printf "handler:   %s\n" outcome.Abg_core.Synthesis.pretty;
+  Printf.printf "distance:  %.2f over %d segments\n"
+    outcome.Abg_core.Synthesis.distance
+    outcome.Abg_core.Synthesis.segments_used;
+  let r = outcome.Abg_core.Synthesis.refinement in
+  Printf.printf "search:    %d sketches, %d handlers scored, %d buckets\n"
+    r.Abg_core.Refinement.total_sketches_scored
+    r.Abg_core.Refinement.total_handlers_scored
+    r.Abg_core.Refinement.buckets_initial;
+  let snap = Abg_obs.Obs.snapshot () in
+  let c name = Abg_obs.Report.find_counter snap name in
+  let prefix = "enum.pruned." in
+  let pruned =
+    List.filter_map
+      (fun (name, n) ->
+        if String.starts_with ~prefix name then
+          Some
+            ( String.sub name (String.length prefix)
+                (String.length name - String.length prefix),
+              n )
+        else None)
+      snap.Abg_obs.Obs.counters
+  in
+  let total_pruned = List.fold_left (fun acc (_, n) -> acc + n) 0 pruned in
+  let enumerated = total_pruned + c "enum.returned" in
+  Printf.printf "pruned:    %s (%.1f%% of %d enumerated sketches)\n"
+    (String.concat ", "
+       (List.map (fun (reason, n) -> Printf.sprintf "%s %d" reason n) pruned))
+    (if enumerated = 0 then 0.0
+     else 100.0 *. float_of_int total_pruned /. float_of_int enumerated)
+    enumerated;
+  Printf.printf "cache:     trace store %d hits / %d misses; %d simulations, %d sim events\n"
+    (c "trace.store.hits") (c "trace.store.misses") (c "sim.runs")
+    (c "sim.events")
+
+let synth dsl_name verbose seed cca scenarios duration telemetry trace_files =
+  with_telemetry telemetry @@ fun () ->
   let dsl =
     Option.map
       (fun name ->
@@ -112,41 +203,54 @@ let synth dsl_name verbose trace_files =
             exit 1)
       dsl_name
   in
-  let name =
-    match traces with
-    | t :: _ -> t.Abg_trace.Trace.cca_name
-    | [] -> "unknown"
+  let config =
+    {
+      Abg_core.Refinement.default_config with
+      Abg_core.Refinement.verbose;
+      seed;
+    }
   in
-  let config = { Abg_core.Refinement.default_config with Abg_core.Refinement.verbose } in
-  match Abg_core.Abagnale.synthesize ~config ?dsl ~name traces with
+  let outcome =
+    match (cca, trace_files) with
+    | Some _, _ :: _ ->
+        Printf.eprintf "give trace files or --cca, not both\n";
+        exit 1
+    | None, [] ->
+        Printf.eprintf
+          "give trace files or --cca (see `abagnale collect' / `abagnale list')\n";
+        exit 1
+    | Some cca_name, [] -> (
+        match Abg_cca.Registry.find cca_name with
+        | None ->
+            Printf.eprintf "unknown CCA %s; try `abagnale list'\n" cca_name;
+            exit 1
+        | Some ctor ->
+            Abg_core.Synthesis.collect_and_run ~config ?dsl ~scenarios
+              ~duration ~name:cca_name ctor)
+    | None, files ->
+        let traces = load_traces files in
+        let name =
+          match traces with
+          | t :: _ -> t.Abg_trace.Trace.cca_name
+          | [] -> "unknown"
+        in
+        Abg_core.Abagnale.synthesize ~config ?dsl ~name traces
+  in
+  match outcome with
   | None ->
       Printf.eprintf "no candidate handler survived scoring\n";
       exit 1
-  | Some outcome ->
-      Printf.printf "cca:       %s\n" outcome.Abg_core.Synthesis.cca_name;
-      Printf.printf "dsl:       %s\n" outcome.Abg_core.Synthesis.dsl_name;
-      Printf.printf "handler:   %s\n" outcome.Abg_core.Synthesis.pretty;
-      Printf.printf "distance:  %.2f over %d segments\n"
-        outcome.Abg_core.Synthesis.distance
-        outcome.Abg_core.Synthesis.segments_used;
-      let r = outcome.Abg_core.Synthesis.refinement in
-      Printf.printf "search:    %d sketches, %d handlers scored, %d buckets\n"
-        r.Abg_core.Refinement.total_sketches_scored
-        r.Abg_core.Refinement.total_handlers_scored
-        r.Abg_core.Refinement.buckets_initial;
-      Printf.printf "pruned:    %s (%.1f%% of enumerated sketches)\n"
-        (String.concat ", "
-           (List.map
-              (fun (reason, n) -> Printf.sprintf "%s %d" reason n)
-              r.Abg_core.Refinement.pruned))
-        (100.0 *. r.Abg_core.Refinement.prune_rate)
+  | Some outcome -> print_synth_summary outcome
 
 let synth_cmd =
   let info =
     Cmd.info "synth"
       ~doc:"Reverse-engineer a cwnd-ack handler expression from traces"
   in
-  Cmd.v info Term.(const synth $ dsl_arg $ verbose_arg $ trace_files_arg)
+  Cmd.v info
+    Term.(
+      const synth $ dsl_arg $ verbose_arg $ seed_arg $ synth_cca_arg
+      $ scenarios_arg $ duration_arg $ telemetry_arg $ synth_traces_arg)
 
 (* -- distance -- *)
 
@@ -161,7 +265,8 @@ let distance_files_arg =
   let doc = "Trace files to score against." in
   Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"TRACE" ~doc)
 
-let distance handler_name trace_files =
+let distance handler_name telemetry trace_files =
+  with_telemetry telemetry @@ fun () ->
   match Abg_core.Fine_tuned.find_fine_tuned handler_name with
   | None ->
       Printf.eprintf "no fine-tuned handler named %s\n" handler_name;
@@ -176,7 +281,8 @@ let distance_cmd =
   let info =
     Cmd.info "distance" ~doc:"Score a known handler expression against traces"
   in
-  Cmd.v info Term.(const distance $ handler_arg $ distance_files_arg)
+  Cmd.v info
+    Term.(const distance $ handler_arg $ telemetry_arg $ distance_files_arg)
 
 (* -- lint -- *)
 
@@ -192,7 +298,8 @@ let strict_arg =
   let doc = "Exit non-zero if any error-severity diagnostic is produced." in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
-let lint strict names =
+let lint strict telemetry names =
+  with_telemetry telemetry @@ fun () ->
   let showcase =
     List.map (fun (n, e) -> ("showcase/" ^ n, e)) Abg_analysis.Lint.showcase
   in
@@ -258,7 +365,82 @@ let lint_cmd =
         "Run the interval-analysis diagnostics over handler expressions \
          (rule id, expression, reason, interval witness)"
   in
-  Cmd.v info Term.(const lint $ strict_arg $ lint_names_arg)
+  Cmd.v info Term.(const lint $ strict_arg $ telemetry_arg $ lint_names_arg)
+
+(* -- telemetry -- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let telemetry_diff baseline_path current_path =
+  let baseline = read_file baseline_path and current = read_file current_path in
+  match Abg_obs.Report.diff_counters ~baseline ~current with
+  | exception Abg_obs.Report.Parse_error msg ->
+      Printf.eprintf "telemetry diff: %s\n" msg;
+      exit 1
+  | [] ->
+      let n =
+        List.length (Abg_obs.Report.counters_of_json (Abg_obs.Report.parse current))
+      in
+      Printf.printf "counters agree (%d counters)\n" n
+  | drifts ->
+      List.iter
+        (fun d -> Printf.printf "%s\n" (Abg_obs.Report.pp_drift d))
+        drifts;
+      Printf.eprintf "telemetry diff: %d counter(s) drifted from baseline\n"
+        (List.length drifts);
+      exit 1
+
+let telemetry_diff_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline telemetry report (JSON).")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Telemetry report to check (JSON).")
+  in
+  let info =
+    Cmd.info "diff"
+      ~doc:
+        "Compare the deterministic counter sections of two telemetry \
+         reports; exit 1 on any drift (the CI telemetry gate)"
+  in
+  Cmd.v info Term.(const telemetry_diff $ baseline_arg $ current_arg)
+
+let telemetry_show path =
+  match Abg_obs.Report.(counters_of_json (parse (read_file path))) with
+  | exception Abg_obs.Report.Parse_error msg ->
+      Printf.eprintf "telemetry show: %s\n" msg;
+      exit 1
+  | counters ->
+      List.iter (fun (name, n) -> Printf.printf "%-40s %d\n" name n) counters
+
+let telemetry_show_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"REPORT" ~doc:"Telemetry report (JSON).")
+  in
+  let info =
+    Cmd.info "show" ~doc:"Print the deterministic counters of a report"
+  in
+  Cmd.v info Term.(const telemetry_show $ file_arg)
+
+let telemetry_cmd =
+  let info =
+    Cmd.info "telemetry"
+      ~doc:"Inspect and diff machine-readable telemetry reports"
+  in
+  Cmd.group info [ telemetry_diff_cmd; telemetry_show_cmd ]
 
 (* -- list -- *)
 
@@ -279,6 +461,18 @@ let main_cmd =
   let doc = "reverse-engineer congestion control algorithm behavior" in
   let info = Cmd.info "abagnale" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ collect_cmd; classify_cmd; synth_cmd; distance_cmd; lint_cmd; list_cmd ]
+    [
+      collect_cmd;
+      classify_cmd;
+      synth_cmd;
+      distance_cmd;
+      lint_cmd;
+      telemetry_cmd;
+      list_cmd;
+    ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (match Sys.getenv_opt "ABAGNALE_TELEMETRY" with
+  | Some ("0" | "off" | "false") -> Abg_obs.Obs.set_enabled false
+  | Some _ | None -> ());
+  exit (Cmd.eval main_cmd)

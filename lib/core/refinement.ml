@@ -73,22 +73,34 @@ type result = {
   total_sketches_scored : int;
   buckets_initial : int;
   pruned : (string * int) list;
-      (** sketches rejected before simulation, per reason, aggregated
-          over every bucket enumerator (see [Abg_enum.Encode.prune_stats]) *)
+      (** sketches rejected before simulation, per reason — derived from
+          the telemetry layer as the delta of the process-wide
+          [Abg_enum.Encode.global_prune_stats] counters over this run
+          (covering every bucket enumerator, dropped buckets included).
+          All zeros when telemetry is disabled
+          ({!Abg_obs.Obs.set_enabled}). *)
   prune_rate : float;
-      (** fraction of decoded sketches pruned before simulation *)
+      (** fraction of decoded sketches pruned before simulation; 0 when
+          telemetry is disabled *)
 }
 
-(* Sum per-reason prune counters across bucket enumerators, preserving
-   the reporting order of [Encode.prune_stats]. *)
-let aggregate_prune_stats encs =
-  match List.map Abg_enum.Encode.prune_stats encs with
-  | [] -> []
-  | first :: rest ->
-      List.fold_left
-        (fun acc stats ->
-          List.map2 (fun (name, n) (_, n') -> (name, n + n')) acc stats)
-        first rest
+(* Telemetry: one span per pipeline phase, plus loop volume counters.
+   [result.pruned] is the run delta of the enum prune counters — one
+   source of truth shared with the [--telemetry] report, instead of a
+   hand-maintained aggregation over enumerators. *)
+let obs_iterations = Abg_obs.Obs.Counter.make "refine.iterations"
+let obs_buckets_scored = Abg_obs.Obs.Counter.make "refine.buckets_scored"
+let obs_candidates = Abg_obs.Obs.Counter.make "refine.candidates"
+
+(* Delta of the global prune statistics against a baseline taken at the
+   start of the run. *)
+let prune_stats_since baseline =
+  List.map2
+    (fun (name, now) (name', before) ->
+      assert (String.equal name name');
+      (name, now - before))
+    (Abg_enum.Encode.global_prune_stats ())
+    baseline
 
 (* Long segments are thinned (stride with ACK aggregation), not truncated:
    a truncated prefix covers only a couple of RTTs of window evolution, on
@@ -116,6 +128,9 @@ let top_up bucket ~want =
     list. [segments] should already be diversity-selected ({!Abg_trace.Sampling});
     the loop consumes a growing prefix each iteration. *)
 let run ?(config = default_config) ~(dsl : Catalog.t) segments =
+  Abg_obs.Obs.span "refine" @@ fun () ->
+  let prune_baseline = Abg_enum.Encode.global_prune_stats () in
+  let returned_baseline = Abg_enum.Encode.global_returned () in
   let segments =
     List.map (truncate_segment config.max_segment_records) segments
   in
@@ -135,9 +150,9 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
            })
   in
   (* The working array below shrinks to the kept subset each iteration;
-     the full initial list is retained so end-of-run statistics (prune
-     counters) cover every enumerator, dropped buckets included. *)
-  let all_buckets = buckets in
+     end-of-run prune statistics still cover every enumerator (dropped
+     buckets included) because they are a delta of the process-wide
+     telemetry counters, not a walk over surviving buckets. *)
   let buckets = ref (Array.of_list buckets) in
   let buckets_initial = Array.length !buckets in
   let iteration = ref 1 in
@@ -153,7 +168,10 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
      uniform re-scoring over all segments. *)
   let candidates : Score.scored list ref = ref [] in
   let consider (s : Score.scored) =
-    if Float.is_finite s.Score.distance then candidates := s :: !candidates
+    if Float.is_finite s.Score.distance then begin
+      Abg_obs.Obs.Counter.incr obs_candidates;
+      candidates := s :: !candidates
+    end
   in
   let score_bucket ~rng ~segs ~truths bucket =
     (* Score every sampled sketch of this bucket on this iteration's
@@ -218,7 +236,10 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
       Array.map (fun _ -> Rng.int master_rng 1_000_000_000) !buckets
     in
     let want = !n in
+    Abg_obs.Obs.Counter.incr obs_iterations;
+    Abg_obs.Obs.Counter.add obs_buckets_scored (Array.length !buckets);
     let outcomes =
+      Abg_obs.Obs.span "iteration" @@ fun () ->
       Abg_parallel.Pool.mapi ?num_domains:config.num_domains
         (fun i bucket ->
           top_up bucket ~want;
@@ -275,17 +296,19 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
       let rng = Rng.create (config.seed + 999983) in
       let t_final = Unix.gettimeofday () in
       log "[refine] terminal phase over %d bucket(s)\n%!" (List.length kept);
-      List.iter
-        (fun bucket ->
-          if not bucket.exhausted then
-            top_up bucket ~want:(List.length bucket.sketches + config.exhaustive_cap);
-          let best, handlers, sketches =
-            score_bucket ~rng ~segs:segs_final ~truths bucket
-          in
-          total_handlers := !total_handlers + handlers;
-          total_sketches := !total_sketches + sketches;
-          match best with Some b -> consider b | None -> ())
-        kept;
+      Abg_obs.Obs.span "terminal" (fun () ->
+          List.iter
+            (fun bucket ->
+              if not bucket.exhausted then
+                top_up bucket
+                  ~want:(List.length bucket.sketches + config.exhaustive_cap);
+              let best, handlers, sketches =
+                score_bucket ~rng ~segs:segs_final ~truths bucket
+              in
+              total_handlers := !total_handlers + handlers;
+              total_sketches := !total_sketches + sketches;
+              match best with Some b -> consider b | None -> ())
+            kept);
       log "[refine] terminal phase done in %.1fs\n%!"
         (Unix.gettimeofday () -. t_final);
       finished := true
@@ -319,6 +342,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
      winner — gets its exact distance, so the result is unchanged. *)
   let rescore_incumbent = ref infinity in
   let rescored =
+    Abg_obs.Obs.span "rescore" @@ fun () ->
     List.map
       (fun (s : Score.scored) ->
         let d =
@@ -338,14 +362,10 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         | Some b -> if s.Score.distance < b.Score.distance then Some s else acc)
       None rescored
   in
-  let pruned = aggregate_prune_stats (List.map (fun b -> b.enc) all_buckets) in
+  let pruned = prune_stats_since prune_baseline in
   let prune_rate =
     let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 pruned in
-    let returned =
-      List.fold_left
-        (fun acc b -> acc + fst (Abg_enum.Encode.stats b.enc))
-        0 all_buckets
-    in
+    let returned = Abg_enum.Encode.global_returned () - returned_baseline in
     let total = skipped + returned in
     if total = 0 then 0.0 else float_of_int skipped /. float_of_int total
   in

@@ -21,6 +21,14 @@ type scored = {
   completions_scored : int;
 }
 
+(* Telemetry: scoring volume, published once per sketch. Deterministic —
+   the completion set is a pure function of (rng seed, sketch, pool,
+   budget) and the finalist count of the coarse distances, which thread
+   cutoffs deterministically. *)
+let obs_sketches = Abg_obs.Obs.Counter.make "score.sketches"
+let obs_completions = Abg_obs.Obs.Counter.make "score.completions"
+let obs_finalists = Abg_obs.Obs.Counter.make "score.finalists"
+
 (** [sketch_prepared rng ~dsl ~budget ?cutoff ~prepared sk] — score one
     sketch: concretize (bounded by [budget]), replay handlers, keep the
     best. Scoring is two-stage: every completion is scored coarsely on
@@ -43,6 +51,8 @@ let sketch_prepared rng ~(dsl : Catalog.t) ~budget ?(cutoff = infinity)
   let handlers =
     Concretize.completions rng sk ~pool:dsl.Catalog.constant_pool ~budget
   in
+  Abg_obs.Obs.Counter.incr obs_sketches;
+  Abg_obs.Obs.Counter.add obs_completions (List.length handlers);
   match (handlers, prepared) with
   | [], _ | _, [] ->
       { sketch = sk; handler = sk; distance = infinity; completions_scored = 0 }
@@ -76,6 +86,7 @@ let sketch_prepared rng ~(dsl : Catalog.t) ~budget ?(cutoff = infinity)
         |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
       in
       let finalists = List.filteri (fun i _ -> i < keep) coarse in
+      Abg_obs.Obs.Counter.add obs_finalists (List.length finalists);
       let best_h, best_d =
         List.fold_left
           (fun (best_h, best_d) (h, _, f) ->

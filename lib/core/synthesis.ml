@@ -57,14 +57,20 @@ let segments_of_traces rng ~metric ~budget traces =
     picks the sub-DSL (§3.3). Returns [None] only if no segment yields a
     finite-distance candidate. *)
 let run ?(config = Refinement.default_config) ?dsl ~name traces =
+  Abg_obs.Obs.span "synth" @@ fun () ->
   let dsl =
     match dsl with
     | Some d -> d
-    | None -> Abg_classifier.Dsl_hint.choose (Abg_classifier.Gordon.classify traces)
+    | None ->
+        Abg_obs.Obs.span "classify" (fun () ->
+            Abg_classifier.Dsl_hint.choose
+              (Abg_classifier.Gordon.classify traces))
   in
   let rng = Rng.create config.Refinement.seed in
   let segments =
-    segments_of_traces rng ~metric:config.Refinement.metric ~budget:8 traces
+    Abg_obs.Obs.span "segments" (fun () ->
+        segments_of_traces rng ~metric:config.Refinement.metric ~budget:8
+          traces)
   in
   match Refinement.run ~config ~dsl segments with
   | None -> None

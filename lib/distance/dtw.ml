@@ -20,6 +20,16 @@
     worse than the incumbent and the scan stops, returning [infinity].
     Whenever the true distance is <= cutoff the result is exact. *)
 
+(* Telemetry: calls, DP cells evaluated, and early-abandon hits. Cells
+   are accumulated in a local int (one add per row, noise next to the
+   row's float work) and published once per call; all three counts are
+   deterministic — the band depends only on the lengths and the abandon
+   row only on the incumbent cutoff, which the scoring loop threads
+   deterministically. *)
+let obs_calls = Abg_obs.Obs.Counter.make "distance.dtw.calls"
+let obs_cells = Abg_obs.Obs.Counter.make "distance.dtw.cells"
+let obs_abandoned = Abg_obs.Obs.Counter.make "distance.dtw.abandoned"
+
 let distance ?band ?(cutoff = infinity) a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then infinity
@@ -37,10 +47,12 @@ let distance ?band ?(cutoff = infinity) a b =
     let cur = ref (Array.make (m + 1) infinity) in
     !prev.(0) <- 0.0;
     let abandoned = ref false in
+    let cells = ref 0 in
     let i = ref 1 in
     while (not !abandoned) && !i <= n do
       let p = !prev and c = !cur in
       let lo = Stdlib.max 1 (!i - w) and hi = Stdlib.min m (!i + w) in
+      cells := !cells + (hi - lo + 1);
       (* Sentinels: stale cells from two rows ago must read as +inf. *)
       c.(lo - 1) <- infinity;
       if hi < m then c.(hi + 1) <- infinity;
@@ -65,7 +77,13 @@ let distance ?band ?(cutoff = infinity) a b =
       end;
       incr i
     done;
-    if !abandoned then infinity else !prev.(m)
+    Abg_obs.Obs.Counter.incr obs_calls;
+    Abg_obs.Obs.Counter.add obs_cells !cells;
+    if !abandoned then begin
+      Abg_obs.Obs.Counter.incr obs_abandoned;
+      infinity
+    end
+    else !prev.(m)
   end
 
 (** [path a b] additionally returns the optimal warping path as (i, j)

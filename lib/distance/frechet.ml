@@ -18,6 +18,12 @@
     exceeds the cutoff abandons the scan with [infinity]. Results at or
     below the cutoff are exact. *)
 
+(* Telemetry, mirroring Dtw: deterministic call/cell/abandon counts,
+   published once per call. *)
+let obs_calls = Abg_obs.Obs.Counter.make "distance.frechet.calls"
+let obs_cells = Abg_obs.Obs.Counter.make "distance.frechet.cells"
+let obs_abandoned = Abg_obs.Obs.Counter.make "distance.frechet.abandoned"
+
 let distance ?band ?(cutoff = infinity) a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then infinity
@@ -40,10 +46,12 @@ let distance ?band ?(cutoff = infinity) a b =
     let cur = ref (Array.make (m + 1) infinity) in
     !prev.(0) <- neg_infinity;
     let abandoned = ref false in
+    let cells = ref 0 in
     let i = ref 1 in
     while (not !abandoned) && !i <= n do
       let p = !prev and c = !cur in
       let lo = Stdlib.max 1 (!i - w) and hi = Stdlib.min m (!i + w) in
+      cells := !cells + (hi - lo + 1);
       c.(lo - 1) <- infinity;
       if hi < m then c.(hi + 1) <- infinity;
       let ai = a.(!i - 1) in
@@ -67,5 +75,11 @@ let distance ?band ?(cutoff = infinity) a b =
       end;
       incr i
     done;
-    if !abandoned then infinity else !prev.(m)
+    Abg_obs.Obs.Counter.incr obs_calls;
+    Abg_obs.Obs.Counter.add obs_cells !cells;
+    if !abandoned then begin
+      Abg_obs.Obs.Counter.incr obs_abandoned;
+      infinity
+    end
+    else !prev.(m)
   end

@@ -11,6 +11,12 @@
     done on the squared sum against [cutoff *. cutoff], avoiding a sqrt
     per check. *)
 
+(* Telemetry: deterministic call and early-abandon counts per metric. *)
+let obs_calls = Abg_obs.Obs.Counter.make "distance.pointwise.calls"
+
+let obs_abandoned =
+  Abg_obs.Obs.Counter.make "distance.pointwise.abandoned"
+
 let euclidean ?(cutoff = infinity) a b =
   let n = Array.length a in
   assert (n = Array.length b);
@@ -24,7 +30,12 @@ let euclidean ?(cutoff = infinity) a b =
       acc := !acc +. (d *. d);
       incr i
     done;
-    if !acc > cut2 then infinity else sqrt !acc
+    Abg_obs.Obs.Counter.incr obs_calls;
+    if !acc > cut2 then begin
+      Abg_obs.Obs.Counter.incr obs_abandoned;
+      infinity
+    end
+    else sqrt !acc
   end
 
 let manhattan ?(cutoff = infinity) a b =
@@ -38,5 +49,10 @@ let manhattan ?(cutoff = infinity) a b =
       acc := !acc +. Float.abs (a.(!i) -. b.(!i));
       incr i
     done;
-    if !acc > cutoff then infinity else !acc
+    Abg_obs.Obs.Counter.incr obs_calls;
+    if !acc > cutoff then begin
+      Abg_obs.Obs.Counter.incr obs_abandoned;
+      infinity
+    end
+    else !acc
   end

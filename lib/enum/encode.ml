@@ -57,6 +57,44 @@ let reason_index r =
   in
   go 0 Abg_analysis.Absint.all_reasons
 
+(* Telemetry: process-wide prune/enumeration counters, incremented
+   alongside the per-enumerator cells below. The per-enc integers are
+   semantic state (the solver's randomize seed is derived from them and
+   per-enc statistics feed §6.1 reporting); the obs counters are what
+   run-level aggregation — [Refinement.result.pruned], the [--telemetry]
+   report, the CI gate — derives from, as a snapshot delta. Enumeration
+   totals are deterministic: each enumerator is driven by exactly one
+   pool item at a time, and its model sequence depends only on the DSL
+   and its own counters. *)
+let obs_returned = Abg_obs.Obs.Counter.make "enum.returned"
+let obs_sat = Abg_obs.Obs.Counter.make "enum.sat.sat"
+let obs_unsat = Abg_obs.Obs.Counter.make "enum.sat.unsat"
+let obs_simplifiable = Abg_obs.Obs.Counter.make "enum.pruned.simplifiable"
+let obs_duplicate = Abg_obs.Obs.Counter.make "enum.pruned.duplicate"
+
+let obs_dead =
+  Array.of_list
+    (List.map
+       (fun r ->
+         Abg_obs.Obs.Counter.make
+           ("enum.pruned." ^ Abg_analysis.Absint.reason_name r))
+       Abg_analysis.Absint.all_reasons)
+
+(** Process-wide per-reason prune counters from the telemetry layer, in
+    the {!prune_stats} reporting order. All zeros while telemetry is
+    disabled. Run-level statistics subtract a snapshot taken at the start
+    of the run. *)
+let global_prune_stats () =
+  ("simplifiable", Abg_obs.Obs.Counter.value obs_simplifiable)
+  :: List.mapi
+       (fun i r ->
+         (Abg_analysis.Absint.reason_name r, Abg_obs.Obs.Counter.value obs_dead.(i)))
+       Abg_analysis.Absint.all_reasons
+  @ [ ("duplicate", Abg_obs.Obs.Counter.value obs_duplicate) ]
+
+(** Process-wide count of sketches returned by {!next} (telemetry). *)
+let global_returned () = Abg_obs.Obs.Counter.value obs_returned
+
 let find_comp_index components c =
   let rec go i =
     if i = Array.length components then None
@@ -420,12 +458,16 @@ let rec next ?bucket enc =
   Abg_sat.Solver.randomize enc.solver
     ~seed:((enc.enumerated * 2654435761) + skipped enc + 17);
   match Abg_sat.Solver.solve ~assumptions enc.solver with
-  | Abg_sat.Solver.Unsat -> None
+  | Abg_sat.Solver.Unsat ->
+      Abg_obs.Obs.Counter.incr obs_unsat;
+      None
   | Abg_sat.Solver.Sat model ->
+      Abg_obs.Obs.Counter.incr obs_sat;
       let sketch = decode enc model in
       block enc model;
       if Simplify.is_simplifiable sketch then begin
         enc.blocked_simplifiable <- enc.blocked_simplifiable + 1;
+        Abg_obs.Obs.Counter.incr obs_simplifiable;
         next ?bucket enc
       end
       else begin
@@ -433,16 +475,19 @@ let rec next ?bucket enc =
         | Some (reason, _witness) ->
             let i = reason_index reason in
             enc.dead.(i) <- enc.dead.(i) + 1;
+            Abg_obs.Obs.Counter.incr obs_dead.(i);
             next ?bucket enc
         | None ->
             let canonical = Abg_analysis.Canonical.normalize sketch in
             let _id, fresh = Abg_analysis.Canonical.Tbl.intern enc.seen canonical in
             if not fresh then begin
               enc.blocked_duplicate <- enc.blocked_duplicate + 1;
+              Abg_obs.Obs.Counter.incr obs_duplicate;
               next ?bucket enc
             end
             else begin
               enc.enumerated <- enc.enumerated + 1;
+              Abg_obs.Obs.Counter.incr obs_returned;
               Some canonical
             end
       end

@@ -36,6 +36,16 @@ val prune_stats : t -> (string * int) list
 (** Per-reason prune counters, in reporting order: ["simplifiable"], each
     {!Abg_analysis.Absint.reason_name}, ["duplicate"]. *)
 
+val global_prune_stats : unit -> (string * int) list
+(** Process-wide prune counters from the telemetry layer ({!Abg_obs.Obs}),
+    same names and order as {!prune_stats}, summed over every enumerator
+    ever driven in this process. All zeros while telemetry is disabled;
+    run-level aggregation (e.g. [Refinement.result.pruned]) subtracts a
+    snapshot taken at the start of the run. *)
+
+val global_returned : unit -> int
+(** Process-wide count of sketches returned by {!next} (telemetry). *)
+
 val skipped : t -> int
 (** Total decoded-but-pruned sketches (the sum of {!prune_stats}). *)
 

@@ -377,6 +377,15 @@ type stats = {
   heap_peak : int;  (** event-queue high-water mark *)
 }
 
+(* Telemetry: per-run totals added once at the end of [run] — nothing in
+   the event loop itself. All deterministic: the simulator's RNG is
+   seeded from the config. *)
+let obs_runs = Abg_obs.Obs.Counter.make "sim.runs"
+let obs_events = Abg_obs.Obs.Counter.make "sim.events"
+let obs_acks = Abg_obs.Obs.Counter.make "sim.acks"
+let obs_drops = Abg_obs.Obs.Counter.make "sim.drops"
+let obs_losses = Abg_obs.Obs.Counter.make "sim.loss_events"
+
 (** [run cfg cca ~observer] simulates the flow for [cfg.duration] seconds,
     invoking [observer] on every cumulative ACK and loss event, and
     returns summary statistics. *)
@@ -416,6 +425,11 @@ let run ?(observer = null_observer) cfg cca =
       end
     end
   done;
+  Abg_obs.Obs.Counter.incr obs_runs;
+  Abg_obs.Obs.Counter.add obs_events sim.events_processed;
+  Abg_obs.Obs.Counter.add obs_acks !acks;
+  Abg_obs.Obs.Counter.add obs_drops sim.drops;
+  Abg_obs.Obs.Counter.add obs_losses sim.losses_detected;
   {
     acks_processed = !acks;
     packets_dropped = sim.drops;

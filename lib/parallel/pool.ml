@@ -21,6 +21,25 @@
 
 let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
 
+(* Telemetry. Whether a map runs through the pool at all depends on the
+   machine (sequential fallback below), and how many workers join a job
+   before its items run out depends on scheduling — so every pool counter
+   is volatile (excluded from the deterministic report section). Busy
+   time is a sharded float cell: each participant accumulates into its
+   own domain's slot. *)
+let obs_jobs = Abg_obs.Obs.Counter.make ~volatile:true "pool.jobs"
+let obs_items = Abg_obs.Obs.Counter.make ~volatile:true "pool.items"
+
+let obs_participations =
+  Abg_obs.Obs.Counter.make ~volatile:true "pool.participations"
+
+let obs_sequential =
+  Abg_obs.Obs.Counter.make ~volatile:true "pool.sequential_maps"
+
+let obs_workers = Abg_obs.Obs.Gauge.make "pool.workers"
+let obs_busy = Abg_obs.Obs.Floatcell.make "pool.busy_s"
+let obs_job_items = Abg_obs.Obs.Histogram.make "pool.job_items"
+
 type job = {
   run : int -> unit;
   n : int;
@@ -44,11 +63,15 @@ type t = {
 (* Claim and run items until none remain. Any participant may run any
    item; the last one to finish wakes the submitter. *)
 let work t job =
+  let tracking = Abg_obs.Obs.enabled () in
+  let t0 = if tracking then Unix.gettimeofday () else 0.0 in
+  let executed = ref 0 in
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.n then continue := false
     else begin
+      incr executed;
       (try job.run i
        with e ->
          Mutex.lock t.m;
@@ -60,7 +83,14 @@ let work t job =
         Mutex.unlock t.m
       end
     end
-  done
+  done;
+  if tracking then begin
+    Abg_obs.Obs.Counter.add obs_items !executed;
+    if !executed > 0 then begin
+      Abg_obs.Obs.Counter.incr obs_participations;
+      Abg_obs.Obs.Floatcell.add obs_busy (Unix.gettimeofday () -. t0)
+    end
+  end
 
 let worker_loop t () =
   let last_gen = ref 0 in
@@ -108,6 +138,7 @@ let create ?size () =
     }
   in
   t.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop t));
+  Abg_obs.Obs.Gauge.set obs_workers (float_of_int size);
   t
 
 (** [shutdown t] stops and joins the worker domains. Idempotent; [t] must
@@ -127,6 +158,8 @@ let size t = Array.length t.workers
    (the inner submitter participates in its own job, so it always makes
    progress), though such jobs share the worker pool. *)
 let run_job t ~active ~n ~body =
+  Abg_obs.Obs.Counter.incr obs_jobs;
+  Abg_obs.Obs.Histogram.observe obs_job_items (float_of_int n);
   Mutex.lock t.m;
   let job =
     {
@@ -184,7 +217,10 @@ let map ?pool ?num_domains f xs =
     | None -> default_domains ()
   in
   if n = 0 then [||]
-  else if domains = 1 || n < 4 then Array.map f xs
+  else if domains = 1 || n < 4 then begin
+    Abg_obs.Obs.Counter.incr obs_sequential;
+    Array.map f xs
+  end
   else begin
     let t = match pool with Some t -> t | None -> global () in
     let out = Array.make n None in

@@ -138,8 +138,16 @@ let collect cfg ~name (constructor : Abg_cca.Cca_sig.constructor) =
 
 let store : (string, t) Hashtbl.t = Hashtbl.create 256
 let store_mutex = Mutex.create ()
-let store_hits = Atomic.make 0
-let store_misses = Atomic.make 0
+
+(* Hit/miss counters live on the telemetry layer (sharded per domain, so
+   concurrent pool workers pay a plain store, not an atomic). For a
+   deterministic workload the totals are deterministic: the store is
+   keyed by (name, config digest) and the suite grids request distinct
+   keys, so which domain serves a request never changes hit/miss
+   accounting. *)
+let store_hits = Abg_obs.Obs.Counter.make "trace.store.hits"
+let store_misses = Abg_obs.Obs.Counter.make "trace.store.misses"
+let store_size = Abg_obs.Obs.Gauge.make "trace.store.size"
 
 let store_key ~name cfg = name ^ "|" ^ Config.digest cfg
 
@@ -155,10 +163,10 @@ let collect_cached cfg ~name constructor =
   Mutex.unlock store_mutex;
   match cached with
   | Some t ->
-      Atomic.incr store_hits;
+      Abg_obs.Obs.Counter.incr store_hits;
       t
   | None ->
-      Atomic.incr store_misses;
+      Abg_obs.Obs.Counter.incr store_misses;
       let t = collect cfg ~name constructor in
       Mutex.lock store_mutex;
       let t =
@@ -168,19 +176,24 @@ let collect_cached cfg ~name constructor =
             Hashtbl.replace store key t;
             t
       in
+      Abg_obs.Obs.Gauge.set store_size (float_of_int (Hashtbl.length store));
       Mutex.unlock store_mutex;
       t
 
-(** [(hits, misses)] of the trace store since start (or {!store_clear}). *)
-let store_stats () = (Atomic.get store_hits, Atomic.get store_misses)
+(** [(hits, misses)] of the trace store since start (or {!store_clear}).
+    Counts ride on the telemetry layer: all zero while telemetry is
+    disabled ({!Abg_obs.Obs.set_enabled}). *)
+let store_stats () =
+  (Abg_obs.Obs.Counter.value store_hits, Abg_obs.Obs.Counter.value store_misses)
 
 (** Empty the trace store and reset its counters (tests). *)
 let store_clear () =
   Mutex.lock store_mutex;
   Hashtbl.reset store;
   Mutex.unlock store_mutex;
-  Atomic.set store_hits 0;
-  Atomic.set store_misses 0
+  Abg_obs.Obs.Counter.reset store_hits;
+  Abg_obs.Obs.Counter.reset store_misses;
+  Abg_obs.Obs.Gauge.set store_size 0.0
 
 (** [collect_suite ?duration ?ack_jitter ?cache ~n ~name constructor]
     collects traces for a diverse scenario grid (§3.2's RTT x bandwidth
@@ -191,6 +204,7 @@ let store_clear () =
     process-wide trace store unless [~cache:false]. *)
 let collect_suite ?(duration = 30.0) ?ack_jitter ?(cache = true) ~n ~name
     constructor =
+  Abg_obs.Obs.span "collect-suite" @@ fun () ->
   let grab = if cache then collect_cached else collect in
   Config.testbed_grid ~duration ?ack_jitter ~n ()
   |> Abg_parallel.Pool.map_list (fun cfg -> grab cfg ~name constructor)
