@@ -196,6 +196,56 @@ let collect_suite_test =
            (Abg_trace.Trace.collect_suite ~duration:1.0 ~cache:false ~n:4
               ~name:"reno" ctor)))
 
+(* Batch-orchestrator storage primitives: what a run pays per artifact
+   (durable blob write, verified read) and per resume (journal replay).
+   The write benchmark stores a fresh payload every iteration — the
+   content-addressed fast path for an existing digest would otherwise
+   turn the measurement into a Sys.file_exists probe. *)
+let batch_store_tests =
+  lazy
+    (let root =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "abagnale-bench-store.%d" (Unix.getpid ()))
+     in
+     let store = Abg_batch.Store.open_ root in
+     let payload = String.init 4096 (fun i -> Char.chr (32 + (i mod 95))) in
+     let counter = ref 0 in
+     let read_digest = Abg_batch.Store.put store payload in
+     ( Test.make ~name:"batch: store-blob-write-4k"
+         (Staged.stage (fun () ->
+              incr counter;
+              ignore
+                (Abg_batch.Store.put store
+                   (string_of_int !counter ^ payload)))),
+       Test.make ~name:"batch: store-blob-read-4k"
+         (Staged.stage (fun () ->
+              ignore (Abg_batch.Store.get store read_digest))) ))
+
+let batch_journal_replay_test =
+  lazy
+    (let path =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "abagnale-bench-journal.%d.jsonl" (Unix.getpid ()))
+     in
+     if Sys.file_exists path then Sys.remove path;
+     let journal = Abg_batch.Journal.open_ path in
+     for i = 1 to 256 do
+       Abg_batch.Journal.append journal
+         {
+           Abg_batch.Journal.job = Digest.to_hex (Digest.string (string_of_int i));
+           status = (if i mod 16 = 0 then Abg_batch.Journal.Quarantined
+                     else Abg_batch.Journal.Ok);
+           attempts = 1 + (i mod 3);
+           result = Some (Digest.to_hex (Digest.string ("r" ^ string_of_int i)));
+           error = None;
+         }
+     done;
+     Abg_batch.Journal.close journal;
+     Test.make ~name:"batch: journal-replay-256"
+       (Staged.stage (fun () -> ignore (Abg_batch.Journal.replay path))))
+
 let classify_features_test =
   lazy
     (let traces = Runs.traces "reno" in
@@ -282,12 +332,14 @@ let run () =
   let replay_compiled, replay_interp = Lazy.force replay_tests in
   let bucket_cutoff, bucket_full = Lazy.force bucket_score_tests in
   let pool_persistent, pool_spawning = Lazy.force pool_tests in
+  let store_write, store_read = Lazy.force batch_store_tests in
   let tests =
     [ dtw_test; dtw_cutoff_test; euclidean_test; frechet_test;
       frechet_full_test; replay_compiled; replay_interp; bucket_cutoff;
       bucket_full; pool_persistent; pool_spawning; Lazy.force enumerate_test;
       absint_prune_test; Lazy.force canonical_intern_test; simulate_test;
-      collect_suite_test; Lazy.force classify_features_test ]
+      collect_suite_test; Lazy.force classify_features_test; store_write;
+      store_read; Lazy.force batch_journal_replay_test ]
   in
   (* Estimates are taken with telemetry off: they track the cost of the
      kernel operations themselves, and the disabled path is the one the

@@ -6,6 +6,7 @@
      synth     — reverse-engineer a cwnd-ack handler from traces
      distance  — score a handler expression against traces
      lint      — run the static-analysis diagnostics over handlers
+     batch     — crash-safe grid orchestration (run/resume/status/report)
      telemetry — inspect / diff machine-readable telemetry reports
      list      — show the available CCAs and sub-DSLs
 
@@ -442,6 +443,209 @@ let telemetry_cmd =
   in
   Cmd.group info [ telemetry_diff_cmd; telemetry_show_cmd ]
 
+(* -- batch -- *)
+
+let batch_dir_arg =
+  let doc = "Batch run directory (grid, journal, artifact store)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let kinds_arg =
+  let doc =
+    "Comma-separated job kinds: collect, synth, synth:DSL, classify, \
+     noise:STDDEV:KEEP, probe:FAILS:SLEEP_MS."
+  in
+  Arg.(
+    value
+    & opt (list string) [ "collect"; "synth"; "classify" ]
+    & info [ "kinds" ] ~docv:"KINDS" ~doc)
+
+let ccas_arg =
+  let doc = "Comma-separated ground-truth CCAs (see `abagnale list')." in
+  Arg.(
+    value
+    & opt (list string) [ "reno"; "cubic" ]
+    & info [ "ccas" ] ~docv:"CCAS" ~doc)
+
+let seeds_arg =
+  let doc = "Comma-separated refinement seeds (one job per seed)." in
+  Arg.(value & opt (list int) [ 42 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+
+let ack_jitter_arg =
+  let doc = "Ack-interarrival jitter stddev for the testbed grid." in
+  Arg.(value & opt float 0.001 & info [ "ack-jitter" ] ~doc)
+
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+        match (int_of_string_opt i, int_of_string_opt n) with
+        | Some i, Some n when n > 0 && i >= 0 && i < n -> Ok (i, n)
+        | _ -> Error (`Msg (Printf.sprintf "bad shard %S (want I/N, 0 <= I < N)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad shard %S (want I/N)" s))
+  in
+  let print ppf (i, n) = Format.fprintf ppf "%d/%d" i n in
+  Arg.conv (parse, print)
+
+let shard_arg =
+  let doc =
+    "Run only shard $(docv) of the canonical job order (index modulo N); \
+     shards are disjoint and their union is the full grid."
+  in
+  Arg.(value & opt (some shard_conv) None & info [ "shard" ] ~docv:"I/N" ~doc)
+
+let retries_arg =
+  let doc = "Extra attempts for a failing job before quarantine." in
+  Arg.(value & opt int 2 & info [ "retries" ] ~doc)
+
+let timeout_arg =
+  let doc = "Per-attempt wall-clock limit in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let max_jobs_arg =
+  let doc = "Stop after completing this many jobs (smoke/testing)." in
+  Arg.(value & opt (some int) None & info [ "max-jobs" ] ~docv:"N" ~doc)
+
+let domains_arg =
+  let doc = "Domain-pool participation cap for this run." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let batch_settings retries timeout shard max_jobs domains seed verbose =
+  {
+    Abg_batch.Runner.default_settings with
+    Abg_batch.Runner.retries;
+    timeout_s = Option.value ~default:infinity timeout;
+    shard;
+    max_jobs;
+    num_domains = domains;
+    refinement = { Abg_core.Refinement.default_config with seed };
+    verbose;
+  }
+
+let print_batch_summary verbose (summary : Abg_batch.Runner.summary) =
+  let ok, quarantined =
+    List.partition
+      (fun (c : Abg_batch.Runner.completion) ->
+        match c.Abg_batch.Runner.status with
+        | Abg_batch.Runner.Done -> true
+        | Abg_batch.Runner.Quarantined _ -> false)
+      summary.Abg_batch.Runner.completions
+  in
+  Printf.printf "completed %d job(s): %d ok, %d quarantined"
+    (List.length summary.Abg_batch.Runner.completions)
+    (List.length ok) (List.length quarantined);
+  if summary.Abg_batch.Runner.skipped > 0 then
+    Printf.printf "; %d already journaled" summary.Abg_batch.Runner.skipped;
+  if summary.Abg_batch.Runner.remaining > 0 then
+    Printf.printf "; %d left for resume" summary.Abg_batch.Runner.remaining;
+  print_newline ();
+  List.iter
+    (fun (c : Abg_batch.Runner.completion) ->
+      match c.Abg_batch.Runner.status with
+      | Abg_batch.Runner.Quarantined err ->
+          Printf.printf "  QUARANTINED %s: %s\n"
+            (Abg_batch.Job.describe c.Abg_batch.Runner.job)
+            err
+      | Abg_batch.Runner.Done -> ())
+    summary.Abg_batch.Runner.completions;
+  if verbose then
+    List.iter
+      (fun (name, n) -> Printf.printf "  %-40s +%d\n" name n)
+      summary.Abg_batch.Runner.counters;
+  if quarantined <> [] then exit 2
+
+let batch_run dir kinds ccas scenarios duration ack_jitter seeds retries
+    timeout shard max_jobs domains seed verbose telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let kinds =
+    List.map
+      (fun token ->
+        match Abg_batch.Job.kind_of_token token with
+        | Ok kind -> kind
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1)
+      kinds
+  in
+  List.iter
+    (fun cca ->
+      if Abg_cca.Registry.find cca = None then begin
+        Printf.eprintf "unknown CCA %s; try `abagnale list'\n" cca;
+        exit 1
+      end)
+    ccas;
+  let jobs =
+    Abg_batch.Job.expand
+      { Abg_batch.Job.kinds; ccas; scenarios; duration; ack_jitter; seeds }
+  in
+  let settings =
+    batch_settings retries timeout shard max_jobs domains seed verbose
+  in
+  Printf.printf "grid: %d job(s) -> %s\n" (List.length jobs) dir;
+  print_batch_summary verbose (Abg_batch.Runner.run ~dir ~settings jobs)
+
+let batch_run_cmd =
+  let info =
+    Cmd.info "run"
+      ~doc:
+        "Expand an experiment grid (kinds x ccas x seeds over the testbed \
+         scenarios) into a run directory and execute it"
+  in
+  Cmd.v info
+    Term.(
+      const batch_run $ batch_dir_arg $ kinds_arg $ ccas_arg $ scenarios_arg
+      $ duration_arg $ ack_jitter_arg $ seeds_arg $ retries_arg $ timeout_arg
+      $ shard_arg $ max_jobs_arg $ domains_arg $ seed_arg $ verbose_arg
+      $ telemetry_arg)
+
+let batch_resume dir retries timeout shard max_jobs domains seed verbose
+    telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let settings =
+    batch_settings retries timeout shard max_jobs domains seed verbose
+  in
+  print_batch_summary verbose (Abg_batch.Runner.resume ~dir ~settings ())
+
+let batch_resume_cmd =
+  let info =
+    Cmd.info "resume"
+      ~doc:
+        "Replay a run directory's journal and execute every job without a \
+         terminal record (crash recovery; idempotent)"
+  in
+  Cmd.v info
+    Term.(
+      const batch_resume $ batch_dir_arg $ retries_arg $ timeout_arg
+      $ shard_arg $ max_jobs_arg $ domains_arg $ seed_arg $ verbose_arg
+      $ telemetry_arg)
+
+let batch_status dir = print_string (Abg_batch.Report.status ~dir)
+
+let batch_status_cmd =
+  let info = Cmd.info "status" ~doc:"Summarize a run directory's progress" in
+  Cmd.v info Term.(const batch_status $ batch_dir_arg)
+
+let batch_report dir = print_string (Abg_batch.Report.render ~dir)
+
+let batch_report_cmd =
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Render the deterministic Table-2-style report of a run directory \
+         (a pure function of its grid, journal, and store)"
+  in
+  Cmd.v info Term.(const batch_report $ batch_dir_arg)
+
+let batch_cmd =
+  let info =
+    Cmd.info "batch"
+      ~doc:
+        "Crash-safe batch experiment orchestration: expand a grid, run it \
+         with retries and quarantine, resume after a kill, shard across \
+         processes, and report"
+  in
+  Cmd.group info
+    [ batch_run_cmd; batch_resume_cmd; batch_status_cmd; batch_report_cmd ]
+
 (* -- list -- *)
 
 let list_all () =
@@ -467,6 +671,7 @@ let main_cmd =
       synth_cmd;
       distance_cmd;
       lint_cmd;
+      batch_cmd;
       telemetry_cmd;
       list_cmd;
     ]

@@ -1,0 +1,168 @@
+(* Job specs: serializable descriptions of every experiment in the
+   evaluation grid. See job.mli. *)
+
+type kind =
+  | Collect
+  | Synthesize of { dsl : string option }
+  | Classify
+  | Noise of { stddev : float; keep : float }
+  | Probe of { fail_attempts : int; sleep_ms : int }
+
+type t = {
+  kind : kind;
+  cca : string;
+  seed : int;
+  configs : Abg_netsim.Config.t list;
+}
+
+type grid = {
+  kinds : kind list;
+  ccas : string list;
+  scenarios : int;
+  duration : float;
+  ack_jitter : float;
+  seeds : int list;
+}
+
+let kind_name = function
+  | Collect -> "collect"
+  | Synthesize _ -> "synth"
+  | Classify -> "classify"
+  | Noise _ -> "noise"
+  | Probe _ -> "probe"
+
+let kind_of_token token =
+  match String.split_on_char ':' token with
+  | [ "collect" ] -> Ok Collect
+  | [ "synth" ] -> Ok (Synthesize { dsl = None })
+  | [ "synth"; dsl ] -> Ok (Synthesize { dsl = Some dsl })
+  | [ "classify" ] -> Ok Classify
+  | [ "noise"; stddev; keep ] -> (
+      match (float_of_string_opt stddev, float_of_string_opt keep) with
+      | Some stddev, Some keep -> Ok (Noise { stddev; keep })
+      | _ -> Error (Printf.sprintf "bad noise parameters in %S" token))
+  | [ "probe"; fails; sleep ] -> (
+      match (int_of_string_opt fails, int_of_string_opt sleep) with
+      | Some fail_attempts, Some sleep_ms ->
+          Ok (Probe { fail_attempts; sleep_ms })
+      | _ -> Error (Printf.sprintf "bad probe parameters in %S" token))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown job kind %S (want collect, synth[:DSL], classify, \
+            noise:STDDEV:KEEP, or probe:FAILS:SLEEP_MS)"
+           token)
+
+(* Collect and Classify results do not depend on the job seed (the
+   scenario configs carry their own simulation seeds), so expanding them
+   per seed would only duplicate report rows; they get the first seed. *)
+let seed_sensitive = function
+  | Collect | Classify -> false
+  | Synthesize _ | Noise _ | Probe _ -> true
+
+let expand grid =
+  if grid.kinds = [] then invalid_arg "Job.expand: no kinds";
+  if grid.ccas = [] then invalid_arg "Job.expand: no ccas";
+  if grid.seeds = [] then invalid_arg "Job.expand: no seeds";
+  let configs =
+    Abg_netsim.Config.testbed_grid ~duration:grid.duration
+      ~ack_jitter:grid.ack_jitter ~n:grid.scenarios ()
+  in
+  List.concat_map
+    (fun kind ->
+      let seeds =
+        if seed_sensitive kind then grid.seeds else [ List.hd grid.seeds ]
+      in
+      let configs = match kind with Probe _ -> [] | _ -> configs in
+      List.concat_map
+        (fun cca -> List.map (fun seed -> { kind; cca; seed; configs }) seeds)
+        grid.ccas)
+    grid.kinds
+
+let describe job =
+  Printf.sprintf "%s/%s (%d scenario%s, seed %d)" (kind_name job.kind) job.cca
+    (List.length job.configs)
+    (if List.length job.configs = 1 then "" else "s")
+    job.seed
+
+(* Canonical serialization: fixed key order, kind parameters inline,
+   configs as lossless Config.digest strings. [digest] hashes these
+   bytes, so any representational change here renames every job —
+   version the schema tag if the format must evolve. *)
+let to_json job =
+  let kind_fields =
+    match job.kind with
+    | Collect | Classify -> []
+    | Synthesize { dsl } ->
+        [ ("dsl", match dsl with None -> Jsonx.Null | Some d -> Jsonx.Str d) ]
+    | Noise { stddev; keep } ->
+        [ ("stddev", Jsonx.hex stddev); ("keep", Jsonx.hex keep) ]
+    | Probe { fail_attempts; sleep_ms } ->
+        [
+          ("fail_attempts", Jsonx.Num (float_of_int fail_attempts));
+          ("sleep_ms", Jsonx.Num (float_of_int sleep_ms));
+        ]
+  in
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.Str "abagnale-job/1");
+       ("kind", Jsonx.Str (kind_name job.kind));
+     ]
+    @ kind_fields
+    @ [
+        ("cca", Jsonx.Str job.cca);
+        ("seed", Jsonx.Num (float_of_int job.seed));
+        ("configs",
+         Jsonx.List
+           (List.map
+              (fun cfg -> Jsonx.Str (Abg_netsim.Config.digest cfg))
+              job.configs));
+      ])
+
+let of_json json =
+  let ctx = "job" in
+  let kind =
+    match Jsonx.str ~ctx (Jsonx.member ~ctx "kind" json) with
+    | "collect" -> Collect
+    | "classify" -> Classify
+    | "synth" ->
+        Synthesize
+          {
+            dsl =
+              (match Jsonx.member ~ctx "dsl" json with
+              | Jsonx.Null -> None
+              | j -> Some (Jsonx.str ~ctx:"job.dsl" j));
+          }
+    | "noise" ->
+        Noise
+          {
+            stddev = Jsonx.hex_float (Jsonx.member ~ctx "stddev" json);
+            keep = Jsonx.hex_float (Jsonx.member ~ctx "keep" json);
+          }
+    | "probe" ->
+        Probe
+          {
+            fail_attempts =
+              Jsonx.int ~ctx (Jsonx.member ~ctx "fail_attempts" json);
+            sleep_ms = Jsonx.int ~ctx (Jsonx.member ~ctx "sleep_ms" json);
+          }
+    | other -> raise (Jsonx.Malformed ("job: unknown kind " ^ other))
+  in
+  let configs =
+    Jsonx.list ~ctx (Jsonx.member ~ctx "configs" json)
+    |> List.map (fun j ->
+           let s = Jsonx.str ~ctx:"job.configs" j in
+           match Abg_netsim.Config.of_digest s with
+           | Some cfg -> cfg
+           | None -> raise (Jsonx.Malformed ("job: bad config digest " ^ s)))
+  in
+  {
+    kind;
+    cca = Jsonx.str ~ctx:"job.cca" (Jsonx.member ~ctx "cca" json);
+    seed = Jsonx.int ~ctx:"job.seed" (Jsonx.member ~ctx "seed" json);
+    configs;
+  }
+
+let digest job = Digest.to_hex (Digest.string (Jsonx.to_string (to_json job)))
+
+let compare_canonical a b = String.compare (digest a) (digest b)

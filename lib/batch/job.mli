@@ -1,0 +1,68 @@
+(** Declarative, serializable experiment jobs.
+
+    Every row of the paper's evaluation grid becomes one {!t}: a job
+    kind (trace collection, synthesis, classification, noise
+    robustness), a ground-truth CCA, an explicit list of testbed
+    scenario configs, and a seed. Jobs serialize canonically
+    ({!to_json} has a fixed key order, lossless hex floats, configs as
+    {!Abg_netsim.Config.digest} strings), and {!digest} of that
+    rendering is the job's stable identity — the journal key the
+    crash-safe runner replays against, and the sharding key.
+
+    [Probe] is a self-test kind (CI smoke, fault-containment tests): it
+    does a trivial deterministic computation, optionally sleeping and
+    optionally failing its first [fail_attempts] attempts. *)
+
+type kind =
+  | Collect
+  | Synthesize of { dsl : string option }
+  | Classify
+  | Noise of { stddev : float; keep : float }
+      (** observation noise then subsampling, both seeded by the job *)
+  | Probe of { fail_attempts : int; sleep_ms : int }
+
+type t = {
+  kind : kind;
+  cca : string;
+  seed : int;
+  configs : Abg_netsim.Config.t list;
+}
+
+(** A grid description, expanded to [kinds x ccas x seeds] jobs (each
+    over the same [scenarios]-point testbed grid). Seed-insensitive
+    kinds ([Collect], [Classify]) expand once per CCA, with the first
+    seed. *)
+type grid = {
+  kinds : kind list;
+  ccas : string list;
+  scenarios : int;
+  duration : float;
+  ack_jitter : float;
+  seeds : int list;
+}
+
+val expand : grid -> t list
+(** Raises [Invalid_argument] on an empty [kinds]/[ccas]/[seeds]. *)
+
+val kind_name : kind -> string
+(** ["collect"], ["synth"], ["classify"], ["noise"], ["probe"]. *)
+
+val kind_of_token : string -> (kind, string) result
+(** Parse a CLI kind token: ["collect"], ["synth"], ["synth:DSL"],
+    ["classify"], ["noise:STDDEV:KEEP"], ["probe:FAILS:SLEEP_MS"]. *)
+
+val describe : t -> string
+(** Human one-liner: kind, cca, scenario count, seed. *)
+
+val to_json : t -> Jsonx.t
+val of_json : Jsonx.t -> t
+(** Raises {!Jsonx.Malformed} on shape errors. *)
+
+val digest : t -> string
+(** MD5 hex of the canonical serialization: two jobs share a digest iff
+    every parameter — kind, kind arguments, CCA, seed, and every config
+    field including [ack_jitter] and the per-scenario RNG seeds — is
+    identical. *)
+
+val compare_canonical : t -> t -> int
+(** Order by {!digest}: the runner's dispatch and report order. *)

@@ -1,0 +1,124 @@
+(* Append-only fsync'd completion journal. See journal.mli. *)
+
+type status = Ok | Quarantined
+
+type entry = {
+  job : string;
+  status : status;
+  attempts : int;
+  result : string option;
+  error : string option;
+}
+
+let status_name = function Ok -> "ok" | Quarantined -> "quarantined"
+
+let entry_to_line entry =
+  let opt = function None -> Jsonx.Null | Some s -> Jsonx.Str s in
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("job", Jsonx.Str entry.job);
+         ("status", Jsonx.Str (status_name entry.status));
+         ("attempts", Jsonx.Num (float_of_int entry.attempts));
+         ("result", opt entry.result);
+         ("error", opt entry.error);
+       ])
+
+let entry_of_line line =
+  let json =
+    try Jsonx.parse line
+    with Abg_obs.Report.Parse_error msg ->
+      raise (Jsonx.Malformed ("journal line: " ^ msg))
+  in
+  let ctx = "journal" in
+  let opt key =
+    match Jsonx.member ~ctx key json with
+    | Jsonx.Null -> None
+    | j -> Some (Jsonx.str ~ctx:("journal." ^ key) j)
+  in
+  {
+    job = Jsonx.str ~ctx (Jsonx.member ~ctx "job" json);
+    status =
+      (match Jsonx.str ~ctx (Jsonx.member ~ctx "status" json) with
+      | "ok" -> Ok
+      | "quarantined" -> Quarantined
+      | other -> raise (Jsonx.Malformed ("journal: unknown status " ^ other)));
+    attempts = Jsonx.int ~ctx (Jsonx.member ~ctx "attempts" json);
+    result = opt "result";
+    error = opt "error";
+  }
+
+type t = { fd : Unix.file_descr; m : Mutex.t }
+
+(* A kill mid-append can leave a torn final line with no newline. It was
+   never acknowledged, so it must be truncated away before appending —
+   otherwise O_APPEND would glue the next entry onto the fragment,
+   turning a harmless crash artifact into interior corruption. *)
+let truncate_torn_tail path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let len = String.length content in
+      if len > 0 && content.[len - 1] <> '\n' then begin
+        let keep =
+          match String.rindex_opt content '\n' with
+          | Some i -> i + 1
+          | None -> 0
+        in
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            Unix.ftruncate fd keep;
+            Unix.fsync fd)
+      end
+
+let open_ path =
+  truncate_torn_tail path;
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  { fd; m = Mutex.create () }
+
+(* One write syscall per line (O_APPEND keeps concurrent appends from
+   interleaving), then fsync: once append returns, the completion
+   survives a kill. *)
+let append t entry =
+  let line = entry_to_line entry ^ "\n" in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      let n = String.length line in
+      let written = Unix.write_substring t.fd line 0 n in
+      if written <> n then failwith "Journal.append: short write";
+      Unix.fsync t.fd)
+
+let close t = Unix.close t.fd
+
+let replay path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (* Only newline-terminated lines are acknowledged completions; a
+       trailing fragment is a torn append from a crash — dropped, so the
+       job it described re-runs on resume. *)
+    let rec terminated acc = function
+      | [] | [ _ ] -> List.rev acc (* last chunk: "" if terminated, torn otherwise *)
+      | line :: rest -> terminated (line :: acc) rest
+    in
+    String.split_on_char '\n' content
+    |> terminated []
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map entry_of_line
+  end

@@ -1,0 +1,45 @@
+(** Canonical JSON for batch artifacts.
+
+    Every byte the orchestrator persists — job specs, journal lines,
+    result blobs — goes through this writer, whose output is a pure
+    function of the value: fixed key order (the caller's), no
+    whitespace variation, integers printed as integers, and bit-exact
+    floats carried as hex-notation strings ({!hex}/{!hex_float}). That
+    is what makes "kill, resume, diff" a byte-level comparison.
+
+    The parsed representation is shared with {!Abg_obs.Report.json} so
+    the reader comes for free. *)
+
+type t = Abg_obs.Report.json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Malformed of string
+(** Raised by the accessors below on shape mismatches (the message names
+    the field). {!parse} errors surface as
+    {!Abg_obs.Report.Parse_error}. *)
+
+val to_string : t -> string
+(** Compact canonical rendering, no trailing newline. [Num] values that
+    are exact integers print as integers; other floats print with
+    enough digits to round-trip ([%.17g]). *)
+
+val parse : string -> t
+
+val hex : float -> t
+(** A float as a bit-exact hex-notation JSON string (["0x1.8p+3"]). *)
+
+val hex_float : t -> float
+(** Inverse of {!hex}. *)
+
+(** Accessors; all raise {!Malformed} with [ctx] in the message. *)
+
+val member : ctx:string -> string -> t -> t
+val member_opt : string -> t -> t option
+val str : ctx:string -> t -> string
+val int : ctx:string -> t -> int
+val list : ctx:string -> t -> t list

@@ -1,0 +1,214 @@
+(* Deterministic run reports. See report.mli.
+
+   Nothing rendered here may depend on the run directory's path, wall
+   clock, or scheduling order — the CI kill-and-resume smoke job diffs
+   the reports of two different run directories byte-for-byte. *)
+
+let ( / ) = Filename.concat
+
+type row = {
+  job : Job.t;
+  digest : string;
+  entry : Journal.entry option;  (** [None] = still pending *)
+}
+
+let load ~dir =
+  let jobs = Runner.jobs_of_dir ~dir in
+  let settled = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.entry) -> Hashtbl.replace settled e.Journal.job e)
+    (Journal.replay (dir / "journal.jsonl"));
+  List.map
+    (fun job ->
+      let digest = Job.digest job in
+      { job; digest; entry = Hashtbl.find_opt settled digest })
+    jobs
+
+let result_doc store (row : row) =
+  match row.entry with
+  | Some { Journal.status = Journal.Ok; result = Some blob; _ } ->
+      Some (Jsonx.parse (Store.get store blob))
+  | _ -> None
+
+(* -- field accessors over result documents -- *)
+
+let str_field doc key =
+  match Jsonx.member_opt key doc with
+  | Some (Jsonx.Str s) -> Some s
+  | _ -> None
+
+let num_field doc key =
+  match Jsonx.member_opt key doc with
+  | Some (Jsonx.Num n) -> Some n
+  | _ -> None
+
+let hex_field doc key =
+  match Jsonx.member_opt key doc with
+  | Some (Jsonx.Str _ as j) -> Some (Jsonx.hex_float j)
+  | _ -> None
+
+let found doc =
+  match Jsonx.member_opt "found" doc with
+  | Some (Jsonx.Bool b) -> b
+  | _ -> false
+
+let fmt_dist = Printf.sprintf "%.4f"
+let fmt_opt f = function Some v -> f v | None -> "-"
+
+(* -- sections -- *)
+
+let buf_section buf title rows render_row =
+  if rows <> [] then begin
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (String.length title) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (render_row r);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.add_char buf '\n'
+  end
+
+let synth_row store (row : row) =
+  match result_doc store row with
+  | None -> Printf.sprintf "  %-12s seed=%-6d PENDING" row.job.Job.cca row.job.Job.seed
+  | Some doc ->
+      if not (found doc) then
+        Printf.sprintf "  %-12s seed=%-6d no finite-distance candidate"
+          row.job.Job.cca row.job.Job.seed
+      else
+        Printf.sprintf "  %-12s seed=%-6d dsl=%-10s dist=%-10s %s"
+          row.job.Job.cca row.job.Job.seed
+          (fmt_opt Fun.id (str_field doc "dsl"))
+          (fmt_opt fmt_dist (hex_field doc "distance"))
+          (fmt_opt Fun.id (str_field doc "handler"))
+
+let noise_row store (row : row) =
+  let params =
+    match row.job.Job.kind with
+    | Job.Noise { stddev; keep } ->
+        Printf.sprintf "stddev=%g keep=%g" stddev keep
+    | _ -> ""
+  in
+  match result_doc store row with
+  | None ->
+      Printf.sprintf "  %-12s seed=%-6d %-24s PENDING" row.job.Job.cca
+        row.job.Job.seed params
+  | Some doc ->
+      if not (found doc) then
+        Printf.sprintf "  %-12s seed=%-6d %-24s no candidate" row.job.Job.cca
+          row.job.Job.seed params
+      else
+        Printf.sprintf "  %-12s seed=%-6d %-24s dist=%-10s clean=%-10s %s"
+          row.job.Job.cca row.job.Job.seed params
+          (fmt_opt fmt_dist (hex_field doc "distance"))
+          (fmt_opt fmt_dist (hex_field doc "distance_clean"))
+          (fmt_opt Fun.id (str_field doc "dsl"))
+
+let classify_row store (row : row) =
+  match result_doc store row with
+  | None -> Printf.sprintf "  %-12s PENDING" row.job.Job.cca
+  | Some doc ->
+      Printf.sprintf "  %-12s gordon=%-20s ccanalyzer=%s" row.job.Job.cca
+        (fmt_opt Fun.id (str_field doc "gordon"))
+        (fmt_opt Fun.id (str_field doc "ccanalyzer"))
+
+let collect_row store (row : row) =
+  match result_doc store row with
+  | None -> Printf.sprintf "  %-12s PENDING" row.job.Job.cca
+  | Some doc ->
+      let traces =
+        match Jsonx.member_opt "traces" doc with
+        | Some (Jsonx.List l) -> l
+        | _ -> []
+      in
+      let records =
+        List.fold_left
+          (fun acc t ->
+            acc + int_of_float (Option.value ~default:0.0 (num_field t "records")))
+          0 traces
+      in
+      Printf.sprintf "  %-12s %d trace(s), %d record(s)" row.job.Job.cca
+        (List.length traces) records
+
+let probe_row store (row : row) =
+  match result_doc store row with
+  | None -> Printf.sprintf "  %-12s seed=%-6d PENDING" row.job.Job.cca row.job.Job.seed
+  | Some doc ->
+      Printf.sprintf "  %-12s seed=%-6d %s checksum=%s" row.job.Job.cca
+        row.job.Job.seed
+        (fmt_opt Fun.id (str_field doc "payload"))
+        (fmt_opt (fun n -> string_of_int (int_of_float n)) (num_field doc "checksum"))
+
+let quarantined_row (row : row) =
+  match row.entry with
+  | Some { Journal.status = Journal.Quarantined; attempts; error; _ } ->
+      Some
+        (Printf.sprintf "  %-40s attempts=%d  %s" (Job.describe row.job)
+           attempts
+           (Option.value ~default:"(no error recorded)" error))
+  | _ -> None
+
+let is_kind k (row : row) = String.equal (Job.kind_name row.job.Job.kind) k
+
+let is_ok (row : row) =
+  match row.entry with
+  | Some { Journal.status = Journal.Ok; _ } -> true
+  | _ -> false
+
+let is_quarantined (row : row) =
+  match row.entry with
+  | Some { Journal.status = Journal.Quarantined; _ } -> true
+  | _ -> false
+
+let render ~dir =
+  let rows = load ~dir in
+  let store = Store.open_ (dir / "store") in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "Batch report: %d job(s)\n\n" (List.length rows));
+  let section title kind render_row =
+    buf_section buf title
+      (List.filter (fun r -> is_kind kind r && not (is_quarantined r)) rows)
+      render_row
+  in
+  section "Synthesis" "synth" (synth_row store);
+  section "Noise robustness" "noise" (noise_row store);
+  section "Classification" "classify" (classify_row store);
+  section "Collection" "collect" (collect_row store);
+  section "Probes" "probe" (probe_row store);
+  buf_section buf "Quarantined" (List.filter_map quarantined_row rows) Fun.id;
+  let done_ = List.length (List.filter is_ok rows) in
+  let quarantined = List.length (List.filter is_quarantined rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "Totals: %d ok, %d quarantined, %d pending, %d blob(s)\n"
+       done_ quarantined
+       (List.length rows - done_ - quarantined)
+       (List.length (Store.list store)));
+  Buffer.contents buf
+
+let status ~dir =
+  let rows = load ~dir in
+  let store = Store.open_ (dir / "store") in
+  let buf = Buffer.create 512 in
+  let done_ = List.length (List.filter is_ok rows) in
+  let quarantined = List.length (List.filter is_quarantined rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "jobs: %d total, %d ok, %d quarantined, %d pending\n"
+       (List.length rows) done_ quarantined
+       (List.length rows - done_ - quarantined));
+  let kinds = [ "collect"; "synth"; "classify"; "noise"; "probe" ] in
+  List.iter
+    (fun kind ->
+      let of_kind = List.filter (is_kind kind) rows in
+      if of_kind <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %d/%d done\n" kind
+             (List.length (List.filter is_ok of_kind))
+             (List.length of_kind)))
+    kinds;
+  Buffer.add_string buf
+    (Printf.sprintf "store: %d blob(s)\n" (List.length (Store.list store)));
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Deterministic run reports.
+
+    Both entry points are pure functions of the run directory's
+    persisted state — the grid, the journal's settled outcomes, and the
+    store — never of this process's timing, so a killed-and-resumed run
+    reports byte-identically to an uninterrupted one. *)
+
+val status : dir:string -> string
+(** One-screen progress summary: jobs total / done / quarantined /
+    pending, per-kind breakdown, store blob count. *)
+
+val render : dir:string -> string
+(** The full Table-2-style report: one section per job kind
+    (synthesis, noise robustness, classification, collection, probes),
+    rows in canonical job order, then quarantined jobs with their
+    errors, then totals. Raises [Failure] if the run directory has no
+    grid. *)

@@ -1,0 +1,413 @@
+(* Crash-safe batch runner. See runner.mli for the contract. *)
+
+type settings = {
+  retries : int;
+  backoff_s : float;
+  timeout_s : float;
+  shard : (int * int) option;
+  max_jobs : int option;
+  num_domains : int option;
+  refinement : Abg_core.Refinement.config;
+  verbose : bool;
+}
+
+let default_settings =
+  {
+    retries = 2;
+    backoff_s = 0.05;
+    timeout_s = infinity;
+    shard = None;
+    max_jobs = None;
+    num_domains = None;
+    refinement = Abg_core.Refinement.default_config;
+    verbose = false;
+  }
+
+type status = Done | Quarantined of string
+
+type completion = {
+  job : Job.t;
+  digest : string;
+  status : status;
+  attempts : int;
+  result : string option;
+  wall_s : float;
+}
+
+type summary = {
+  completions : completion list;
+  skipped : int;
+  remaining : int;
+  counters : (string * int) list;
+}
+
+(* All batch counters are volatile: their totals depend on how a run was
+   interrupted and resumed, not only on workload and seed, so they must
+   stay out of the deterministic telemetry section the CI gate diffs. *)
+let obs_ok = Abg_obs.Obs.Counter.make ~volatile:true "batch.jobs.ok"
+
+let obs_quarantined =
+  Abg_obs.Obs.Counter.make ~volatile:true "batch.jobs.quarantined"
+
+let obs_attempts = Abg_obs.Obs.Counter.make ~volatile:true "batch.attempts"
+let obs_retries = Abg_obs.Obs.Counter.make ~volatile:true "batch.retries"
+
+let ( / ) = Filename.concat
+
+let grid_path dir = dir / "grid.json"
+let journal_path dir = dir / "journal.jsonl"
+let store_path dir = dir / "store"
+
+(* -- job bodies -- *)
+
+let constructor_of cca =
+  match Abg_cca.Registry.find cca with
+  | Some ctor -> ctor
+  | None -> failwith (Printf.sprintf "unknown CCA %s" cca)
+
+let result_header kind cca =
+  [
+    ("schema", Jsonx.Str "abagnale-result/1");
+    ("kind", Jsonx.Str kind);
+    ("cca", Jsonx.Str cca);
+  ]
+
+let perform_collect ~store (job : Job.t) =
+  let ctor = constructor_of job.Job.cca in
+  let traces =
+    Abg_trace.Trace.collect_configs ~name:job.Job.cca ctor job.Job.configs
+  in
+  let rows =
+    List.map2
+      (fun cfg trace ->
+        let blob = Store.put store (Abg_trace.Io.to_string trace) in
+        Jsonx.Obj
+          [
+            ("scenario", Jsonx.Str trace.Abg_trace.Trace.scenario);
+            ("config", Jsonx.Str (Abg_netsim.Config.digest cfg));
+            ("records", Jsonx.Num (float_of_int (Abg_trace.Trace.length trace)));
+            ("losses",
+             Jsonx.Num
+               (float_of_int
+                  (Array.length trace.Abg_trace.Trace.loss_times)));
+            ("blob", Jsonx.Str blob);
+          ])
+      job.Job.configs traces
+  in
+  Jsonx.Obj (result_header "collect" job.Job.cca @ [ ("traces", Jsonx.List rows) ])
+
+let dsl_of_name name =
+  match Abg_dsl.Catalog.find name with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "unknown DSL %s" name)
+
+let synthesis_fields (outcome : Abg_core.Synthesis.outcome option) =
+  match outcome with
+  | None -> [ ("found", Jsonx.Bool false) ]
+  | Some o ->
+      let r = o.Abg_core.Synthesis.refinement in
+      [
+        ("found", Jsonx.Bool true);
+        ("dsl", Jsonx.Str o.Abg_core.Synthesis.dsl_name);
+        ("handler", Jsonx.Str o.Abg_core.Synthesis.pretty);
+        ("distance", Jsonx.hex o.Abg_core.Synthesis.distance);
+        ("segments", Jsonx.Num (float_of_int o.Abg_core.Synthesis.segments_used));
+        ("sketches",
+         Jsonx.Num
+           (float_of_int r.Abg_core.Refinement.total_sketches_scored));
+        ("handlers",
+         Jsonx.Num
+           (float_of_int r.Abg_core.Refinement.total_handlers_scored));
+        ("prune_rate", Jsonx.hex r.Abg_core.Refinement.prune_rate);
+      ]
+
+let perform_synth ~settings (job : Job.t) ~dsl =
+  let ctor = constructor_of job.Job.cca in
+  let dsl = Option.map dsl_of_name dsl in
+  let config =
+    { settings.refinement with Abg_core.Refinement.seed = job.Job.seed }
+  in
+  let outcome =
+    Abg_core.Synthesis.run_configs ~config ?dsl ~configs:job.Job.configs
+      ~name:job.Job.cca ctor
+  in
+  Jsonx.Obj (result_header "synth" job.Job.cca @ synthesis_fields outcome)
+
+let perform_classify ~store (job : Job.t) =
+  let ctor = constructor_of job.Job.cca in
+  let traces =
+    Abg_trace.Trace.collect_configs ~name:job.Job.cca ctor job.Job.configs
+  in
+  let gordon = Abg_classifier.Gordon.classify traces in
+  let cc = Abg_classifier.Ccanalyzer.classify traces in
+  let features = Abg_classifier.Features.extract traces in
+  let vector = Abg_classifier.Features.to_vector features in
+  let features_blob =
+    Store.put store
+      (String.concat "\n"
+         (Array.to_list (Array.map (Printf.sprintf "%h") vector))
+      ^ "\n")
+  in
+  let closest =
+    List.filteri (fun i _ -> i < 5) cc.Abg_classifier.Ccanalyzer.closest
+    |> List.map (fun (name, d) ->
+           Jsonx.List [ Jsonx.Str name; Jsonx.hex d ])
+  in
+  Jsonx.Obj
+    (result_header "classify" job.Job.cca
+    @ [
+        ("gordon",
+         Jsonx.Str (Abg_classifier.Gordon.verdict_to_string gordon));
+        ("ccanalyzer",
+         Jsonx.Str
+           (Abg_classifier.Gordon.verdict_to_string
+              cc.Abg_classifier.Ccanalyzer.verdict));
+        ("closest", Jsonx.List closest);
+        ("features", Jsonx.Str features_blob);
+      ])
+
+let perform_noise ~settings (job : Job.t) ~stddev ~keep =
+  let ctor = constructor_of job.Job.cca in
+  let clean =
+    Abg_trace.Trace.collect_configs ~name:job.Job.cca ctor job.Job.configs
+  in
+  (* One RNG threaded through the whole suite, in trace order: the noisy
+     suite is a pure function of (clean suite, stddev, keep, seed). *)
+  let rng = Abg_util.Rng.create job.Job.seed in
+  let corrupt trace =
+    Abg_trace.Noise.subsample rng ~keep
+      (Abg_trace.Noise.observation_noise rng ~stddev trace)
+  in
+  let config =
+    { settings.refinement with Abg_core.Refinement.seed = job.Job.seed }
+  in
+  let outcome =
+    Abg_core.Synthesis.run ~config ~name:job.Job.cca (List.map corrupt clean)
+  in
+  let clean_fields =
+    match outcome with
+    | None -> []
+    | Some o ->
+        [
+          ("distance_clean",
+           Jsonx.hex
+             (Abg_core.Abagnale.handler_distance
+                ~handler:o.Abg_core.Synthesis.handler clean));
+        ]
+  in
+  Jsonx.Obj
+    (result_header "noise" job.Job.cca
+    @ [ ("stddev", Jsonx.hex stddev); ("keep", Jsonx.hex keep) ]
+    @ synthesis_fields outcome
+    @ clean_fields)
+
+let perform_probe ~attempt (job : Job.t) ~fail_attempts ~sleep_ms =
+  if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
+  if attempt <= fail_attempts then failwith "probe: injected failure";
+  (* A trivial deterministic payload so the blob exercises the store. *)
+  let checksum =
+    List.fold_left ( + ) (job.Job.seed * 31) (List.map Char.code
+      (List.init (String.length job.Job.cca) (String.get job.Job.cca)))
+  in
+  Jsonx.Obj
+    (result_header "probe" job.Job.cca
+    @ [ ("payload", Jsonx.Str "ok"); ("checksum", Jsonx.Num (float_of_int checksum)) ])
+
+let perform ~settings ~store ~attempt (job : Job.t) =
+  match job.Job.kind with
+  | Job.Collect -> perform_collect ~store job
+  | Job.Synthesize { dsl } -> perform_synth ~settings job ~dsl
+  | Job.Classify -> perform_classify ~store job
+  | Job.Noise { stddev; keep } -> perform_noise ~settings job ~stddev ~keep
+  | Job.Probe { fail_attempts; sleep_ms } ->
+      perform_probe ~attempt job ~fail_attempts ~sleep_ms
+
+(* -- retry loop -- *)
+
+let log settings fmt =
+  if settings.verbose then Printf.eprintf fmt else Printf.ifprintf stderr fmt
+
+(* Run one job to a terminal outcome: Ok (attempts, result blob) or a
+   quarantine. Every exception is contained here — a poisoned job must
+   not take down the dispatch loop. Timeout errors carry the limit, not
+   the measured elapsed time, so quarantine records stay deterministic. *)
+let run_one ~settings ~store ~journal (digest, (job : Job.t)) =
+  Abg_obs.Obs.span "batch/job" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let max_attempts = settings.retries + 1 in
+  let rec attempt_loop attempt =
+    if attempt > 1 then begin
+      Abg_obs.Obs.Counter.incr obs_retries;
+      let pause = settings.backoff_s *. (2.0 ** float_of_int (attempt - 2)) in
+      if pause > 0.0 then Unix.sleepf pause
+    end;
+    Abg_obs.Obs.Counter.incr obs_attempts;
+    let t_attempt = Unix.gettimeofday () in
+    let outcome =
+      match perform ~settings ~store ~attempt job with
+      | result ->
+          let elapsed = Unix.gettimeofday () -. t_attempt in
+          if elapsed > settings.timeout_s then
+            Error
+              (Printf.sprintf "exceeded %gs wall-clock limit"
+                 settings.timeout_s)
+          else Ok result
+      | exception e -> Error (Printexc.to_string e)
+    in
+    match outcome with
+    | Ok result -> (attempt, Ok (Store.put store (Jsonx.to_string result)))
+    | Error err ->
+        log settings "[batch] %s attempt %d/%d failed: %s\n%!"
+          (Job.describe job) attempt max_attempts err;
+        if attempt < max_attempts then attempt_loop (attempt + 1)
+        else (attempt, Error err)
+  in
+  let attempts, outcome = attempt_loop 1 in
+  let entry, status, result =
+    match outcome with
+    | Ok blob ->
+        Abg_obs.Obs.Counter.incr obs_ok;
+        ( {
+            Journal.job = digest;
+            status = Journal.Ok;
+            attempts;
+            result = Some blob;
+            error = None;
+          },
+          Done,
+          Some blob )
+    | Error err ->
+        Abg_obs.Obs.Counter.incr obs_quarantined;
+        ( {
+            Journal.job = digest;
+            status = Journal.Quarantined;
+            attempts;
+            result = None;
+            error = Some err;
+          },
+          Quarantined err,
+          None )
+  in
+  Journal.append journal entry;
+  log settings "[batch] %s: %s after %d attempt(s)\n%!" (Job.describe job)
+    (match status with Done -> "ok" | Quarantined _ -> "QUARANTINED")
+    attempts;
+  {
+    job;
+    digest;
+    status;
+    attempts;
+    result;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* -- run directories -- *)
+
+let mkdir_p path =
+  let rec go path =
+    if not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ when Sys.file_exists path -> ()
+    end
+  in
+  go path
+
+let init ~dir jobs =
+  mkdir_p dir;
+  let path = grid_path dir in
+  if Sys.file_exists path then
+    invalid_arg
+      (Printf.sprintf
+         "Runner.init: %s already contains a batch run; use resume" dir);
+  ignore (Store.open_ (store_path dir));
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.Str "abagnale-grid/1");
+        ("jobs", Jsonx.List (List.map Job.to_json jobs));
+      ]
+  in
+  (* Atomic, durable grid write: resume must never see a torn job list. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Jsonx.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Sys.rename tmp path
+
+let jobs_of_dir ~dir =
+  let path = grid_path dir in
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc = Jsonx.parse content in
+  Jsonx.list ~ctx:"grid.jobs" (Jsonx.member ~ctx:"grid" "jobs" doc)
+  |> List.map Job.of_json
+  |> List.sort Job.compare_canonical
+
+let shard_select ~i ~n xs =
+  if n <= 0 || i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Runner.shard_select: bad shard %d/%d" i n);
+  List.filteri (fun idx _ -> idx mod n = i) xs
+
+let rec take k = function
+  | [] -> ([], [])
+  | x :: rest when k > 0 ->
+      let kept, dropped = take (k - 1) rest in
+      (x :: kept, dropped)
+  | rest -> ([], rest)
+
+let execute ~dir ~settings =
+  let jobs = jobs_of_dir ~dir in
+  let settled =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.entry) -> Hashtbl.replace tbl e.Journal.job ())
+      (Journal.replay (journal_path dir));
+    tbl
+  in
+  let store = Store.open_ (store_path dir) in
+  let mine =
+    let keyed = List.map (fun j -> (Job.digest j, j)) jobs in
+    match settings.shard with
+    | None -> keyed
+    | Some (i, n) -> shard_select ~i ~n keyed
+  in
+  let pending =
+    List.filter (fun (d, _) -> not (Hashtbl.mem settled d)) mine
+  in
+  let skipped = List.length mine - List.length pending in
+  let pending, dropped =
+    match settings.max_jobs with
+    | None -> (pending, [])
+    | Some k -> take k pending
+  in
+  log settings "[batch] %d job(s) pending, %d already journaled\n%!"
+    (List.length pending) skipped;
+  let journal = Journal.open_ (journal_path dir) in
+  let before = Abg_obs.Obs.snapshot () in
+  let completions =
+    Fun.protect
+      ~finally:(fun () -> Journal.close journal)
+      (fun () ->
+        Abg_parallel.Pool.map_list ?num_domains:settings.num_domains
+          (run_one ~settings ~store ~journal)
+          pending)
+  in
+  let after = Abg_obs.Obs.snapshot () in
+  {
+    completions;
+    skipped;
+    remaining = List.length dropped;
+    counters = Abg_obs.Obs.delta_counters ~before ~after;
+  }
+
+let run ~dir ~settings jobs =
+  init ~dir jobs;
+  execute ~dir ~settings
+
+let resume ~dir ~settings () = execute ~dir ~settings

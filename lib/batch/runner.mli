@@ -1,0 +1,90 @@
+(** Crash-safe job runner: retries, quarantine, sharding, resume.
+
+    A batch run lives in a directory:
+    {v
+      DIR/grid.json      expanded job list (written once by run)
+      DIR/journal.jsonl  append-only completion journal (fsync'd)
+      DIR/store/         content-addressed artifact store
+    v}
+
+    {!run} writes the grid and executes it; {!resume} replays the
+    journal and executes only the jobs without a terminal record —
+    including the one a kill interrupted mid-flight, whose re-run is
+    harmless because every artifact is content-addressed. The
+    determinism contract: for a fixed grid and settings, a run that is
+    killed at any instant and resumed produces a journal outcome set,
+    report, and store byte-identical to an uninterrupted run.
+
+    Jobs dispatch onto the shared {!Abg_parallel.Pool} in canonical
+    (digest) order. A job that raises is retried with exponential
+    backoff up to [retries] extra attempts, then {e quarantined}: its
+    error is journaled and the rest of the grid proceeds — a poisoned
+    job never takes down the run. Per-job wall-clock limits are
+    enforced at attempt granularity (OCaml domains cannot be killed, so
+    a wedged attempt is detected when it returns; hard kills are the
+    supervising process's job — SIGKILL plus [resume] is the supported
+    path, and is exactly what the CI smoke job exercises).
+
+    [--shard i/n] partitions the canonical job order by index modulo
+    [n]: shards are disjoint, their union is the full grid, and each
+    shard journals into its own run directory, so fanning a grid over
+    processes or machines is [n] invocations with different [i]. *)
+
+type settings = {
+  retries : int;  (** extra attempts after the first (default 2) *)
+  backoff_s : float;  (** base backoff, doubled per retry (default 0.05) *)
+  timeout_s : float;  (** per-attempt wall-clock limit (default: none) *)
+  shard : (int * int) option;  (** [(i, n)], 0-based shard index *)
+  max_jobs : int option;  (** stop after this many completions (smoke) *)
+  num_domains : int option;  (** pool participation cap *)
+  refinement : Abg_core.Refinement.config;
+      (** refinement knobs for synthesis jobs; the per-job seed
+          overrides [refinement.seed] *)
+  verbose : bool;
+}
+
+val default_settings : settings
+
+type status = Done | Quarantined of string
+
+type completion = {
+  job : Job.t;
+  digest : string;
+  status : status;
+  attempts : int;
+  result : string option;  (** result-blob digest *)
+  wall_s : float;  (** volatile; not part of any persisted artifact *)
+}
+
+type summary = {
+  completions : completion list;  (** this invocation, canonical order *)
+  skipped : int;  (** jobs already journaled (resume) *)
+  remaining : int;  (** jobs left behind by [max_jobs] *)
+  counters : (string * int) list;
+      (** telemetry counter deltas over this invocation
+          ({!Abg_obs.Obs.delta_counters}) — the per-run roll-up of the
+          per-job instrumentation *)
+}
+
+val shard_select : i:int -> n:int -> 'a list -> 'a list
+(** Deterministic shard partition: elements at index [≡ i (mod n)].
+    Raises [Invalid_argument] unless [0 <= i < n]. *)
+
+val init : dir:string -> Job.t list -> unit
+(** Create a run directory and persist the grid. Raises
+    [Invalid_argument] if the directory already holds a run. *)
+
+val jobs_of_dir : dir:string -> Job.t list
+(** The persisted grid, in canonical order. *)
+
+val run : dir:string -> settings:settings -> Job.t list -> summary
+(** {!init} then execute. *)
+
+val resume : dir:string -> settings:settings -> unit -> summary
+(** Execute every job the journal does not already settle. Idempotent:
+    resuming a finished run does nothing. *)
+
+val perform :
+  settings:settings -> store:Store.t -> attempt:int -> Job.t -> Jsonx.t
+(** Execute one job body (no retries/journaling) and return its result
+    document — exposed for tests and the report's schema. *)

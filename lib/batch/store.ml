@@ -1,0 +1,129 @@
+(* Content-addressed artifact store. See store.mli for the contract. *)
+
+type t = { root : string; mutable counter : int; m : Mutex.t }
+
+exception Corrupt of string
+
+let schema = "abagnale-store/1"
+let manifest_content = "{\"schema\":\"" ^ schema ^ "\"}\n"
+
+let ( / ) = Filename.concat
+
+let mkdir_p path =
+  let rec go path =
+    if not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ when Sys.file_exists path -> ()
+    end
+  in
+  go path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Durable write: all bytes down, fsync'd, before the caller renames the
+   file into its content-addressed slot. *)
+let write_file_sync path content =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length content in
+      let written = Unix.write_substring fd content 0 n in
+      if written <> n then failwith "Store: short write";
+      Unix.fsync fd)
+
+(* Make a rename durable: fsync the containing directory so the new
+   directory entry itself survives a crash. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let blobs_dir t = t.root / "blobs"
+let tmp_dir t = t.root / "tmp"
+let manifest_path root = root / "manifest.json"
+
+let open_ root =
+  mkdir_p root;
+  let t = { root; counter = 0; m = Mutex.create () } in
+  mkdir_p (blobs_dir t);
+  mkdir_p (tmp_dir t);
+  (* Sweep crash leftovers: a kill mid-put leaves a tmp file that would
+     otherwise make this store's bytes differ from a clean run's. *)
+  Array.iter
+    (fun name -> try Sys.remove (tmp_dir t / name) with Sys_error _ -> ())
+    (Sys.readdir (tmp_dir t));
+  let manifest = manifest_path root in
+  if Sys.file_exists manifest then begin
+    let found = read_file manifest in
+    if found <> manifest_content then
+      raise
+        (Corrupt
+           (Printf.sprintf "store manifest mismatch at %s: %S" manifest
+              (String.trim found)))
+  end
+  else begin
+    let tmp = tmp_dir t / "manifest" in
+    write_file_sync tmp manifest_content;
+    Sys.rename tmp manifest;
+    fsync_dir root
+  end;
+  t
+
+let dir t = t.root
+
+let digest_hex content = Digest.to_hex (Digest.string content)
+
+let blob_path t digest = blobs_dir t / String.sub digest 0 2 / digest
+
+let put t content =
+  let digest = digest_hex content in
+  let path = blob_path t digest in
+  if not (Sys.file_exists path) then begin
+    Mutex.lock t.m;
+    t.counter <- t.counter + 1;
+    let seq = t.counter in
+    Mutex.unlock t.m;
+    let tmp =
+      tmp_dir t / Printf.sprintf "blob.%d.%d" (Unix.getpid ()) seq
+    in
+    write_file_sync tmp content;
+    mkdir_p (Filename.dirname path);
+    (* Concurrent puts of the same content race benignly: both rename
+       identical bytes onto the same path, and rename is atomic. *)
+    Sys.rename tmp path;
+    fsync_dir (Filename.dirname path)
+  end;
+  digest
+
+let get t digest =
+  let path = blob_path t digest in
+  if not (Sys.file_exists path) then raise Not_found;
+  let content = read_file path in
+  let found = digest_hex content in
+  if found <> digest then
+    raise
+      (Corrupt
+         (Printf.sprintf "blob %s corrupt: content hashes to %s" digest found));
+  content
+
+let mem t digest = Sys.file_exists (blob_path t digest)
+
+let list t =
+  let subs = try Sys.readdir (blobs_dir t) with Sys_error _ -> [||] in
+  Array.to_list subs
+  |> List.concat_map (fun sub ->
+         match Sys.readdir (blobs_dir t / sub) with
+         | exception Sys_error _ -> []
+         | names -> Array.to_list names)
+  |> List.sort String.compare

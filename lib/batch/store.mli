@@ -1,0 +1,45 @@
+(** Content-addressed, crash-safe artifact store.
+
+    Blobs — serialized traces, feature vectors, per-job result JSON —
+    are keyed by the MD5 hex digest of their content and live under
+    [DIR/blobs/<d0d1>/<digest>]. Writes are atomic: content goes to a
+    unique file under [DIR/tmp/], is fsync'd, then renamed into place —
+    a crash at any instant leaves either no blob or a complete one,
+    never a torn one, and {!open_} sweeps [tmp/] so an interrupted run's
+    leftovers cannot make two stores differ. Re-putting existing content
+    is a no-op (same digest, same path), which is what makes a resumed
+    run's store byte-identical to an uninterrupted one.
+
+    A versioned manifest ([DIR/manifest.json]) is written on first open
+    and checked afterwards; {!get} re-hashes content and raises
+    {!Corrupt} on mismatch, so disk rot is detected at read time. *)
+
+type t
+
+exception Corrupt of string
+(** Manifest mismatch on open, or content whose hash does not match its
+    digest key on read. *)
+
+val open_ : string -> t
+(** Create (or re-open) a store rooted at the given directory. Clears
+    crash leftovers in [tmp/]; raises {!Corrupt} if an existing
+    manifest carries a different schema. *)
+
+val dir : t -> string
+
+val digest_hex : string -> string
+(** The content digest {!put} would assign (MD5 hex). *)
+
+val put : t -> string -> string
+(** [put t content] stores a blob, returning its digest. Atomic;
+    idempotent for existing content. Safe from concurrent domains. *)
+
+val get : t -> string -> string
+(** [get t digest] reads a blob back, verifying its content hash.
+    Raises [Not_found] if absent, {!Corrupt} on a hash mismatch. *)
+
+val mem : t -> string -> bool
+
+val list : t -> string list
+(** All blob digests, sorted — the store's canonical content listing
+    (what the kill-and-resume CI job compares across runs). *)

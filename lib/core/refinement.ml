@@ -73,34 +73,38 @@ type result = {
   total_sketches_scored : int;
   buckets_initial : int;
   pruned : (string * int) list;
-      (** sketches rejected before simulation, per reason — derived from
-          the telemetry layer as the delta of the process-wide
-          [Abg_enum.Encode.global_prune_stats] counters over this run
-          (covering every bucket enumerator, dropped buckets included).
-          All zeros when telemetry is disabled
-          ({!Abg_obs.Obs.set_enabled}). *)
+      (** sketches rejected before simulation, per reason — summed over
+          this run's own bucket enumerators (dropped buckets included).
+          Per-instance accounting, so the field is exact even when
+          several refinement runs execute concurrently (batch jobs) or
+          telemetry is disabled. *)
   prune_rate : float;
-      (** fraction of decoded sketches pruned before simulation; 0 when
-          telemetry is disabled *)
+      (** fraction of decoded sketches pruned before simulation *)
 }
 
 (* Telemetry: one span per pipeline phase, plus loop volume counters.
-   [result.pruned] is the run delta of the enum prune counters — one
-   source of truth shared with the [--telemetry] report, instead of a
-   hand-maintained aggregation over enumerators. *)
+   [result.pruned] sums each enumerator's own per-reason counters — NOT a
+   delta of the process-wide telemetry counters, which would interleave
+   arbitrarily when concurrent batch jobs refine at the same time. *)
 let obs_iterations = Abg_obs.Obs.Counter.make "refine.iterations"
 let obs_buckets_scored = Abg_obs.Obs.Counter.make "refine.buckets_scored"
 let obs_candidates = Abg_obs.Obs.Counter.make "refine.candidates"
 
-(* Delta of the global prune statistics against a baseline taken at the
-   start of the run. *)
-let prune_stats_since baseline =
-  List.map2
-    (fun (name, now) (name', before) ->
-      assert (String.equal name name');
-      (name, now - before))
-    (Abg_enum.Encode.global_prune_stats ())
-    baseline
+(* Per-reason prune counters summed over a run's enumerators. *)
+let sum_prune_stats = function
+  | [] -> []
+  | first :: _ as buckets ->
+      List.fold_left
+        (fun acc bucket ->
+          List.map2
+            (fun (name, total) (name', n) ->
+              assert (String.equal name name');
+              (name, total + n))
+            acc
+            (Abg_enum.Encode.prune_stats bucket.enc))
+        (List.map (fun (name, _) -> (name, 0))
+           (Abg_enum.Encode.prune_stats first.enc))
+        buckets
 
 (* Long segments are thinned (stride with ACK aggregation), not truncated:
    a truncated prefix covers only a couple of RTTs of window evolution, on
@@ -129,8 +133,6 @@ let top_up bucket ~want =
     the loop consumes a growing prefix each iteration. *)
 let run ?(config = default_config) ~(dsl : Catalog.t) segments =
   Abg_obs.Obs.span "refine" @@ fun () ->
-  let prune_baseline = Abg_enum.Encode.global_prune_stats () in
-  let returned_baseline = Abg_enum.Encode.global_returned () in
   let segments =
     List.map (truncate_segment config.max_segment_records) segments
   in
@@ -149,10 +151,10 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
              best = None;
            })
   in
-  (* The working array below shrinks to the kept subset each iteration;
-     end-of-run prune statistics still cover every enumerator (dropped
-     buckets included) because they are a delta of the process-wide
-     telemetry counters, not a walk over surviving buckets. *)
+  (* [all_buckets] retains every enumerator ever created — the working
+     array below shrinks to the kept subset each iteration, but
+     end-of-run prune statistics must cover dropped buckets too. *)
+  let all_buckets = buckets in
   let buckets = ref (Array.of_list buckets) in
   let buckets_initial = Array.length !buckets in
   let iteration = ref 1 in
@@ -362,10 +364,14 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         | Some b -> if s.Score.distance < b.Score.distance then Some s else acc)
       None rescored
   in
-  let pruned = prune_stats_since prune_baseline in
+  let pruned = sum_prune_stats all_buckets in
   let prune_rate =
     let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 pruned in
-    let returned = Abg_enum.Encode.global_returned () - returned_baseline in
+    let returned =
+      List.fold_left
+        (fun acc b -> acc + fst (Abg_enum.Encode.stats b.enc))
+        0 all_buckets
+    in
     let total = skipped + returned in
     if total = 0 then 0.0 else float_of_int skipped /. float_of_int total
   in

@@ -52,11 +52,18 @@ let segments_of_traces rng ~metric ~budget traces =
         (Abg_trace.Segmentation.length a))
     selected
 
-(** [run ?config ?dsl ~name traces] — synthesize a cwnd-ack handler from
-    traces of CCA [name]. When [dsl] is omitted, the Gordon classifier
-    picks the sub-DSL (§3.3). Returns [None] only if no segment yields a
-    finite-distance candidate. *)
-let run ?(config = Refinement.default_config) ?dsl ~name traces =
+(** [run ?config ?dsl ?segment_budget ~name traces] — synthesize a
+    cwnd-ack handler from traces of CCA [name]. When [dsl] is omitted,
+    the Gordon classifier picks the sub-DSL (§3.3). [segment_budget]
+    bounds the diversity-selected segment subset (default 8, the
+    paper's). Returns [None] only if no segment yields a finite-distance
+    candidate.
+
+    Re-entrant: all state (RNGs, enumerators, prune accounting) is local
+    to the call, so concurrent runs — e.g. several batch jobs sharing
+    the domain pool — do not perturb each other's results. *)
+let run ?(config = Refinement.default_config) ?dsl ?(segment_budget = 8)
+    ~name traces =
   Abg_obs.Obs.span "synth" @@ fun () ->
   let dsl =
     match dsl with
@@ -69,8 +76,8 @@ let run ?(config = Refinement.default_config) ?dsl ~name traces =
   let rng = Rng.create config.Refinement.seed in
   let segments =
     Abg_obs.Obs.span "segments" (fun () ->
-        segments_of_traces rng ~metric:config.Refinement.metric ~budget:8
-          traces)
+        segments_of_traces rng ~metric:config.Refinement.metric
+          ~budget:segment_budget traces)
   in
   match Refinement.run ~config ~dsl segments with
   | None -> None
@@ -86,12 +93,23 @@ let run ?(config = Refinement.default_config) ?dsl ~name traces =
           segments_used = List.length segments;
         }
 
+(** [run_configs ?config ?dsl ?noise ~configs ~name constructor] — the
+    batch orchestrator's entry point: collect one trace per explicit
+    scenario config (through the process-wide trace store, so identical
+    configs across jobs share a simulation), optionally corrupt the
+    traces with a seeded noise transform, and synthesize. The result is a
+    pure function of (constructor, configs, noise, config.seed). *)
+let run_configs ?(config = Refinement.default_config) ?dsl ?noise ~configs
+    ~name constructor =
+  let traces = Abg_trace.Trace.collect_configs ~name constructor configs in
+  let traces = match noise with None -> traces | Some f -> f traces in
+  run ~config ?dsl ~name traces
+
 (** [collect_and_run ?config ?dsl ?scenarios ~name constructor] —
     convenience wrapper: generate the trace suite on the §3.2 testbed grid
     and synthesize from it. *)
 let collect_and_run ?config ?dsl ?(scenarios = 4) ?(duration = 20.0) ~name
     constructor =
-  let traces =
-    Abg_trace.Trace.collect_suite ~duration ~n:scenarios ~name constructor
-  in
-  run ?config ?dsl ~name traces
+  run_configs ?config ?dsl ~name
+    ~configs:(Abg_netsim.Config.testbed_grid ~duration ~n:scenarios ())
+    constructor

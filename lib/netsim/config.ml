@@ -104,6 +104,29 @@ let digest cfg =
     cfg.queue_capacity cfg.mss cfg.duration cfg.seed cfg.loss_rate
     cfg.ack_jitter
 
+(** [of_digest s] parses a {!digest} rendering back into a config — the
+    inverse the batch orchestrator uses to deserialize job grids. The hex
+    float notation makes the round trip lossless:
+    [of_digest (digest cfg) = Some cfg] for every [cfg]. *)
+let of_digest s =
+  match String.split_on_char '|' s with
+  | [ bandwidth_bps; rtt_prop; queue_capacity; mss; duration; seed; loss_rate;
+      ack_jitter ] -> (
+      try
+        Some
+          {
+            bandwidth_bps = float_of_string bandwidth_bps;
+            rtt_prop = float_of_string rtt_prop;
+            queue_capacity = int_of_string queue_capacity;
+            mss = float_of_string mss;
+            duration = float_of_string duration;
+            seed = int_of_string seed;
+            loss_rate = float_of_string loss_rate;
+            ack_jitter = float_of_string ack_jitter;
+          }
+      with Failure _ -> None)
+  | _ -> None
+
 let describe cfg =
   Printf.sprintf "%.0fMbit/%.0fms/q%d" (cfg.bandwidth_bps /. 1e6)
     (cfg.rtt_prop *. 1000.0) cfg.queue_capacity

@@ -396,6 +396,23 @@ let snapshot () =
         (Floatcell.all ());
   }
 
+(** [delta_counters ~before ~after] — per-counter increments between two
+    snapshots (deterministic section only), dropping zero deltas.
+    Counters registered after [before] was taken count from zero. This
+    is the per-job telemetry scoping the batch runner uses: snapshot
+    around a job and the delta is that job's footprint — exact under
+    serial dispatch; under concurrent dispatch overlapping jobs'
+    work lands in whichever enclosing delta observes it. *)
+let delta_counters ~before ~after =
+  let base = before.counters in
+  List.filter_map
+    (fun (name, v) ->
+      let prior =
+        match List.assoc_opt name base with Some p -> p | None -> 0
+      in
+      if v = prior then None else Some (name, v - prior))
+    after.counters
+
 (** Zero every registered instrument (tests). Gauges reset to 0. *)
 let reset () =
   List.iter Counter.reset (Counter.all ());

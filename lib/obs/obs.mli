@@ -112,5 +112,12 @@ val snapshot : unit -> snapshot
 (** Merge every registered instrument, each section sorted by name.
     Intended for quiescent points (end of a run, between phases). *)
 
+val delta_counters :
+  before:snapshot -> after:snapshot -> (string * int) list
+(** Per-counter increments between two snapshots (deterministic section
+    only; zero deltas dropped, unseen counters count from zero). The
+    batch runner's per-job telemetry scoping: exact when jobs run
+    serially, attributed to the observing scope under concurrency. *)
+
 val reset : unit -> unit
 (** Zero every registered instrument (tests). *)

@@ -3,7 +3,14 @@
     The format is intentionally trivial so traces can be produced or
     consumed by external tools (tcpdump post-processors, plotting
     scripts). One record per line, columns in the order of
-    {!Record.t}. *)
+    {!Record.t}. Floats are written with ["%.17g"], enough digits that
+    save/load round-trips every finite value exactly (and [nan]/[inf]
+    literally) — the batch artifact store serializes traces through this
+    path and its determinism contract needs byte-stable content.
+
+    The reader is liberal in what it accepts: CRLF line endings and
+    blank (or whitespace-only) lines anywhere in the file are tolerated;
+    malformed data lines are rejected with their 1-based line number. *)
 
 let header = "# abagnale-trace v1"
 
@@ -12,18 +19,30 @@ let columns =
     "ack_rate"; "rtt_gradient"; "delay_gradient"; "time_since_loss"; "wmax";
     "mss" ]
 
+let float_to_string = Printf.sprintf "%.17g"
+
 let record_to_line (r : Record.t) =
   String.concat "\t"
-    (List.map
-       (Printf.sprintf "%.9g")
+    (List.map float_to_string
        [ r.Record.time; r.cwnd; r.in_flight; r.acked_bytes; r.rtt; r.min_rtt;
          r.max_rtt; r.ack_rate; r.rtt_gradient; r.delay_gradient;
          r.time_since_loss; r.wmax; r.mss ])
 
-let record_of_line line =
+(* [?lineno] is the 1-based source line for error reporting ({!load}
+   threads it); without it the message carries only the offending line. *)
+let record_of_line ?lineno line =
+  let where =
+    match lineno with
+    | Some n -> Printf.sprintf "line %d: " n
+    | None -> ""
+  in
+  let malformed () =
+    invalid_arg
+      (Printf.sprintf "Io.record_of_line: %smalformed line: %s" where line)
+  in
   let fields =
     try String.split_on_char '\t' line |> List.map float_of_string
-    with Failure _ -> invalid_arg ("Io.record_of_line: malformed line: " ^ line)
+    with Failure _ -> malformed ()
   in
   match fields with
   | [ time; cwnd; in_flight; acked_bytes; rtt; min_rtt; max_rtt; ack_rate;
@@ -32,7 +51,7 @@ let record_of_line line =
         Record.time; cwnd; in_flight; acked_bytes; rtt; min_rtt; max_rtt;
         ack_rate; rtt_gradient; delay_gradient; time_since_loss; wmax; mss;
       }
-  | _ -> invalid_arg ("Io.record_of_line: malformed line: " ^ line)
+  | _ -> malformed ()
 
 let write_channel oc (trace : Trace.t) =
   output_string oc (header ^ "\n");
@@ -40,11 +59,31 @@ let write_channel oc (trace : Trace.t) =
   Printf.fprintf oc "# scenario: %s\n" trace.Trace.scenario;
   Printf.fprintf oc "# losses: %s\n"
     (String.concat ","
-       (Array.to_list (Array.map (Printf.sprintf "%.9g") trace.Trace.loss_times)));
+       (Array.to_list (Array.map float_to_string trace.Trace.loss_times)));
   Printf.fprintf oc "# columns: %s\n" (String.concat "\t" columns);
   Array.iter
     (fun r -> output_string oc (record_to_line r ^ "\n"))
     trace.Trace.records
+
+(** [to_string trace] is the serialized file content as one string (what
+    {!save} writes) — the batch store's blob payload for traces. *)
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  let record r =
+    Buffer.add_string buf (record_to_line r);
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "# cca: %s\n" trace.Trace.cca_name);
+  Buffer.add_string buf (Printf.sprintf "# scenario: %s\n" trace.Trace.scenario);
+  Buffer.add_string buf
+    (Printf.sprintf "# losses: %s\n"
+       (String.concat ","
+          (Array.to_list (Array.map float_to_string trace.Trace.loss_times))));
+  Buffer.add_string buf
+    (Printf.sprintf "# columns: %s\n" (String.concat "\t" columns));
+  Array.iter record trace.Trace.records;
+  Buffer.contents buf
 
 let save path trace =
   let oc = open_out path in
@@ -53,7 +92,7 @@ let save path trace =
 let parse_meta lines key =
   let prefix = "# " ^ key ^ ": " in
   List.find_map
-    (fun line ->
+    (fun (_, line) ->
       if String.length line >= String.length prefix
          && String.sub line 0 (String.length prefix) = prefix
       then Some (String.sub line (String.length prefix)
@@ -61,15 +100,18 @@ let parse_meta lines key =
       else None)
     lines
 
-let read_channel ic =
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> ());
-  let lines = List.rev !lines in
-  let meta, data = List.partition (fun l -> String.length l > 0 && l.[0] = '#') lines in
+(* Strip one trailing CR: files written on (or piped through) Windows
+   tooling arrive with CRLF endings, and the payload is identical. *)
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse_lines lines =
+  let meta, data =
+    List.partition
+      (fun (_, l) -> String.length l > 0 && l.[0] = '#')
+      lines
+  in
   let cca_name = Option.value ~default:"unknown" (parse_meta meta "cca") in
   let scenario = Option.value ~default:"unknown" (parse_meta meta "scenario") in
   let loss_times =
@@ -80,8 +122,8 @@ let read_channel ic =
   in
   let records =
     data
-    |> List.filter (fun l -> String.trim l <> "")
-    |> List.map record_of_line
+    |> List.filter (fun (_, l) -> String.trim l <> "")
+    |> List.map (fun (lineno, l) -> record_of_line ~lineno l)
     |> Array.of_list
   in
   {
@@ -91,6 +133,25 @@ let read_channel ic =
     records;
     loss_times;
   }
+
+let read_channel ic =
+  let lines = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       lines := (!lineno, strip_cr line) :: !lines
+     done
+   with End_of_file -> ());
+  parse_lines (List.rev !lines)
+
+(** [of_string s] parses serialized trace content ({!to_string}'s
+    inverse). Line numbers in errors are 1-based positions in [s]. *)
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, strip_cr l))
+  |> parse_lines
 
 let load path =
   let ic = open_in path in

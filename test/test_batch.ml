@@ -1,0 +1,535 @@
+(* Tests for the batch orchestrator: job serialization, the
+   content-addressed store, the journal, and the crash-safe runner's
+   determinism contract (killed-and-resumed = uninterrupted). *)
+
+module Job = Abg_batch.Job
+module Store = Abg_batch.Store
+module Journal = Abg_batch.Journal
+module Runner = Abg_batch.Runner
+module Report = Abg_batch.Report
+
+(* -- scratch directories -- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abagnale-batch-test.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* -- Job -- *)
+
+let all_kinds =
+  [
+    Job.Collect;
+    Job.Synthesize { dsl = None };
+    Job.Synthesize { dsl = Some "reno" };
+    Job.Classify;
+    Job.Noise { stddev = 0.05; keep = 0.9 };
+    Job.Probe { fail_attempts = 1; sleep_ms = 0 };
+  ]
+
+let test_job_json_roundtrip () =
+  let configs = Abg_netsim.Config.testbed_grid ~duration:2.0 ~n:2 () in
+  List.iter
+    (fun kind ->
+      let job = { Job.kind; cca = "reno"; seed = 7; configs } in
+      let job' = Job.of_json (Job.to_json job) in
+      Alcotest.(check string)
+        (Job.kind_name kind ^ " digest survives json round-trip")
+        (Job.digest job) (Job.digest job');
+      Alcotest.(check bool) "configs lossless" true (job.configs = job'.configs))
+    all_kinds
+
+let test_job_digest_distinguishes () =
+  let configs = Abg_netsim.Config.testbed_grid ~duration:2.0 ~n:1 () in
+  let base = { Job.kind = Job.Collect; cca = "reno"; seed = 7; configs } in
+  let digests =
+    List.map Job.digest
+      [
+        base;
+        { base with Job.cca = "cubic" };
+        { base with Job.seed = 8 };
+        { base with Job.kind = Job.Classify };
+        { base with Job.configs = [] };
+      ]
+  in
+  Alcotest.(check int) "all distinct" 5
+    (List.length (List.sort_uniq String.compare digests))
+
+let test_job_expand_counts () =
+  let grid =
+    {
+      Job.kinds =
+        [ Job.Collect; Job.Synthesize { dsl = None };
+          Job.Noise { stddev = 0.1; keep = 0.8 } ];
+      ccas = [ "reno"; "cubic" ];
+      scenarios = 2;
+      duration = 2.0;
+      ack_jitter = 0.001;
+      seeds = [ 1; 2; 3 ];
+    }
+  in
+  let jobs = Job.expand grid in
+  let count kind_name =
+    List.length
+      (List.filter (fun j -> Job.kind_name j.Job.kind = kind_name) jobs)
+  in
+  (* Collect is seed-insensitive: one job per CCA, not per seed. *)
+  Alcotest.(check int) "collect jobs" 2 (count "collect");
+  Alcotest.(check int) "synth jobs" 6 (count "synth");
+  Alcotest.(check int) "noise jobs" 6 (count "noise");
+  Alcotest.(check int) "total" 14 (List.length jobs);
+  List.iter
+    (fun j ->
+      Alcotest.(check int) "scenario count"
+        (List.length (Abg_netsim.Config.testbed_grid ~duration:2.0 ~n:2 ()))
+        (List.length j.Job.configs))
+    jobs
+
+let test_job_expand_probe_configless () =
+  let jobs =
+    Job.expand
+      {
+        Job.kinds = [ Job.Probe { fail_attempts = 0; sleep_ms = 0 } ];
+        ccas = [ "reno" ];
+        scenarios = 3;
+        duration = 2.0;
+        ack_jitter = 0.0;
+        seeds = [ 1 ];
+      }
+  in
+  Alcotest.(check int) "one job" 1 (List.length jobs);
+  Alcotest.(check int) "no configs" 0 (List.length (List.hd jobs).Job.configs)
+
+let test_job_expand_rejects_empty () =
+  let grid =
+    {
+      Job.kinds = [ Job.Collect ]; ccas = [ "reno" ]; scenarios = 1;
+      duration = 2.0; ack_jitter = 0.0; seeds = [ 1 ];
+    }
+  in
+  List.iter
+    (fun broken ->
+      match Job.expand broken with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      { grid with Job.kinds = [] };
+      { grid with Job.ccas = [] };
+      { grid with Job.seeds = [] };
+    ]
+
+let test_job_kind_tokens () =
+  let ok token expected =
+    match Job.kind_of_token token with
+    | Ok kind -> Alcotest.(check bool) token true (kind = expected)
+    | Error msg -> Alcotest.fail msg
+  in
+  ok "collect" Job.Collect;
+  ok "synth" (Job.Synthesize { dsl = None });
+  ok "synth:cubic" (Job.Synthesize { dsl = Some "cubic" });
+  ok "classify" Job.Classify;
+  ok "noise:0.1:0.9" (Job.Noise { stddev = 0.1; keep = 0.9 });
+  ok "probe:2:10" (Job.Probe { fail_attempts = 2; sleep_ms = 10 });
+  List.iter
+    (fun bad ->
+      match Job.kind_of_token bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted " ^ bad))
+    [ "nonsense"; "noise:x:y"; "probe:1"; "noise:0.1" ]
+
+(* -- Store -- *)
+
+let test_store_put_get () =
+  let store = Store.open_ (Filename.concat (fresh_dir ()) "store") in
+  let d1 = Store.put store "hello" in
+  let d2 = Store.put store "hello" in
+  Alcotest.(check string) "idempotent" d1 d2;
+  Alcotest.(check string) "digest is content hash"
+    (Store.digest_hex "hello") d1;
+  Alcotest.(check string) "round-trip" "hello" (Store.get store d1);
+  Alcotest.(check bool) "mem" true (Store.mem store d1);
+  Alcotest.(check bool) "not mem" false
+    (Store.mem store (Store.digest_hex "other"));
+  let d3 = Store.put store "world" in
+  Alcotest.(check (list string)) "list sorted"
+    (List.sort String.compare [ d1; d3 ])
+    (Store.list store)
+
+let test_store_get_missing () =
+  let store = Store.open_ (Filename.concat (fresh_dir ()) "store") in
+  match Store.get store (Store.digest_hex "absent") with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_store_detects_corruption () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  let store = Store.open_ root in
+  let d = Store.put store "payload" in
+  let path =
+    Filename.concat (Filename.concat (Filename.concat root "blobs")
+                       (String.sub d 0 2)) d
+  in
+  write_file path "tampered";
+  match Store.get store d with
+  | exception Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_store_detects_manifest_mismatch () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  ignore (Store.open_ root);
+  write_file (Filename.concat root "manifest.json")
+    "{\"schema\":\"something-else/9\"}\n";
+  match Store.open_ root with
+  | exception Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_store_sweeps_tmp () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  ignore (Store.open_ root);
+  let stray = Filename.concat (Filename.concat root "tmp") "blob.1.1" in
+  write_file stray "half-written";
+  ignore (Store.open_ root);
+  Alcotest.(check bool) "stray tmp swept" false (Sys.file_exists stray)
+
+(* -- Journal -- *)
+
+let sample_entries =
+  [
+    {
+      Journal.job = "aaaa"; status = Journal.Ok; attempts = 1;
+      result = Some "bbbb"; error = None;
+    };
+    {
+      Journal.job = "cccc"; status = Journal.Quarantined; attempts = 3;
+      result = None; error = Some "Failure(\"boom\")";
+    };
+  ]
+
+let test_journal_line_roundtrip () =
+  List.iter
+    (fun e ->
+      let e' = Journal.entry_of_line (Journal.entry_to_line e) in
+      Alcotest.(check string) "line stable" (Journal.entry_to_line e)
+        (Journal.entry_to_line e'))
+    sample_entries
+
+let test_journal_append_replay () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let j = Journal.open_ path in
+  List.iter (Journal.append j) sample_entries;
+  Journal.close j;
+  let replayed = Journal.replay path in
+  Alcotest.(check (list string)) "entries survive"
+    (List.map Journal.entry_to_line sample_entries)
+    (List.map Journal.entry_to_line replayed)
+
+let test_journal_missing_is_empty () =
+  Alcotest.(check int) "no file, no entries" 0
+    (List.length (Journal.replay (Filename.concat (fresh_dir ()) "nope")))
+
+let test_journal_drops_torn_tail () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let j = Journal.open_ path in
+  List.iter (Journal.append j) sample_entries;
+  Journal.close j;
+  (* Simulate a crash mid-append: a final line with no newline. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"job\":\"dddd\",\"status\":\"ok\"";
+  close_out oc;
+  let replayed = Journal.replay path in
+  Alcotest.(check int) "torn tail dropped" (List.length sample_entries)
+    (List.length replayed)
+
+let test_journal_interior_corruption_raises () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  write_file path "garbage, not json\n{\"also\":\"bad\"}\n";
+  match Journal.replay path with
+  | exception Abg_batch.Jsonx.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed"
+
+(* -- Runner -- *)
+
+let quiet_settings =
+  {
+    Runner.default_settings with
+    Runner.backoff_s = 0.0;
+    num_domains = Some 2;
+  }
+
+let probe_job ?(fail_attempts = 0) ?(sleep_ms = 0) ~seed cca =
+  { Job.kind = Job.Probe { fail_attempts; sleep_ms }; cca; seed; configs = [] }
+
+let collect_job cca =
+  {
+    Job.kind = Job.Collect;
+    cca;
+    seed = 42;
+    configs = Abg_netsim.Config.testbed_grid ~duration:2.0 ~n:1 ();
+  }
+
+let smoke_jobs =
+  [
+    collect_job "reno";
+    probe_job ~seed:1 "reno";
+    probe_job ~fail_attempts:1 ~seed:2 "reno";
+    probe_job ~seed:3 "cubic";
+  ]
+
+let settled_lines dir =
+  Journal.replay (Filename.concat dir "journal.jsonl")
+  |> List.map Journal.entry_to_line
+  |> List.sort String.compare
+
+let store_blobs dir =
+  let store = Store.open_ (Filename.concat dir "store") in
+  List.map (fun d -> (d, Store.get store d)) (Store.list store)
+
+let test_runner_kill_and_resume_deterministic () =
+  (* Uninterrupted reference run. *)
+  let uninterrupted = fresh_dir () in
+  let summary = Runner.run ~dir:uninterrupted ~settings:quiet_settings smoke_jobs in
+  Alcotest.(check int) "all completed" (List.length smoke_jobs)
+    (List.length summary.Runner.completions);
+  (* "Killed" run: stop after 2 jobs, then fake the crash artifacts a
+     SIGKILL can leave — a torn journal line and a half-written tmp blob. *)
+  let killed = fresh_dir () in
+  let partial =
+    Runner.run ~dir:killed
+      ~settings:{ quiet_settings with Runner.max_jobs = Some 2 }
+      smoke_jobs
+  in
+  Alcotest.(check int) "partial stopped early" 2
+    (List.length partial.Runner.completions);
+  Alcotest.(check int) "partial remaining" 2 partial.Runner.remaining;
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644
+      (Filename.concat killed "journal.jsonl")
+  in
+  output_string oc "{\"job\":\"0123456789abcdef0123456789abcdef\",\"st";
+  close_out oc;
+  write_file
+    (Filename.concat (Filename.concat (Filename.concat killed "store") "tmp")
+       "blob.31337.1")
+    "half-written blob";
+  (* Resume and compare every persisted artifact byte-for-byte. *)
+  let resumed = Runner.resume ~dir:killed ~settings:quiet_settings () in
+  Alcotest.(check int) "resume finishes the rest" 2
+    (List.length resumed.Runner.completions);
+  Alcotest.(check int) "resume skips the journaled" 2 resumed.Runner.skipped;
+  Alcotest.(check (list string)) "journal outcome sets identical"
+    (settled_lines uninterrupted) (settled_lines killed);
+  Alcotest.(check (list (pair string string))) "stores identical"
+    (store_blobs uninterrupted) (store_blobs killed);
+  Alcotest.(check string) "reports byte-identical"
+    (Report.render ~dir:uninterrupted)
+    (Report.render ~dir:killed);
+  Alcotest.(check string) "status byte-identical"
+    (Report.status ~dir:uninterrupted)
+    (Report.status ~dir:killed);
+  Alcotest.(check (array string)) "crash tmp swept on resume" [||]
+    (Sys.readdir (Filename.concat (Filename.concat killed "store") "tmp"));
+  (* Resuming a finished run is a no-op. *)
+  let idle = Runner.resume ~dir:killed ~settings:quiet_settings () in
+  Alcotest.(check int) "nothing to do" 0 (List.length idle.Runner.completions);
+  Alcotest.(check int) "everything skipped" (List.length smoke_jobs)
+    idle.Runner.skipped
+
+let test_runner_quarantines_poisoned_job () =
+  let dir = fresh_dir () in
+  let settings = { quiet_settings with Runner.retries = 2 } in
+  (* fail_attempts is beyond the attempt budget: the job can never pass. *)
+  let poisoned = probe_job ~fail_attempts:99 ~seed:1 "reno" in
+  let jobs = [ poisoned; probe_job ~seed:2 "reno"; probe_job ~seed:3 "cubic" ] in
+  let summary = Runner.run ~dir ~settings jobs in
+  Alcotest.(check int) "grid completes" 3 (List.length summary.Runner.completions);
+  let quarantined =
+    List.filter
+      (fun c -> match c.Runner.status with
+        | Runner.Quarantined _ -> true | Runner.Done -> false)
+      summary.Runner.completions
+  in
+  (match quarantined with
+  | [ c ] ->
+      Alcotest.(check string) "the poisoned job" (Job.digest poisoned)
+        c.Runner.digest;
+      Alcotest.(check int) "all attempts consumed" 3 c.Runner.attempts;
+      (match c.Runner.status with
+      | Runner.Quarantined err ->
+          Alcotest.(check bool) "error recorded" true
+            (String.length err > 0 && contains ~affix:"injected failure" err)
+      | Runner.Done -> assert false)
+  | _ -> Alcotest.fail "expected exactly one quarantined job");
+  (* The journal records the quarantine with its error. *)
+  let entries = Journal.replay (Filename.concat dir "journal.jsonl") in
+  let entry =
+    List.find (fun e -> e.Journal.job = Job.digest poisoned) entries
+  in
+  Alcotest.(check bool) "journaled as quarantined" true
+    (entry.Journal.status = Journal.Quarantined);
+  Alcotest.(check bool) "journaled error" true (entry.Journal.error <> None);
+  (* Resume does not retry quarantined jobs: quarantine is terminal. *)
+  let idle = Runner.resume ~dir ~settings () in
+  Alcotest.(check int) "quarantine is terminal" 0
+    (List.length idle.Runner.completions)
+
+let test_runner_retries_then_succeeds () =
+  let dir = fresh_dir () in
+  let flaky = probe_job ~fail_attempts:2 ~seed:1 "reno" in
+  let summary =
+    Runner.run ~dir ~settings:{ quiet_settings with Runner.retries = 2 }
+      [ flaky ]
+  in
+  match summary.Runner.completions with
+  | [ c ] ->
+      Alcotest.(check bool) "succeeded" true (c.Runner.status = Runner.Done);
+      Alcotest.(check int) "took three attempts" 3 c.Runner.attempts
+  | _ -> Alcotest.fail "expected one completion"
+
+let test_runner_timeout_quarantines () =
+  let dir = fresh_dir () in
+  let slow = probe_job ~sleep_ms:80 ~seed:1 "reno" in
+  let summary =
+    Runner.run ~dir
+      ~settings:
+        { quiet_settings with Runner.retries = 1; timeout_s = 0.01 }
+      [ slow ]
+  in
+  match summary.Runner.completions with
+  | [ { Runner.status = Runner.Quarantined err; attempts; _ } ] ->
+      (* Deterministic message: the limit, never the measured elapsed. *)
+      Alcotest.(check string) "deterministic timeout error"
+        "exceeded 0.01s wall-clock limit" err;
+      Alcotest.(check int) "attempt budget honored" 2 attempts
+  | _ -> Alcotest.fail "expected a quarantined timeout"
+
+let test_runner_shard_union_equals_whole () =
+  let jobs =
+    List.map (fun seed -> probe_job ~seed "reno") [ 1; 2; 3; 4; 5 ]
+  in
+  let whole = fresh_dir () in
+  ignore (Runner.run ~dir:whole ~settings:quiet_settings jobs);
+  let shard_lines i =
+    let dir = fresh_dir () in
+    ignore
+      (Runner.run ~dir
+         ~settings:{ quiet_settings with Runner.shard = Some (i, 2) }
+         jobs);
+    (settled_lines dir, store_blobs dir)
+  in
+  let lines0, blobs0 = shard_lines 0 in
+  let lines1, blobs1 = shard_lines 1 in
+  (* Disjoint... *)
+  List.iter
+    (fun l -> Alcotest.(check bool) "shards disjoint" false (List.mem l lines1))
+    lines0;
+  (* ...and their union is exactly the unsharded run. *)
+  Alcotest.(check (list string)) "journal union = whole"
+    (settled_lines whole)
+    (List.sort String.compare (lines0 @ lines1));
+  let merge a b =
+    List.sort_uniq (fun (d, _) (d', _) -> String.compare d d') (a @ b)
+  in
+  Alcotest.(check (list (pair string string))) "store union = whole"
+    (store_blobs whole) (merge blobs0 blobs1)
+
+let test_runner_shard_select () =
+  let xs = [ 0; 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check (list int)) "0/3" [ 0; 3; 6 ] (Runner.shard_select ~i:0 ~n:3 xs);
+  Alcotest.(check (list int)) "1/3" [ 1; 4 ] (Runner.shard_select ~i:1 ~n:3 xs);
+  Alcotest.(check (list int)) "2/3" [ 2; 5 ] (Runner.shard_select ~i:2 ~n:3 xs);
+  match Runner.shard_select ~i:3 ~n:3 xs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_runner_init_refuses_overwrite () =
+  let dir = fresh_dir () in
+  Runner.init ~dir [ probe_job ~seed:1 "reno" ];
+  match Runner.init ~dir [ probe_job ~seed:2 "reno" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_runner_grid_persists_canonically () =
+  let dir = fresh_dir () in
+  let jobs = [ collect_job "reno"; probe_job ~seed:9 "cubic" ] in
+  Runner.init ~dir jobs;
+  let loaded = Runner.jobs_of_dir ~dir in
+  Alcotest.(check (list string)) "canonical order, lossless"
+    (List.sort String.compare (List.map Job.digest jobs))
+    (List.map Job.digest loaded)
+
+let suites =
+  [
+    ( "batch.job",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_job_json_roundtrip;
+        Alcotest.test_case "digest distinguishes" `Quick
+          test_job_digest_distinguishes;
+        Alcotest.test_case "expand counts" `Quick test_job_expand_counts;
+        Alcotest.test_case "probe configless" `Quick
+          test_job_expand_probe_configless;
+        Alcotest.test_case "expand rejects empty" `Quick
+          test_job_expand_rejects_empty;
+        Alcotest.test_case "kind tokens" `Quick test_job_kind_tokens;
+      ] );
+    ( "batch.store",
+      [
+        Alcotest.test_case "put/get" `Quick test_store_put_get;
+        Alcotest.test_case "missing" `Quick test_store_get_missing;
+        Alcotest.test_case "corruption" `Quick test_store_detects_corruption;
+        Alcotest.test_case "manifest mismatch" `Quick
+          test_store_detects_manifest_mismatch;
+        Alcotest.test_case "tmp sweep" `Quick test_store_sweeps_tmp;
+      ] );
+    ( "batch.journal",
+      [
+        Alcotest.test_case "line roundtrip" `Quick test_journal_line_roundtrip;
+        Alcotest.test_case "append/replay" `Quick test_journal_append_replay;
+        Alcotest.test_case "missing file" `Quick test_journal_missing_is_empty;
+        Alcotest.test_case "torn tail" `Quick test_journal_drops_torn_tail;
+        Alcotest.test_case "interior corruption" `Quick
+          test_journal_interior_corruption_raises;
+      ] );
+    ( "batch.runner",
+      [
+        Alcotest.test_case "kill and resume deterministic" `Quick
+          test_runner_kill_and_resume_deterministic;
+        Alcotest.test_case "quarantine containment" `Quick
+          test_runner_quarantines_poisoned_job;
+        Alcotest.test_case "retries then succeeds" `Quick
+          test_runner_retries_then_succeeds;
+        Alcotest.test_case "timeout quarantines" `Quick
+          test_runner_timeout_quarantines;
+        Alcotest.test_case "shard union = whole" `Quick
+          test_runner_shard_union_equals_whole;
+        Alcotest.test_case "shard select" `Quick test_runner_shard_select;
+        Alcotest.test_case "init refuses overwrite" `Quick
+          test_runner_init_refuses_overwrite;
+        Alcotest.test_case "grid persists" `Quick
+          test_runner_grid_persists_canonically;
+      ] );
+  ]

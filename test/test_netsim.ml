@@ -96,6 +96,78 @@ let test_config_grid_subset () =
   Alcotest.(check bool) "roughly n configs" true
     (List.length grid >= 3 && List.length grid <= 6)
 
+(* Pin the exact n=5 testbed subset: the batch orchestrator's job
+   digests (and so its journals and shard assignments) are derived from
+   these configs, so any drift here silently invalidates persisted runs.
+   If the grid must change, bump this test AND expect old run
+   directories to re-execute everything on resume. *)
+let test_config_grid_pinned_n5 () =
+  let expected =
+    (* (rtt_ms, bandwidth_mbps, seed): the even stride over the 25-point
+       grid keeps every RTT at the lowest bandwidth. *)
+    [
+      (10.0, 5.0, 5010);
+      (25.0, 5.0, 5025);
+      (50.0, 5.0, 5050);
+      (75.0, 5.0, 5075);
+      (100.0, 5.0, 5100);
+    ]
+  in
+  let grid = Config.testbed_grid ~n:5 () in
+  Alcotest.(check int) "five configs" 5 (List.length grid);
+  List.iter2
+    (fun (rtt_ms, bw_mbps, seed) cfg ->
+      Alcotest.(check (float 0.0)) "rtt" (rtt_ms /. 1000.0) cfg.Config.rtt_prop;
+      Alcotest.(check (float 0.0)) "bw" (bw_mbps *. 1e6) cfg.Config.bandwidth_bps;
+      Alcotest.(check int) "seed" seed cfg.Config.seed;
+      Alcotest.(check (float 0.0)) "default ack jitter" 0.001
+        cfg.Config.ack_jitter)
+    expected grid;
+  (* Seeded regression: the digests themselves, bit for bit. *)
+  Alcotest.(check string) "first digest pinned"
+    "0x1.312dp+22|0x1.47ae147ae147bp-7|12|0x1.6ap+10|0x1.ep+4|5010|0x0p+0|0x1.0624dd2f1a9fcp-10"
+    (Config.digest (List.hd grid))
+
+let test_config_digest_covers_every_field () =
+  let base = Config.testbed_grid ~n:1 () |> List.hd in
+  let variants =
+    [
+      { base with Config.bandwidth_bps = base.Config.bandwidth_bps +. 1.0 };
+      { base with Config.rtt_prop = base.Config.rtt_prop +. 1e-6 };
+      { base with Config.queue_capacity = base.Config.queue_capacity + 1 };
+      { base with Config.mss = base.Config.mss +. 1.0 };
+      { base with Config.duration = base.Config.duration +. 1.0 };
+      { base with Config.seed = base.Config.seed + 1 };
+      { base with Config.loss_rate = base.Config.loss_rate +. 1e-4 };
+      { base with Config.ack_jitter = base.Config.ack_jitter +. 1e-6 };
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "digest changes with the field" false
+        (String.equal (Config.digest base) (Config.digest v)))
+    variants;
+  (* In particular ack_jitter: an ULP-sized nudge must show. *)
+  let nudged =
+    { base with Config.ack_jitter = Float.succ base.Config.ack_jitter }
+  in
+  Alcotest.(check bool) "ack_jitter ULP visible" false
+    (String.equal (Config.digest base) (Config.digest nudged))
+
+let test_config_of_digest_roundtrip () =
+  List.iter
+    (fun cfg ->
+      match Config.of_digest (Config.digest cfg) with
+      | None -> Alcotest.fail "digest did not parse back"
+      | Some cfg' ->
+          Alcotest.(check string) "lossless inverse" (Config.digest cfg)
+            (Config.digest cfg');
+          Alcotest.(check bool) "structurally equal" true (cfg = cfg'))
+    (Config.testbed_grid ~n:25 ()
+    @ [ { Config.default with Config.loss_rate = 0.015; ack_jitter = 0.25e-3 } ]);
+  Alcotest.(check bool) "garbage rejected" true
+    (Config.of_digest "not|a|config" = None)
+
 let test_config_rwnd () =
   let cfg = quick_config () in
   Alcotest.(check bool) "rwnd above capacity" true
@@ -228,6 +300,11 @@ let suites =
         Alcotest.test_case "bdp" `Quick test_config_bdp;
         Alcotest.test_case "grid spans ranges" `Quick test_config_grid_spans_ranges;
         Alcotest.test_case "grid subset size" `Quick test_config_grid_subset;
+        Alcotest.test_case "grid pinned n=5" `Quick test_config_grid_pinned_n5;
+        Alcotest.test_case "digest covers every field" `Quick
+          test_config_digest_covers_every_field;
+        Alcotest.test_case "of_digest roundtrip" `Quick
+          test_config_of_digest_roundtrip;
         Alcotest.test_case "rwnd above capacity" `Quick test_config_rwnd;
       ] );
     ( "netsim.sim",

@@ -281,6 +281,97 @@ let test_io_malformed_rejected () =
     (Invalid_argument "Io.record_of_line: malformed line: not a record")
     (fun () -> ignore (Abg_trace.Io.record_of_line "not a record"))
 
+let test_io_malformed_carries_lineno () =
+  (* load/of_string report the 1-based source line of a bad record. *)
+  let content =
+    "# abagnale-trace v1\n# cca: reno\n# scenario: s\n# losses: \n\
+     # columns: c\nbogus record\n"
+  in
+  Alcotest.check_raises "line number in error"
+    (Invalid_argument "Io.record_of_line: line 6: malformed line: bogus record")
+    (fun () -> ignore (Abg_trace.Io.of_string content))
+
+let test_io_string_roundtrip () =
+  let t = Lazy.force trace in
+  let s = Abg_trace.Io.to_string t in
+  let t' = Abg_trace.Io.of_string s in
+  (* Byte-stable: serializing the parse reproduces the exact content
+     (the batch store's determinism contract rides on this). *)
+  Alcotest.(check string) "to_string/of_string byte-stable" s
+    (Abg_trace.Io.to_string t')
+
+let test_io_tolerates_crlf_and_blank_lines () =
+  let t = Lazy.force trace in
+  let clean = Abg_trace.Io.to_string t in
+  (* Re-serialize with CRLF endings plus blank and whitespace-only lines
+     sprinkled in, as Windows tooling or hand editing would leave them. *)
+  let mangled =
+    String.split_on_char '\n' clean
+    |> List.concat_map (fun line -> [ line ^ "\r"; ""; "  \r" ])
+    |> String.concat "\n"
+  in
+  let t' = Abg_trace.Io.of_string mangled in
+  Alcotest.(check string) "mangled file parses identically" clean
+    (Abg_trace.Io.to_string t');
+  (* And through the file path too. *)
+  let path = Filename.temp_file "abagnale" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc mangled;
+      close_out oc;
+      Alcotest.(check string) "load tolerates CRLF" clean
+        (Abg_trace.Io.to_string (Abg_trace.Io.load path)))
+
+(* Round-trip every float a record can hold, including the
+   non-finite values a degenerate trace produces (nan gradients,
+   infinite rates): parse(print(r)) must re-print to the same bytes. *)
+let gen_field =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.float;
+      QCheck.Gen.oneofl
+        [ nan; infinity; neg_infinity; 0.0; -0.0; 1e-308; 4e-324;
+          1.7976931348623157e308; 0.1; 1.0 /. 3.0 ];
+    ]
+
+let arb_record =
+  QCheck.make
+    ~print:(fun r -> Abg_trace.Io.record_to_line r)
+    QCheck.Gen.(
+      array_size (return 13) gen_field >|= fun f ->
+      {
+        Abg_trace.Record.time = f.(0); cwnd = f.(1); in_flight = f.(2);
+        acked_bytes = f.(3); rtt = f.(4); min_rtt = f.(5); max_rtt = f.(6);
+        ack_rate = f.(7); rtt_gradient = f.(8); delay_gradient = f.(9);
+        time_since_loss = f.(10); wmax = f.(11); mss = f.(12);
+      })
+
+let prop_io_record_line_roundtrip =
+  QCheck.Test.make ~name:"record line round-trips nan/inf losslessly"
+    ~count:500 arb_record (fun r ->
+      let line = Abg_trace.Io.record_to_line r in
+      Abg_trace.Io.record_to_line (Abg_trace.Io.record_of_line line) = line)
+
+(* -- Noise identity properties -- *)
+
+let test_noise_zero_stddev_is_identity () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 11 in
+  let noisy = Abg_trace.Noise.observation_noise rng ~stddev:0.0 t in
+  Alcotest.(check string) "stddev 0 is bit-identical"
+    (Abg_trace.Io.to_string t)
+    (Abg_trace.Io.to_string noisy)
+
+let test_noise_keep_all_is_identity () =
+  let t = Lazy.force trace in
+  let rng = Abg_util.Rng.create 12 in
+  let sub = Abg_trace.Noise.subsample rng ~keep:1.0 t in
+  Alcotest.(check string) "keep 1.0 is bit-identical"
+    (Abg_trace.Io.to_string t)
+    (Abg_trace.Io.to_string sub)
+
 let suites =
   [
     ( "trace.collect",
@@ -308,7 +399,11 @@ let suites =
     ( "trace.noise",
       [
         Alcotest.test_case "observation noise" `Quick test_noise_observation;
+        Alcotest.test_case "zero stddev identity" `Quick
+          test_noise_zero_stddev_is_identity;
         Alcotest.test_case "subsample" `Quick test_noise_subsample;
+        Alcotest.test_case "keep-all identity" `Quick
+          test_noise_keep_all_is_identity;
         Alcotest.test_case "time jitter monotone" `Quick test_noise_time_jitter_monotone;
         Alcotest.test_case "spurious losses" `Quick test_noise_spurious_losses;
       ] );
@@ -324,5 +419,13 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
         Alcotest.test_case "record line" `Quick test_io_record_line_roundtrip;
         Alcotest.test_case "malformed" `Quick test_io_malformed_rejected;
-      ] );
+        Alcotest.test_case "malformed lineno" `Quick
+          test_io_malformed_carries_lineno;
+        Alcotest.test_case "string roundtrip" `Quick test_io_string_roundtrip;
+        Alcotest.test_case "crlf + blank lines" `Quick
+          test_io_tolerates_crlf_and_blank_lines;
+      ]
+      @ List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_io_record_line_roundtrip ] );
   ]
