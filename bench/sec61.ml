@@ -39,6 +39,13 @@ let run () =
     (pp_pruned (Abg_enum.Encode.prune_stats enc))
     (100.0 *. Abg_enum.Encode.prune_rate enc)
     (viable + Abg_enum.Encode.skipped enc);
+  let st = Abg_enum.Encode.solver_stats enc in
+  Printf.printf
+    "solver effort: %d conflicts, %d propagations, %d learnts (%d live), %d \
+     DB reductions\n"
+    st.Abg_sat.Solver.conflicts st.Abg_sat.Solver.propagations
+    st.Abg_sat.Solver.learnts_total st.Abg_sat.Solver.learnts_live
+    st.Abg_sat.Solver.db_reductions;
   Printf.printf "buckets: %d (paper: 218)\n"
     (List.length (Abg_enum.Buckets.all dsl));
   match Runs.synthesis "reno" with
@@ -63,6 +70,13 @@ let run () =
         "statically pruned during refinement: %s (%.1f%% of enumerated)\n"
         (pp_pruned r.Abg_core.Refinement.pruned)
         (100.0 *. r.Abg_core.Refinement.prune_rate);
+      let st = r.Abg_core.Refinement.solver in
+      Printf.printf
+        "refinement solver effort: %d conflicts, %d propagations, %d learnts \
+         (%d live), %d DB reductions\n"
+        st.Abg_sat.Solver.conflicts st.Abg_sat.Solver.propagations
+        st.Abg_sat.Solver.learnts_total st.Abg_sat.Solver.learnts_live
+        st.Abg_sat.Solver.db_reductions;
       if (not capped) && viable > 0 then
         Printf.printf
           "fraction of viable sketch space explored: %.0f%% (paper: ~33%%)\n"

@@ -190,7 +190,14 @@ let print_synth_summary (outcome : Abg_core.Synthesis.outcome) =
     enumerated;
   Printf.printf "cache:     trace store %d hits / %d misses; %d simulations, %d sim events\n"
     (c "trace.store.hits") (c "trace.store.misses") (c "sim.runs")
-    (c "sim.events")
+    (c "sim.events");
+  let st = r.Abg_core.Refinement.solver in
+  Printf.printf
+    "solver:    %d conflicts, %d propagations, %d learnts (%d live), %d DB \
+     reductions\n"
+    st.Abg_sat.Solver.conflicts st.Abg_sat.Solver.propagations
+    st.Abg_sat.Solver.learnts_total st.Abg_sat.Solver.learnts_live
+    st.Abg_sat.Solver.db_reductions
 
 let synth dsl_name verbose seed cca scenarios duration telemetry trace_files =
   with_telemetry telemetry @@ fun () ->
@@ -646,6 +653,59 @@ let batch_cmd =
   Cmd.group info
     [ batch_run_cmd; batch_resume_cmd; batch_status_cmd; batch_report_cmd ]
 
+(* -- fingerprint -- *)
+
+(* Exhaustively enumerate a sub-DSL's viable sketch space and digest the
+   *set* of canonical sketches (sorted, so enumeration order — and hence
+   the symmetry-breaking encoding, the solver's heuristics, or the seed
+   formula — cannot move it). CI pins the output in
+   ci/sketch-fingerprint.txt: any encoding change that grows, shrinks or
+   shifts the enumerable space fails the gate, while pure search-order
+   or performance changes pass. *)
+let fingerprint dsl_name cap =
+  let dsl =
+    match Abg_dsl.Catalog.find dsl_name with
+    | Some d -> d
+    | None ->
+        Printf.eprintf "unknown DSL %s\n" dsl_name;
+        exit 1
+  in
+  let enc = Abg_enum.Encode.create dsl in
+  let rec go acc n =
+    if n >= cap then begin
+      Printf.eprintf
+        "fingerprint: cap of %d sketches reached before exhaustion; raise \
+         --cap\n"
+        cap;
+      exit 1
+    end
+    else
+      match Abg_enum.Encode.next enc with
+      | Some sk -> go (Abg_dsl.Pretty.to_string sk :: acc) (n + 1)
+      | None -> acc
+  in
+  let sketches = List.sort String.compare (go [] 0) in
+  let digest = Digest.to_hex (Digest.string (String.concat "\n" sketches)) in
+  Printf.printf "%s %d %s\n" dsl.Abg_dsl.Catalog.name (List.length sketches)
+    digest
+
+let fingerprint_dsl_arg =
+  let doc = "Sub-DSL whose sketch space to fingerprint." in
+  Arg.(value & pos 0 string "reno" & info [] ~docv:"DSL" ~doc)
+
+let fingerprint_cap_arg =
+  let doc = "Abort if exhaustion needs more than this many sketches." in
+  Arg.(value & opt int 100_000 & info [ "cap" ] ~doc)
+
+let fingerprint_cmd =
+  let info =
+    Cmd.info "fingerprint"
+      ~doc:
+        "Exhaustively enumerate a sub-DSL and print `name count digest' of \
+         the canonical sketch set (the CI completeness gate)"
+  in
+  Cmd.v info Term.(const fingerprint $ fingerprint_dsl_arg $ fingerprint_cap_arg)
+
 (* -- list -- *)
 
 let list_all () =
@@ -671,6 +731,7 @@ let main_cmd =
       synth_cmd;
       distance_cmd;
       lint_cmd;
+      fingerprint_cmd;
       batch_cmd;
       telemetry_cmd;
       list_cmd;

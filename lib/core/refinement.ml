@@ -1,10 +1,15 @@
 (** Abagnale's refinement loop — Algorithm 1 (§4.4).
 
     The sketch space is partitioned into buckets keyed by the exact
-    operator subset a sketch uses. Each iteration samples [n] sketches per
-    surviving bucket (with an independent SAT enumerator per bucket, as
-    the paper uses an independent solver per bucket), scores them on the
-    current trace-segment subset, keeps the [k] most promising buckets,
+    operator subset a sketch uses. One persistent SAT enumerator serves
+    the whole run: a bucket is selected purely via solver assumptions
+    (the [used_op] pins of §4.4), its blocking clauses live in a
+    retractable clause group, and dropped buckets are retired so their
+    clauses are reclaimed. (The paper runs an independent Z3 instance
+    per bucket; sharing one incremental solver keeps the learnt clauses
+    and heuristic state across bucket switches.) Each iteration samples
+    [n] sketches per surviving bucket, scores them on the current
+    trace-segment subset, keeps the [k] most promising buckets,
     then grows the sample size 8x, halves [k] and adds two more segments.
     The loop ends when one bucket remains (it is then enumerated
     exhaustively) or every surviving bucket has been exhausted. The best
@@ -48,7 +53,6 @@ let default_config =
 
 type bucket_state = {
   ops : Abg_enum.Buckets.bucket;
-  enc : Abg_enum.Encode.t;
   mutable sketches : Expr.num list;  (** sampled so far, newest first *)
   mutable exhausted : bool;
   mutable score : float;
@@ -73,38 +77,26 @@ type result = {
   total_sketches_scored : int;
   buckets_initial : int;
   pruned : (string * int) list;
-      (** sketches rejected before simulation, per reason — summed over
-          this run's own bucket enumerators (dropped buckets included).
-          Per-instance accounting, so the field is exact even when
-          several refinement runs execute concurrently (batch jobs) or
-          telemetry is disabled. *)
+      (** sketches rejected before simulation, per reason — read off this
+          run's own (single, persistent) enumerator. Per-instance
+          accounting, so the field is exact even when several refinement
+          runs execute concurrently (batch jobs) or telemetry is
+          disabled. With symmetry breaking on, the ["duplicate"] entry
+          stays at zero: commutative duplicates are excluded inside the
+          encoding rather than enumerated and folded. *)
   prune_rate : float;
       (** fraction of decoded sketches pruned before simulation *)
+  solver : Abg_sat.Solver.stats;
+      (** search effort of the run's persistent SAT enumerator *)
 }
 
 (* Telemetry: one span per pipeline phase, plus loop volume counters.
-   [result.pruned] sums each enumerator's own per-reason counters — NOT a
-   delta of the process-wide telemetry counters, which would interleave
-   arbitrarily when concurrent batch jobs refine at the same time. *)
+   [result.pruned] reads the run's own enumerator — NOT a delta of the
+   process-wide telemetry counters, which would interleave arbitrarily
+   when concurrent batch jobs refine at the same time. *)
 let obs_iterations = Abg_obs.Obs.Counter.make "refine.iterations"
 let obs_buckets_scored = Abg_obs.Obs.Counter.make "refine.buckets_scored"
 let obs_candidates = Abg_obs.Obs.Counter.make "refine.candidates"
-
-(* Per-reason prune counters summed over a run's enumerators. *)
-let sum_prune_stats = function
-  | [] -> []
-  | first :: _ as buckets ->
-      List.fold_left
-        (fun acc bucket ->
-          List.map2
-            (fun (name, total) (name', n) ->
-              assert (String.equal name name');
-              (name, total + n))
-            acc
-            (Abg_enum.Encode.prune_stats bucket.enc))
-        (List.map (fun (name, _) -> (name, 0))
-           (Abg_enum.Encode.prune_stats first.enc))
-        buckets
 
 (* Long segments are thinned (stride with ACK aggregation), not truncated:
    a truncated prefix covers only a couple of RTTs of window evolution, on
@@ -113,14 +105,17 @@ let sum_prune_stats = function
 let truncate_segment max_records seg =
   Abg_trace.Segmentation.thin ~max_records seg
 
-(* Enumerate up to [want] total sketches for a bucket (cumulative). *)
-let top_up bucket ~want =
+(* Enumerate up to [want] total sketches for a bucket (cumulative).
+   Serial only: [enc] is the run's shared enumerator and is not
+   domain-safe — callers run top-ups on the main domain, in bucket-array
+   order, before fanning scoring out to the pool. *)
+let top_up enc bucket ~want =
   let have = List.length bucket.sketches in
   let missing = want - have in
   let rec pull n acc =
     if n = 0 then acc
     else
-      match Abg_enum.Encode.next ~bucket:bucket.ops bucket.enc with
+      match Abg_enum.Encode.next ~bucket:bucket.ops enc with
       | Some sk -> pull (n - 1) (sk :: acc)
       | None ->
           bucket.exhausted <- true;
@@ -139,22 +134,21 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
   let segment_array = Array.of_list segments in
   let total_segments = Array.length segment_array in
   assert (total_segments > 0);
+  (* ONE persistent enumerator for the whole run: bucket switches cost
+     only a different assumption list, and the solver's learnt clauses
+     and heuristic state accumulate across iterations. *)
+  let enc = Abg_enum.Encode.create dsl in
   let buckets =
     Abg_enum.Buckets.all dsl
     |> List.map (fun ops ->
            {
              ops;
-             enc = Abg_enum.Encode.create dsl;
              sketches = [];
              exhausted = false;
              score = infinity;
              best = None;
            })
   in
-  (* [all_buckets] retains every enumerator ever created — the working
-     array below shrinks to the kept subset each iteration, but
-     end-of-run prune statistics must cover dropped buckets too. *)
-  let all_buckets = buckets in
   let buckets = ref (Array.of_list buckets) in
   let buckets_initial = Array.length !buckets in
   let iteration = ref 1 in
@@ -240,11 +234,15 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
     let want = !n in
     Abg_obs.Obs.Counter.incr obs_iterations;
     Abg_obs.Obs.Counter.add obs_buckets_scored (Array.length !buckets);
+    (* Enumeration runs serially on the main domain (the shared solver is
+       not domain-safe, and serial order keeps the model sequence — hence
+       the whole run — deterministic); only scoring fans out. *)
+    Abg_obs.Obs.span "enumerate" (fun () ->
+        Array.iter (fun bucket -> top_up enc bucket ~want) !buckets);
     let outcomes =
       Abg_obs.Obs.span "iteration" @@ fun () ->
       Abg_parallel.Pool.mapi ?num_domains:config.num_domains
         (fun i bucket ->
-          top_up bucket ~want;
           let rng = Rng.create worker_seeds.(i) in
           score_bucket ~rng ~segs ~truths bucket)
         !buckets
@@ -288,6 +286,12 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         kept = List.map (fun b -> b.ops) kept;
       }
       :: !reports;
+    (* Dropped buckets are never enumerated again: retire their blocking
+       clauses so the solver reclaims them. *)
+    Array.iter
+      (fun b ->
+        if not (List.memq b kept) then Abg_enum.Encode.retire_bucket enc b.ops)
+      !buckets;
     let all_exhausted = List.for_all (fun b -> b.exhausted) kept in
     if kept = [] then finished := true
     else if List.length kept = 1 || all_exhausted || !iteration >= config.max_iterations
@@ -302,7 +306,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
           List.iter
             (fun bucket ->
               if not bucket.exhausted then
-                top_up bucket
+                top_up enc bucket
                   ~want:(List.length bucket.sketches + config.exhaustive_cap);
               let best, handlers, sketches =
                 score_bucket ~rng ~segs:segs_final ~truths bucket
@@ -364,17 +368,8 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
         | Some b -> if s.Score.distance < b.Score.distance then Some s else acc)
       None rescored
   in
-  let pruned = sum_prune_stats all_buckets in
-  let prune_rate =
-    let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 pruned in
-    let returned =
-      List.fold_left
-        (fun acc b -> acc + fst (Abg_enum.Encode.stats b.enc))
-        0 all_buckets
-    in
-    let total = skipped + returned in
-    if total = 0 then 0.0 else float_of_int skipped /. float_of_int total
-  in
+  let pruned = Abg_enum.Encode.prune_stats enc in
+  let prune_rate = Abg_enum.Encode.prune_rate enc in
   match winner with
   | None -> None
   | Some best ->
@@ -391,6 +386,7 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
           buckets_initial;
           pruned;
           prune_rate;
+          solver = Abg_enum.Encode.solver_stats enc;
         }
 
 (** [bucket_rank_of result ~target ~iteration] — the §6.2 instrumentation:

@@ -12,18 +12,31 @@
     - [used_op.(o)] — operator [o] appears somewhere in the sketch: the
       bucket discriminator of §4.4, constrained via solver assumptions.
 
+    The commutative canonical form of {!Abg_analysis.Canonical} is
+    encoded directly as propositional constraints (a lex-leader circuit
+    over the operand subtrees of commutative operators, with constant
+    holes interchangeable), so the solver itself never produces a model
+    the canonicalizer would fold; see {!add_symmetry_constraints}.
+    Unused-slot symmetries are pinned too: an inactive node's one-hot
+    unit variable is fixed to the first domain element.
+
     Models are decoded into {!Abg_dsl.Expr} sketches with constant holes;
     each returned sketch is excluded with a blocking clause, so repeated
-    calls enumerate the space. Post-decode, three pruning stages run
-    before a sketch is handed to the scorer, each blocking-and-skipping
-    the model: arithmetic simplifiability (§4.1's sympy filter), the
-    interval-domain dead-on-arrival rules of {!Abg_analysis.Absint}
-    (window provably <= 0 or non-finite, provably-zero denominators,
-    guards constant over the whole input box), and commutative-duplicate
-    detection via {!Abg_analysis.Canonical} (the encoding has no
-    symmetry-breaking over operand order, so without it both [a + b] and
-    [b + a] reach the simulator). Returned sketches are in canonical
-    form; per-reason counters are surfaced via {!prune_stats}. *)
+    calls enumerate the space. One persistent solver serves the whole
+    enumeration: buckets are selected purely via assumptions, and each
+    bucket's blocking clauses live in a retractable {!Abg_sat.Solver}
+    clause group so {!retire_bucket} can reclaim them when the
+    refinement loop drops the bucket. Post-decode, three pruning stages
+    run before a sketch is handed to the scorer, each
+    blocking-and-skipping the model: arithmetic simplifiability (§4.1's
+    sympy filter), the interval-domain dead-on-arrival rules of
+    {!Abg_analysis.Absint} (window provably <= 0 or non-finite,
+    provably-zero denominators, guards constant over the whole input
+    box), and — retained as a safety net even though the in-encoding
+    symmetry breaking should leave it idle — commutative-duplicate
+    detection via {!Abg_analysis.Canonical}. Returned sketches are in
+    canonical form; per-reason counters are surfaced via
+    {!prune_stats}. *)
 
 open Abg_dsl
 open Abg_util
@@ -40,6 +53,9 @@ type t = {
   unit_vars : int array array;  (** [| |] rows when unit checking is off *)
   unit_domain : Units.t array;
   used_op : (Component.t * int) list;
+  symmetry : bool;
+  bucket_groups : (Component.t list, Abg_sat.Solver.group) Hashtbl.t;
+      (** per-bucket blocking-clause groups, keyed by sorted operator set *)
   box : Abg_analysis.Absint.box;
       (** interval box: physical signal ranges, hole = the constant pool *)
   seen : Abg_analysis.Canonical.Tbl.t;
@@ -63,8 +79,8 @@ let reason_index r =
    per-enc statistics feed §6.1 reporting); the obs counters are what
    run-level aggregation — [Refinement.result.pruned], the [--telemetry]
    report, the CI gate — derives from, as a snapshot delta. Enumeration
-   totals are deterministic: each enumerator is driven by exactly one
-   pool item at a time, and its model sequence depends only on the DSL
+   totals are deterministic: every enumerator runs sequentially on the
+   domain that owns it, and its model sequence depends only on the DSL
    and its own counters. *)
 let obs_returned = Abg_obs.Obs.Counter.make "enum.returned"
 let obs_sat = Abg_obs.Obs.Counter.make "enum.sat.sat"
@@ -103,15 +119,143 @@ let find_comp_index components c =
   in
   go 0
 
-let unit_index enc u =
+let unit_index_in unit_domain u =
   let rec go i =
-    if i = Array.length enc.unit_domain then None
-    else if Units.equal enc.unit_domain.(i) u then Some i
+    if i = Array.length unit_domain then None
+    else if Units.equal unit_domain.(i) u then Some i
     else go (i + 1)
   in
   go 0
 
-let create (dsl : Catalog.t) =
+(* -- Symmetry breaking: the commutative canonical form, in clauses --
+
+   [Abg_analysis.Canonical.normalize] orders the operands of every
+   Add/Mul under a total preorder (constructor rank, then Signal/Macro
+   order, then children lexicographically; holes compare equal). The
+   circuit below mirrors that comparison inside the encoding so every
+   model decodes to a tree that is already a fixed point of [normalize]:
+   any non-canonical operand order is unsatisfiable, and the solver never
+   wastes a solve-decode-block round trip on a commutative duplicate.
+
+   For each aligned position pair (a, b) — sibling operands of a
+   potentially commutative node, and recursively their aligned
+   descendants — two auxiliary variables are defined one-directionally:
+   [gt a b] (resp. [eq a b]) is *forced true* whenever the decoded
+   subtree at [a] compares greater than (resp. equal to) the one at [b],
+   and left free otherwise. Clauses:
+
+   - cross-component: components of different canonical rank at (a, b)
+     with rank(a) > rank(b) force [gt];
+   - same nullary component (and the hole component, whose decoded
+     indices the canonical order ignores) forces [eq];
+   - same k-ary component: a lexicographic chain over the k child digit
+     pairs forces [gt]/[eq] ({!Abg_sat.Cnf.lex_gt_implies}).
+
+   At each node that can hold a commutative operator, [lex_le] forbids
+   [gt child0 child1] under that operator's component variable.
+
+   Completeness: in a model whose decoded tree is canonical, assigning
+   every auxiliary variable its semantic truth value satisfies all the
+   clauses above (the implications' premises hold only when their
+   conclusions do, and no canonical tree triggers the top-level ban), so
+   exactly one representative per commutativity class remains
+   reachable. *)
+
+(* Component order consistent with Canonical.compare_num on decoded
+   subtree roots. Leaf_const decodes to a Hole (canonical rank 4); no
+   component decodes to Const (rank 3). Boolean comparisons live in a
+   separate sort, ranked by Canonical's brank (Lt < Gt < Mod_eq). *)
+let canon_class = function
+  | Component.Leaf_cwnd -> 0
+  | Component.Leaf_signal _ -> 1
+  | Component.Leaf_macro _ -> 2
+  | Component.Leaf_const -> 4
+  | Component.Op_add -> 5
+  | Component.Op_sub -> 6
+  | Component.Op_mul -> 7
+  | Component.Op_div -> 8
+  | Component.Op_ite -> 9
+  | Component.Op_cube -> 10
+  | Component.Op_cbrt -> 11
+  | Component.Op_lt -> 20
+  | Component.Op_gt -> 21
+  | Component.Op_modeq -> 22
+
+let canon_compare a b =
+  let c = Int.compare (canon_class a) (canon_class b) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Component.Leaf_signal s, Component.Leaf_signal s' -> Signal.compare s s'
+    | Component.Leaf_macro m, Component.Leaf_macro m' -> Macro.compare m m'
+    | _ -> 0
+
+let add_symmetry_constraints ~solver ~nodes ~(components : Component.t array)
+    ~(comp : int array array) =
+  let n_comp = Array.length components in
+  (* Is component [ci] structurally possible at node [i]? (Nodes whose
+     children would fall outside the tree already carry a unit ban.) *)
+  let feasible i ci =
+    let a = Component.arity components.(ci) in
+    a = 0 || Shape.child i (a - 1) < nodes
+  in
+  let pair_tbl : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let rec pair_vars a b =
+    match Hashtbl.find_opt pair_tbl (a, b) with
+    | Some p -> p
+    | None ->
+        let gt = Abg_sat.Solver.new_var solver in
+        let eq = Abg_sat.Solver.new_var solver in
+        Hashtbl.add pair_tbl (a, b) (gt, eq);
+        (* Cross-component: a strictly greater canonical rank at [a]
+           forces [gt]. *)
+        for ci = 0 to n_comp - 1 do
+          if feasible a ci then
+            for cj = 0 to n_comp - 1 do
+              if
+                feasible b cj
+                && canon_compare components.(ci) components.(cj) > 0
+              then
+                Abg_sat.Solver.add_clause solver
+                  [ -comp.(a).(ci); -comp.(b).(cj); gt ]
+            done
+        done;
+        (* Same component at both positions. *)
+        for ci = 0 to n_comp - 1 do
+          let k = Component.arity components.(ci) in
+          if k = 0 then
+            (* Identical leaves compare equal — including two holes,
+               whose decoded indices the canonical order ignores. *)
+            Abg_sat.Solver.add_clause solver
+              [ -comp.(a).(ci); -comp.(b).(ci); eq ]
+          else if feasible a ci && feasible b ci then begin
+            let digits =
+              List.init k (fun j -> pair_vars (Shape.child a j) (Shape.child b j))
+            in
+            Abg_sat.Cnf.lex_gt_implies solver
+              ~under:[ comp.(a).(ci); comp.(b).(ci) ]
+              ~target:gt digits;
+            Abg_sat.Solver.add_clause solver
+              (-comp.(a).(ci) :: -comp.(b).(ci)
+              :: List.map (fun (_, e) -> -e) digits
+              @ [ eq ])
+          end
+        done;
+        (gt, eq)
+  in
+  for i = 0 to nodes - 1 do
+    let c1 = Shape.child i 0 and c2 = Shape.child i 1 in
+    if c2 < nodes then
+      Array.iteri
+        (fun ci c ->
+          if Component.is_commutative c then begin
+            let digit = pair_vars c1 c2 in
+            Abg_sat.Cnf.lex_le solver ~under:[ comp.(i).(ci) ] [ digit ]
+          end)
+        components
+  done
+
+let create ?(symmetry = true) (dsl : Catalog.t) =
   let solver = Abg_sat.Solver.create () in
   let nodes = Shape.num_nodes ~depth:dsl.Catalog.max_depth in
   let components = Array.of_list dsl.Catalog.components in
@@ -134,15 +278,21 @@ let create (dsl : Catalog.t) =
       (fun op -> (op, Abg_sat.Solver.new_var solver))
       (Catalog.operators dsl)
   in
+  (* Everything [decode]/[block] reads is allocated above; the symmetry
+     circuits, commander variables and group selectors that follow are
+     auxiliary, so models need not report them. *)
+  Abg_sat.Solver.limit_model solver (Abg_sat.Solver.num_vars solver);
   let enc =
     {
       solver; dsl; nodes; components; active; comp; unit_vars; unit_domain;
-      used_op; box = Abg_analysis.Absint.box_for dsl;
+      used_op; symmetry; bucket_groups = Hashtbl.create 16;
+      box = Abg_analysis.Absint.box_for dsl;
       seen = Abg_analysis.Canonical.Tbl.create ();
       dead = Array.make (List.length Abg_analysis.Absint.all_reasons) 0;
       enumerated = 0; blocked_simplifiable = 0; blocked_duplicate = 0;
     }
   in
+  let unit_index u = unit_index_in unit_domain u in
   (* -- Structural constraints -- *)
   Abg_sat.Solver.add_clause solver [ active.(0) ];
   for i = 0 to nodes - 1 do
@@ -260,6 +410,9 @@ let create (dsl : Catalog.t) =
           done;
           Abg_sat.Cnf.implies_clause solver v !occurrences)
     used_op;
+  (* Commutative canonical form, in clauses. *)
+  if symmetry then
+    add_symmetry_constraints ~solver ~nodes ~components ~comp;
   (* -- Unit constraints (dimensional analysis) -- *)
   if dsl.Catalog.unit_check then begin
     let n_units = Array.length unit_domain in
@@ -267,12 +420,19 @@ let create (dsl : Catalog.t) =
     for i = 0 to nodes - 1 do
       Abg_sat.Cnf.exactly_one solver (Array.to_list unit_vars.(i))
     done;
+    if symmetry then
+      (* Unused-slot symmetry: an inactive node's one-hot unit row is
+         otherwise unconstrained, so pin it to the first domain element —
+         one assignment per sketch instead of |domain|^(inactive). *)
+      for i = 0 to nodes - 1 do
+        Abg_sat.Solver.add_clause solver [ active.(i); uvar i 0 ]
+      done;
     (* Root produces bytes. *)
-    (match unit_index enc Units.bytes with
+    (match unit_index Units.bytes with
     | Some u -> Abg_sat.Solver.add_clause solver [ uvar 0 u ]
     | None -> assert false);
     let fixed_unit i cv u =
-      match unit_index enc u with
+      match unit_index u with
       | Some ui -> Abg_sat.Solver.add_clause solver [ -cv; uvar i ui ]
       | None -> Abg_sat.Solver.add_clause solver [ -cv ]
     in
@@ -299,7 +459,7 @@ let create (dsl : Catalog.t) =
                  stand for any unit would launder arbitrary
                  ill-dimensioned arithmetic and explode the space. *)
               let allowed =
-                List.filter_map (unit_index enc) Unit_check.constant_units
+                List.filter_map unit_index Unit_check.constant_units
               in
               Abg_sat.Solver.add_clause solver
                 (-cv :: List.map (uvar i) allowed)
@@ -318,7 +478,7 @@ let create (dsl : Catalog.t) =
                           Units.mul unit_domain.(u1) unit_domain.(u2)
                       | _ -> Units.div unit_domain.(u1) unit_domain.(u2)
                     in
-                    match unit_index enc result with
+                    match unit_index result with
                     | Some ur ->
                         Abg_sat.Solver.add_clause solver
                           [ -cv; -uvar c1 u1; -uvar c2 u2; uvar i ur ]
@@ -341,7 +501,7 @@ let create (dsl : Catalog.t) =
           | Component.Op_cube ->
               if c1 < nodes then
                 for u = 0 to n_units - 1 do
-                  match unit_index enc (Units.pow unit_domain.(u) 3) with
+                  match unit_index (Units.pow unit_domain.(u) 3) with
                   | Some ur ->
                       Abg_sat.Solver.add_clause solver
                         [ -cv; -uvar c1 u; uvar i ur ]
@@ -353,7 +513,7 @@ let create (dsl : Catalog.t) =
                 for u = 0 to n_units - 1 do
                   match Units.cbrt unit_domain.(u) with
                   | Some root -> begin
-                      match unit_index enc root with
+                      match unit_index root with
                       | Some ur ->
                           Abg_sat.Solver.add_clause solver
                             [ -cv; -uvar c1 u; uvar i ur ]
@@ -370,8 +530,11 @@ let create (dsl : Catalog.t) =
   end;
   enc
 
-(* Decode the model at [enc] into a sketch; constant holes are numbered in
-   node order. *)
+(* Decode the model at [enc] into a sketch; constant holes are numbered
+   left-to-right in pre-order — the same order {!Abg_analysis.Canonical}
+   renumbers in, so (with symmetry breaking on) a decoded sketch is
+   already its own normal form. Children are bound explicitly: OCaml
+   evaluates constructor arguments right to left. *)
 let decode enc (model : bool array) =
   let hole_counter = ref 0 in
   let comp_at i =
@@ -393,15 +556,27 @@ let decode enc (model : bool array) =
             let h = !hole_counter in
             incr hole_counter;
             Expr.Hole h
-        | Component.Op_add -> Expr.Add (num (Shape.child i 0), num (Shape.child i 1))
-        | Component.Op_sub -> Expr.Sub (num (Shape.child i 0), num (Shape.child i 1))
-        | Component.Op_mul -> Expr.Mul (num (Shape.child i 0), num (Shape.child i 1))
-        | Component.Op_div -> Expr.Div (num (Shape.child i 0), num (Shape.child i 1))
+        | Component.Op_add ->
+            let a = num (Shape.child i 0) in
+            let b = num (Shape.child i 1) in
+            Expr.Add (a, b)
+        | Component.Op_sub ->
+            let a = num (Shape.child i 0) in
+            let b = num (Shape.child i 1) in
+            Expr.Sub (a, b)
+        | Component.Op_mul ->
+            let a = num (Shape.child i 0) in
+            let b = num (Shape.child i 1) in
+            Expr.Mul (a, b)
+        | Component.Op_div ->
+            let a = num (Shape.child i 0) in
+            let b = num (Shape.child i 1) in
+            Expr.Div (a, b)
         | Component.Op_ite ->
-            Expr.Ite
-              ( boolean (Shape.child i 0),
-                num (Shape.child i 1),
-                num (Shape.child i 2) )
+            let g = boolean (Shape.child i 0) in
+            let t = num (Shape.child i 1) in
+            let e = num (Shape.child i 2) in
+            Expr.Ite (g, t, e)
         | Component.Op_cube -> Expr.Cube (num (Shape.child i 0))
         | Component.Op_cbrt -> Expr.Cbrt (num (Shape.child i 0))
         | Component.Op_lt | Component.Op_gt | Component.Op_modeq ->
@@ -409,16 +584,42 @@ let decode enc (model : bool array) =
       end
   and boolean i : Expr.boolean =
     match comp_at i with
-    | Some Component.Op_lt -> Expr.Lt (num (Shape.child i 0), num (Shape.child i 1))
-    | Some Component.Op_gt -> Expr.Gt (num (Shape.child i 0), num (Shape.child i 1))
+    | Some Component.Op_lt ->
+        let a = num (Shape.child i 0) in
+        let b = num (Shape.child i 1) in
+        Expr.Lt (a, b)
+    | Some Component.Op_gt ->
+        let a = num (Shape.child i 0) in
+        let b = num (Shape.child i 1) in
+        Expr.Gt (a, b)
     | Some Component.Op_modeq ->
-        Expr.Mod_eq (num (Shape.child i 0), num (Shape.child i 1))
+        let a = num (Shape.child i 0) in
+        let b = num (Shape.child i 1) in
+        Expr.Mod_eq (a, b)
     | _ -> invalid_arg "Encode.decode: expected boolean component"
   in
   num 0
 
-(* Exclude exactly this (shape, component) assignment from future models. *)
-let block enc (model : bool array) =
+(* The group holding a bucket's blocking clauses. Buckets partition the
+   sketch space (a sketch determines its exact operator set), so a
+   blocking clause learned inside one bucket can never exclude a model of
+   another — scoping it to the bucket's group is semantically free, and
+   lets [retire_bucket] reclaim the clauses when the refinement loop
+   drops the bucket. *)
+let bucket_key ops = List.sort Component.compare ops
+
+let group_for enc ops =
+  let key = bucket_key ops in
+  match Hashtbl.find_opt enc.bucket_groups key with
+  | Some g -> g
+  | None ->
+      let g = Abg_sat.Solver.new_group enc.solver in
+      Hashtbl.add enc.bucket_groups key g;
+      g
+
+(* Exclude exactly this (shape, component) assignment from future models —
+   under the bucket's group when enumeration is bucket-scoped. *)
+let block ?group enc (model : bool array) =
   let clause = ref [] in
   for i = 0 to enc.nodes - 1 do
     if model.(enc.active.(i)) then
@@ -427,7 +628,9 @@ let block enc (model : bool array) =
         enc.comp.(i)
     else clause := enc.active.(i) :: !clause
   done;
-  Abg_sat.Solver.add_clause enc.solver !clause
+  match group with
+  | None -> Abg_sat.Solver.add_clause enc.solver !clause
+  | Some g -> Abg_sat.Solver.add_clause_in enc.solver g !clause
 
 (** [assumptions_for_bucket enc ops] — solver assumptions pinning the
     §4.4 bucket discriminator: the sketch uses exactly the operator set
@@ -442,18 +645,30 @@ let skipped enc =
   enc.blocked_simplifiable + enc.blocked_duplicate
   + Array.fold_left ( + ) 0 enc.dead
 
+(* Bucket-scoped enumeration state for one [next]/[next_raw] call: the
+   assumption list (used_op pins plus the blocking group's selector) and
+   the group new blocking clauses go into. *)
+let bucket_context enc bucket =
+  match bucket with
+  | None -> ([], None)
+  | Some ops ->
+      let g = group_for enc ops in
+      ( Abg_sat.Solver.group_lit g :: assumptions_for_bucket enc ops,
+        Some g )
+
 (** [next ?bucket enc] returns the next not-yet-enumerated sketch
     (optionally restricted to an operator bucket) in canonical form, or
     [None] when the (sub)space is exhausted. Three pruning stages block
     and skip models before they reach the simulator: the §4.1
     simplifiability filter, the interval-domain dead-on-arrival rules,
-    and commutative-duplicate detection. *)
+    and the commutative-duplicate safety net (idle while the in-encoding
+    symmetry breaking is on).
+
+    One persistent solver serves every bucket: switching buckets costs
+    only a different assumption list, and a bucket's blocking clauses are
+    scoped to its clause group (see {!retire_bucket}). *)
 let rec next ?bucket enc =
-  let assumptions =
-    match bucket with
-    | None -> []
-    | Some ops -> assumptions_for_bucket enc ops
-  in
+  let assumptions, group = bucket_context enc bucket in
   (* Scatter successive models across the bucket (deterministically). *)
   Abg_sat.Solver.randomize enc.solver
     ~seed:((enc.enumerated * 2654435761) + skipped enc + 17);
@@ -464,7 +679,7 @@ let rec next ?bucket enc =
   | Abg_sat.Solver.Sat model ->
       Abg_obs.Obs.Counter.incr obs_sat;
       let sketch = decode enc model in
-      block enc model;
+      block ?group enc model;
       if Simplify.is_simplifiable sketch then begin
         enc.blocked_simplifiable <- enc.blocked_simplifiable + 1;
         Abg_obs.Obs.Counter.incr obs_simplifiable;
@@ -492,6 +707,31 @@ let rec next ?bucket enc =
             end
       end
 
+(** [retire_bucket enc ops] retracts the bucket's blocking clauses (the
+    refinement loop calls it when a bucket is dropped from the keep set,
+    reclaiming solver memory). Re-enumerating a retired bucket starts a
+    fresh group: previously returned sketches are re-decoded but caught
+    by the canonical seen-table, so none is returned twice. *)
+let retire_bucket enc ops =
+  let key = bucket_key ops in
+  match Hashtbl.find_opt enc.bucket_groups key with
+  | None -> ()
+  | Some g ->
+      Abg_sat.Solver.retire_group enc.solver g;
+      Hashtbl.remove enc.bucket_groups key
+
+(** [check_bucket enc ops] — one solve under the bucket's assumptions:
+    does the bucket still contain an unenumerated model? No decoding, no
+    blocking; the micro-benchmark behind [sat-solve-assumptions]. *)
+let check_bucket enc ops =
+  let assumptions, _group = bucket_context enc ops in
+  match Abg_sat.Solver.solve ~assumptions enc.solver with
+  | Abg_sat.Solver.Sat _ -> true
+  | Abg_sat.Solver.Unsat -> false
+
+(* Reuse [bucket_context] with an option for check_bucket's signature. *)
+let check_bucket enc ops = check_bucket enc (Some ops)
+
 (** Enumeration statistics: (returned, rejected-as-simplifiable). *)
 let stats enc = (enc.enumerated, enc.blocked_simplifiable)
 
@@ -513,17 +753,19 @@ let prune_rate enc =
 (** Total SAT variables in the encoding (reported in §6.1-style output). *)
 let num_vars enc = Abg_sat.Solver.num_vars enc.solver
 
-(** [next_raw ?bucket enc] is {!next} without the simplifiability filter —
-    exposed for diagnosing the encoding's pruning quality. *)
+(** Solver search-effort statistics for this enumerator's persistent
+    instance (conflicts, propagations, learnt-DB state). *)
+let solver_stats enc = Abg_sat.Solver.stats enc.solver
+
+(** [next_raw ?bucket enc] is {!next} without any post-decode filtering —
+    exposed for diagnosing the encoding's pruning quality (with symmetry
+    breaking on, the raw stream already contains no commutative
+    duplicates). *)
 let next_raw ?bucket enc =
-  let assumptions =
-    match bucket with
-    | None -> []
-    | Some ops -> assumptions_for_bucket enc ops
-  in
+  let assumptions, group = bucket_context enc bucket in
   match Abg_sat.Solver.solve ~assumptions enc.solver with
   | Abg_sat.Solver.Unsat -> None
   | Abg_sat.Solver.Sat model ->
       let sketch = decode enc model in
-      block enc model;
+      block ?group enc model;
       Some sketch

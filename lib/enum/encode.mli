@@ -5,29 +5,63 @@
     constant holes and excluded with blocking clauses, so repeated calls
     enumerate the space.
 
+    The commutative canonical form of {!Abg_analysis.Canonical} is
+    encoded directly as propositional constraints (a lex-leader circuit
+    over the operand subtrees of commutative operators; constant holes
+    and unused-slot assignments are pinned too), so the solver never
+    produces a model the canonicalizer would fold — the ["duplicate"]
+    prune counter stays at zero with symmetry breaking on.
+
+    One persistent solver serves the whole enumeration: buckets are
+    selected purely via assumptions, and each bucket's blocking clauses
+    live in a retractable {!Abg_sat.Solver} clause group
+    (see {!retire_bucket}).
+
     Three pruning stages run post-decode, each blocking-and-skipping the
     model: the §4.1 simplifiability filter, the interval-domain
-    dead-on-arrival rules of {!Abg_analysis.Absint}, and
-    commutative-duplicate detection via {!Abg_analysis.Canonical}. *)
+    dead-on-arrival rules of {!Abg_analysis.Absint}, and — retained as a
+    safety net — commutative-duplicate detection via
+    {!Abg_analysis.Canonical}. *)
 
 open Abg_dsl
 
 type t
 
-val create : Catalog.t -> t
+val create : ?symmetry:bool -> Catalog.t -> t
+(** [create ?symmetry dsl] builds the encoding. [symmetry] (default
+    [true]) controls the in-encoding lex-leader symmetry breaking and
+    unused-slot pinning; turning it off restores the enumerate-then-fold
+    behaviour (every commutative duplicate costs a solve-decode-block
+    round trip) and exists for differential testing and ablation. Either
+    way the returned sketch stream is duplicate-free and canonical. *)
 
 val next : ?bucket:Buckets.bucket -> t -> Expr.num option
 (** The next not-yet-enumerated sketch in canonical form (optionally
     restricted to an operator bucket), or [None] when the (sub)space is
-    exhausted. *)
+    exhausted. Bucket switches cost only a different assumption list —
+    the solver instance, its learnt clauses and its heuristic state
+    persist across calls and buckets. *)
 
 val next_raw : ?bucket:Buckets.bucket -> t -> Expr.num option
 (** {!next} without any post-decode filtering — exposed for diagnosing
-    the encoding's pruning quality. *)
+    the encoding's pruning quality (with symmetry breaking on, the raw
+    stream already contains no commutative duplicates). *)
 
 val assumptions_for_bucket : t -> Buckets.bucket -> int list
 (** Solver assumptions pinning the §4.4 bucket discriminator: the sketch
-    uses exactly the given operator set. *)
+    uses exactly the given operator set. (Blocking-group selectors are
+    managed internally by {!next}; these are just the [used_op] pins.) *)
+
+val retire_bucket : t -> Buckets.bucket -> unit
+(** Retract the bucket's blocking clauses (called when the refinement
+    loop drops a bucket from the keep set, reclaiming solver memory).
+    Re-enumerating a retired bucket starts a fresh group: previously
+    returned sketches are re-decoded but caught by the canonical
+    seen-table, so none is returned twice. No-op on unknown buckets. *)
+
+val check_bucket : t -> Buckets.bucket -> bool
+(** One solve under the bucket's assumptions — does the bucket still
+    contain an unenumerated model? No decoding, no blocking. *)
 
 val stats : t -> int * int
 (** [(returned, rejected-as-simplifiable)]. *)
@@ -54,3 +88,7 @@ val prune_rate : t -> float
 
 val num_vars : t -> int
 (** Total SAT variables in the encoding (§6.1-style output). *)
+
+val solver_stats : t -> Abg_sat.Solver.stats
+(** Search-effort statistics of the enumerator's persistent solver
+    (conflicts, propagations, learnt-DB state). *)

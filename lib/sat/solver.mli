@@ -1,8 +1,16 @@
 (** A CDCL SAT solver in the MiniSat lineage: two-literal watches, VSIDS
-    branching, first-UIP clause learning, phase saving and Luby restarts.
-    It is the enumeration engine behind sketch search — the substitute for
-    the paper's iterated Z3 queries (§4.1): solve, block the model,
-    solve again.
+    branching over a binary heap, first-UIP clause learning, phase saving
+    and Luby restarts. It is the enumeration engine behind sketch search —
+    the substitute for the paper's iterated Z3 queries (§4.1): solve,
+    block the model, solve again.
+
+    The solver is built for that incremental workload: clauses can be
+    added at any time (the solver first backtracks to the root level),
+    the learnt-clause database is bounded by activity-driven reduction,
+    and clauses can be registered under a retractable {!group} — a
+    selector-literal construction ([¬sel ∨ C], activated by assuming
+    [sel]) that lets bucket-scoped blocking clauses be retracted without
+    rebuilding the instance.
 
     External literals are DIMACS-like: variables are the positive integers
     returned by {!new_var}; a positive literal [v] asserts the variable,
@@ -16,26 +24,94 @@ val new_var : t -> int
 (** Allocate a fresh variable; returns its (positive) literal. *)
 
 val add_clause : t -> int list -> unit
-(** Add a clause over external literals. Only valid between solve calls.
-    Tautologies are dropped; an empty clause makes the instance
-    permanently unsatisfiable. *)
+(** Add a permanent clause over external literals, valid at any time: if
+    the previous [solve] left assumption levels on the trail, the solver
+    backtracks to the root level first. Tautologies are dropped; an empty
+    clause makes the instance permanently unsatisfiable. *)
+
+(** {1 Retractable clause groups} *)
+
+type group
+(** A set of clauses guarded by one selector literal. Group clauses are
+    inert unless {!group_lit} is passed among [solve]'s assumptions, and
+    the whole set can be retracted with {!retire_group} — the mechanism
+    behind per-bucket blocking clauses in enumeration. *)
+
+val new_group : t -> group
+(** Allocate a group (costs one selector variable). *)
+
+val group_lit : group -> int
+(** The selector literal; assume it to activate the group's clauses. *)
+
+val add_clause_in : t -> group -> int list -> unit
+(** [add_clause_in s g lits] stores [¬sel ∨ lits].
+    @raise Invalid_argument on a retired group. *)
+
+val retire_group : t -> group -> unit
+(** Permanently deactivate a group: its clauses are physically deleted
+    and the selector is pinned false. Learnt clauses derived from group
+    clauses all contain the negated selector (it never occurs positively,
+    so resolution cannot drop it), hence pinning keeps them satisfied and
+    the deletion sound. Idempotent. *)
+
+(** {1 Solving} *)
 
 type result = Sat of bool array | Unsat
-(** A model is indexed by external variable ([m.(v)]; index 0 unused). *)
+(** A model is indexed by external variable ([m.(v)]; index 0 unused).
+    The array is owned by the solver and overwritten in place by the next
+    [solve] on the same instance — read (or copy) it before solving
+    again. Enumeration decodes each model immediately, so no caller pays
+    a per-model allocation. *)
 
 val solve : ?assumptions:int list -> t -> result
 (** Decide the accumulated clauses. [assumptions] are external literals
     asserted for this call only — an [Unsat] under assumptions leaves the
     instance usable. Learnt clauses persist across calls, making repeated
-    blocking-clause enumeration cheap. *)
+    blocking-clause enumeration cheap; the learnt database is reduced
+    (lowest-activity half deleted) whenever it outgrows its ceiling.
+
+    Incremental resume: on [Sat] the whole trail is kept, so the next
+    call with the same assumption list (after, say, one blocking clause)
+    backtracks only as far as that clause demands and searches on from
+    there instead of re-deriving every assignment. A call with a
+    different assumption list first backtracks to the longest still-valid
+    assumption prefix. *)
+
+val limit_model : t -> int -> unit
+(** [limit_model s v] caps the model reported by [solve] at variable [v]
+    ([Sat] arrays then cover indices [1..v] only). Problems whose decision
+    variables are allocated before the auxiliary encoding variables (the
+    common layout) use this to skip filling model slots nobody reads. *)
 
 val randomize : t -> seed:int -> unit
 (** Scramble the branching heuristic (random activities and phases) so
     that successive models during enumeration sample scattered corners of
     the solution space instead of crawling lexicographically. Soundness is
-    unaffected. *)
+    unaffected.
+
+    Determinism: the scramble is a pure function of [seed] and the number
+    of allocated variables. A fixed seed sequence plus an identical
+    clause-addition order yields a bit-identical model sequence. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  propagations : int;  (** trail literals processed by BCP *)
+  conflicts : int;
+  learnts_total : int;  (** clauses ever learnt *)
+  learnts_live : int;  (** currently stored (survived reduction) *)
+  db_reductions : int;  (** learnt-DB reduction passes *)
+}
+
+val stats : t -> stats
+(** Search effort, cumulative over the solver's lifetime. *)
 
 val conflicts : t -> int
 (** Conflicts encountered so far — a search-effort statistic. *)
 
 val num_vars : t -> int
+
+val set_max_learnts : t -> int -> unit
+(** Lower (or raise) the learnt-DB ceiling that triggers reduction;
+    exposed for tests and tuning. Clamped below at 8; the ceiling still
+    grows 10% per reduction. *)

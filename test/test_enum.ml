@@ -110,37 +110,51 @@ let test_enumerate_empty_bucket () =
   Alcotest.(check bool) "unsatisfiable bucket" true
     (Abg_enum.Encode.next ~bucket enc = None)
 
-let test_enumerate_exhaustion_micro_dsl () =
+let micro_dsl =
   (* cwnd/mss/add at depth 2, <= 3 nodes. Non-simplifiable num-trees:
      cwnd, mss, and the adds over distinct/same leaves: cwnd+cwnd,
      cwnd+mss, mss+cwnd, mss+mss — of which cwnd+mss and mss+cwnd are
-     commutative duplicates, merged by the canonical-form dedup stage.
-     Total 5. *)
-  let micro =
-    {
-      Catalog.name = "micro";
-      components =
-        [ Component.Leaf_cwnd; Component.Leaf_signal Signal.Mss;
-          Component.Op_add ];
-      max_depth = 2;
-      max_nodes = 3;
-      constant_pool = [| 1.0 |];
-      unit_check = true;
-    }
-  in
-  let enc = Abg_enum.Encode.create micro in
-  let count = ref 0 in
+     commutative duplicates, one canonical form. Total 5. *)
+  {
+    Catalog.name = "micro";
+    components =
+      [ Component.Leaf_cwnd; Component.Leaf_signal Signal.Mss;
+        Component.Op_add ];
+    max_depth = 2;
+    max_nodes = 3;
+    constant_pool = [| 1.0 |];
+    unit_check = true;
+  }
+
+let exhaust ?bucket ?(cap = 100_000) enc =
+  let acc = ref [] in
   let continue = ref true in
-  while !continue do
-    match Abg_enum.Encode.next enc with
-    | Some _ -> incr count
+  let budget = ref cap in
+  while !continue && !budget > 0 do
+    decr budget;
+    match Abg_enum.Encode.next ?bucket enc with
+    | Some sk -> acc := sk :: !acc
     | None -> continue := false
   done;
-  Alcotest.(check int) "exhaustive count" 5 !count;
-  (* The merged pair shows up in the per-reason counters. *)
-  let dup =
-    List.assoc "duplicate" (Abg_enum.Encode.prune_stats enc)
-  in
+  Alcotest.(check bool) "enumeration terminated" true (not !continue);
+  List.rev !acc
+
+let test_enumerate_exhaustion_micro_dsl () =
+  let enc = Abg_enum.Encode.create micro_dsl in
+  let count = List.length (exhaust enc) in
+  Alcotest.(check int) "exhaustive count" 5 count;
+  (* With in-encoding symmetry breaking the solver never even produces
+     the mss+cwnd model: the duplicate counter stays at zero. *)
+  let dup = List.assoc "duplicate" (Abg_enum.Encode.prune_stats enc) in
+  Alcotest.(check int) "no commutative duplicate enumerated" 0 dup
+
+let test_enumerate_exhaustion_micro_dsl_no_symmetry () =
+  (* Symmetry breaking off restores the enumerate-then-fold behaviour:
+     same 5 canonical sketches, but the commutative duplicate costs an
+     enumerated-and-folded model, visible in the counter. *)
+  let enc = Abg_enum.Encode.create ~symmetry:false micro_dsl in
+  Alcotest.(check int) "exhaustive count" 5 (List.length (exhaust enc));
+  let dup = List.assoc "duplicate" (Abg_enum.Encode.prune_stats enc) in
   Alcotest.(check int) "one commutative duplicate" 1 dup
 
 let test_enumerate_finds_reno_shape () =
@@ -168,6 +182,228 @@ let test_enumerate_finds_reno_shape () =
     | None -> continue := false
   done;
   Alcotest.(check bool) "reno sketch reachable" true !target_found
+
+(* -- Symmetry-breaking contract: the in-encoding lex-leader circuit must
+   change only *how* duplicates are removed, never *what* is enumerated. -- *)
+
+let canonical_set sketches =
+  List.sort_uniq String.compare (List.map Pretty.to_string sketches)
+
+let richer_dsl =
+  (* Small enough to exhaust in milliseconds, rich enough to exercise
+     nested commutative operators, holes and both symmetric/asymmetric
+     arities. *)
+  {
+    Catalog.name = "richer";
+    components =
+      [ Component.Leaf_cwnd; Component.Leaf_signal Signal.Mss;
+        Component.Leaf_const; Component.Op_add; Component.Op_mul;
+        Component.Op_sub ];
+    max_depth = 3;
+    max_nodes = 5;
+    constant_pool = [| 1.0; 2.0 |];
+    unit_check = true;
+  }
+
+let test_symmetry_completeness_exhaustive () =
+  (* Symmetry on vs off: identical canonical sketch sets. *)
+  let on = exhaust (Abg_enum.Encode.create ~symmetry:true richer_dsl) in
+  let off = exhaust (Abg_enum.Encode.create ~symmetry:false richer_dsl) in
+  Alcotest.(check (list string))
+    "identical canonical sketch sets" (canonical_set off) (canonical_set on);
+  Alcotest.(check int) "no duplicates on either side"
+    (List.length (canonical_set on))
+    (List.length on)
+
+let test_symmetry_raw_stream_canonical () =
+  (* With symmetry on, even the unfiltered model stream contains no
+     commutative duplicates: every decoded sketch is already its own
+     canonical form, and no two decoded sketches share one. *)
+  let enc = Abg_enum.Encode.create ~symmetry:true richer_dsl in
+  let seen = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Abg_enum.Encode.next_raw enc with
+    | None -> continue := false
+    | Some sk ->
+        let canon = Abg_analysis.Canonical.normalize sk in
+        Alcotest.(check bool) "decoded sketch already canonical" true
+          (Expr.equal_num canon sk);
+        Alcotest.(check bool) "no canonical collision in raw stream" false
+          (List.exists (Expr.equal_num canon) !seen);
+        seen := canon :: !seen
+  done;
+  Alcotest.(check bool) "raw stream non-empty" true (!seen <> [])
+
+let prop_symmetry_completeness_random =
+  (* Random sub-catalogs and budgets: the exhaustive canonical sketch set
+     never depends on the symmetry flag. *)
+  let pool =
+    [| Component.Leaf_cwnd; Component.Leaf_signal Signal.Mss;
+       Component.Leaf_signal Signal.Rtt; Component.Leaf_const;
+       Component.Leaf_macro Macro.Reno_inc; Component.Op_add;
+       Component.Op_mul; Component.Op_sub; Component.Op_div |]
+  in
+  let gen =
+    QCheck.Gen.triple
+      (QCheck.Gen.int_bound ((1 lsl Array.length pool) - 1))
+      (QCheck.Gen.int_range 1 5)
+      (QCheck.Gen.int_range 2 3)
+  in
+  let arb = QCheck.make gen ~print:(fun (m, n, d) ->
+      Printf.sprintf "mask=%d max_nodes=%d max_depth=%d" m n d)
+  in
+  QCheck.Test.make ~name:"symmetry on/off: identical canonical sets"
+    ~count:40 arb (fun (mask, max_nodes, max_depth) ->
+      let components =
+        (* Always include cwnd so the root has a num leaf available. *)
+        Component.Leaf_cwnd
+        :: List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+             (Array.to_list pool)
+        |> List.sort_uniq Component.compare
+      in
+      let dsl =
+        {
+          Catalog.name = "qcheck";
+          components;
+          max_depth;
+          max_nodes;
+          constant_pool = [| 1.0; 2.0 |];
+          unit_check = true;
+        }
+      in
+      let on = exhaust (Abg_enum.Encode.create ~symmetry:true dsl) in
+      let off = exhaust (Abg_enum.Encode.create ~symmetry:false dsl) in
+      canonical_set on = canonical_set off)
+
+let prop_symmetry_completeness_buckets =
+  (* Same contract, restricted to a random bucket of the Reno catalog
+     (small node budget keeps exhaustion fast). *)
+  let dsl = { Catalog.reno with Catalog.max_nodes = 5 } in
+  let buckets = Array.of_list (Abg_enum.Buckets.all dsl) in
+  let arb =
+    QCheck.make
+      (QCheck.Gen.int_bound (Array.length buckets - 1))
+      ~print:(fun i ->
+        String.concat ","
+          (List.map
+             (fun c -> Format.asprintf "%a" Component.pp c)
+             buckets.(i)))
+  in
+  QCheck.Test.make ~name:"symmetry on/off: identical bucket sets" ~count:15
+    arb (fun i ->
+      let bucket = buckets.(i) in
+      let on =
+        exhaust ~bucket (Abg_enum.Encode.create ~symmetry:true dsl)
+      in
+      let off =
+        exhaust ~bucket (Abg_enum.Encode.create ~symmetry:false dsl)
+      in
+      canonical_set on = canonical_set off)
+
+(* -- One persistent solver: bucket switching, retirement, check. -- *)
+
+let test_shared_encoder_bucket_switching () =
+  (* Interleave two buckets on a single encoder: each returned sketch
+     lands in the requested bucket and no sketch repeats. *)
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let b1 = [ Component.Op_add ] in
+  let b2 = [ Component.Op_add; Component.Op_mul ] in
+  let seen = ref [] in
+  for i = 1 to 20 do
+    let bucket = if i mod 2 = 0 then b1 else b2 in
+    match Abg_enum.Encode.next ~bucket enc with
+    | None -> ()
+    | Some sk ->
+        Alcotest.(check bool) "sketch in requested bucket" true
+          (Abg_enum.Buckets.equal
+             (Abg_enum.Buckets.of_sketch sk)
+             (List.sort Component.compare bucket));
+        Alcotest.(check bool) "never repeated" false
+          (List.exists (Expr.equal_num sk) !seen);
+        seen := sk :: !seen
+  done;
+  Alcotest.(check bool) "both buckets produced" true (List.length !seen >= 10)
+
+let test_retire_bucket_no_repeats () =
+  (* Exhaust a bucket, retire it, enumerate it again: the fresh blocking
+     group re-decodes old models but the canonical seen-table catches
+     every one — nothing is returned twice. *)
+  let enc = Abg_enum.Encode.create micro_dsl in
+  let bucket = [ Component.Op_add ] in
+  let first = exhaust ~bucket enc in
+  Alcotest.(check bool) "bucket non-empty" true (first <> []);
+  Abg_enum.Encode.retire_bucket enc bucket;
+  let again = exhaust ~bucket enc in
+  Alcotest.(check int) "nothing returned twice after retirement" 0
+    (List.length again);
+  (* Retiring an unknown bucket is a no-op. *)
+  Abg_enum.Encode.retire_bucket enc [ Component.Op_mul ]
+
+let test_check_bucket () =
+  let enc = Abg_enum.Encode.create micro_dsl in
+  let bucket = [ Component.Op_add ] in
+  Alcotest.(check bool) "fresh bucket satisfiable" true
+    (Abg_enum.Encode.check_bucket enc bucket);
+  ignore (exhaust ~bucket enc);
+  Alcotest.(check bool) "exhausted bucket unsatisfiable" false
+    (Abg_enum.Encode.check_bucket enc bucket)
+
+let test_solver_stats_exposed () =
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  ignore (Abg_enum.Encode.next enc);
+  let st = Abg_enum.Encode.solver_stats enc in
+  Alcotest.(check bool) "propagations counted" true
+    (st.Abg_sat.Solver.propagations > 0)
+
+(* Pinned decode regression (first sketches of the Reno enumeration):
+   guards the determinism contract — fixed seeds plus identical clause
+   order must reproduce this exact sequence bit-for-bit. Regenerate only
+   on a deliberate encoding or heuristic change. *)
+let pinned_reno_prefix : string list =
+  [
+    "CWND";
+    "acked";
+    "mss";
+    "reno-inc";
+    "({reno-inc % time-since-loss = 0} ? reno-inc : acked)";
+    "({reno-inc % c1 = 0} ? reno-inc : acked)";
+    "({reno-inc % acked = 0} ? reno-inc : acked)";
+    "({reno-inc % mss = 0} ? reno-inc : acked)";
+    "({reno-inc % CWND = 0} ? reno-inc : acked)";
+    "({time-since-loss % c1 = 0} ? reno-inc : acked)";
+    "({time-since-loss % reno-inc = 0} ? reno-inc : acked)";
+    "({time-since-loss % CWND = 0} ? reno-inc : acked)";
+    "({time-since-loss % mss = 0} ? reno-inc : acked)";
+    "({time-since-loss % acked = 0} ? reno-inc : acked)";
+    "({acked % reno-inc = 0} ? reno-inc : acked)";
+    "({acked % CWND = 0} ? reno-inc : acked)";
+    "({acked % mss = 0} ? reno-inc : acked)";
+    "({acked % time-since-loss = 0} ? reno-inc : acked)";
+    "({acked % c1 = 0} ? reno-inc : acked)";
+    "({mss % c1 = 0} ? reno-inc : acked)";
+    "({mss % reno-inc = 0} ? reno-inc : acked)";
+    "({mss % CWND = 0} ? reno-inc : acked)";
+    "({mss % acked = 0} ? reno-inc : acked)";
+    "({mss % time-since-loss = 0} ? reno-inc : acked)";
+    "({c1 % time-since-loss = 0} ? reno-inc : acked)";
+    "({c1 % CWND = 0} ? reno-inc : acked)";
+    "({c1 % reno-inc = 0} ? reno-inc : acked)";
+    "({c1 % acked = 0} ? reno-inc : acked)";
+    "({c1 % mss = 0} ? reno-inc : acked)";
+    "({CWND % c1 = 0} ? reno-inc : acked)";
+    "({CWND % acked = 0} ? reno-inc : acked)";
+    "({CWND % time-since-loss = 0} ? reno-inc : acked)";
+  ]
+
+let test_pinned_reno_prefix () =
+  let enc = Abg_enum.Encode.create Catalog.reno in
+  let got =
+    List.filter_map (fun _ -> Abg_enum.Encode.next enc)
+      (List.init (List.length pinned_reno_prefix) Fun.id)
+    |> List.map Pretty.to_string
+  in
+  Alcotest.(check (list string)) "first Reno sketches" pinned_reno_prefix got
 
 let test_stats_and_vars () =
   let enc = Abg_enum.Encode.create Catalog.reno in
@@ -214,8 +450,32 @@ let suites =
         Alcotest.test_case "bucket restriction" `Quick test_enumerate_bucket_restriction;
         Alcotest.test_case "empty bucket" `Quick test_enumerate_empty_bucket;
         Alcotest.test_case "micro-DSL exhaustion" `Quick test_enumerate_exhaustion_micro_dsl;
+        Alcotest.test_case "micro-DSL exhaustion (no symmetry)" `Quick
+          test_enumerate_exhaustion_micro_dsl_no_symmetry;
         Alcotest.test_case "reno sketch reachable" `Slow test_enumerate_finds_reno_shape;
         Alcotest.test_case "stats" `Quick test_stats_and_vars;
         Alcotest.test_case "buckets partition" `Quick test_bucket_of_sketch_partition;
+        Alcotest.test_case "pinned reno prefix" `Quick test_pinned_reno_prefix;
+      ] );
+    ( "enum.symmetry",
+      [
+        Alcotest.test_case "completeness (exhaustive)" `Quick
+          test_symmetry_completeness_exhaustive;
+        Alcotest.test_case "raw stream canonical" `Quick
+          test_symmetry_raw_stream_canonical;
+      ]
+      @ List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_symmetry_completeness_random;
+            prop_symmetry_completeness_buckets;
+          ] );
+    ( "enum.incremental",
+      [
+        Alcotest.test_case "shared encoder bucket switching" `Quick
+          test_shared_encoder_bucket_switching;
+        Alcotest.test_case "retire bucket" `Quick test_retire_bucket_no_repeats;
+        Alcotest.test_case "check bucket" `Quick test_check_bucket;
+        Alcotest.test_case "solver stats" `Quick test_solver_stats_exposed;
       ] );
   ]

@@ -193,6 +193,198 @@ let test_implies () =
   Cnf.implies s a b;
   expect_unsat ~assumptions:[ a; -b ] s
 
+let test_at_most_one_commander () =
+  (* 10 literals is above the commander threshold: the encoding recurses
+     but stays equisatisfiable on the projection — 10 singletons plus the
+     empty assignment. (Blocking clauses over the original variables kill
+     every commander extension at once, so counting is unaffected.) *)
+  let s = Solver.create () in
+  let vs = fresh_vars s 10 in
+  Cnf.at_most_one s vs;
+  Alcotest.(check int) "10 + empty" 11 (count_models s vs)
+
+let prop_commander_equisatisfiable =
+  (* For any size and any forced sub-assignment, the commander encoding
+     and the pairwise baseline agree on satisfiability. *)
+  QCheck.Test.make ~name:"commander at_most_one equisatisfiable with pairwise"
+    ~count:100
+    QCheck.(pair (int_range 1 14) (int_range 0 3))
+    (fun (n, forced) ->
+      let forced = min forced n in
+      let build amo =
+        let s = Solver.create () in
+        let vs = fresh_vars s n in
+        amo s vs;
+        (* Force the first [forced] literals true. *)
+        List.iteri (fun i v -> if i < forced then Solver.add_clause s [ v ]) vs;
+        match Solver.solve s with Solver.Sat _ -> true | Solver.Unsat -> false
+      in
+      build Cnf.at_most_one = build Cnf.pairwise_at_most_one)
+
+let test_lex_gadgets () =
+  let s = Solver.create () in
+  let u = Solver.new_var s in
+  let g1 = Solver.new_var s and e1 = Solver.new_var s in
+  let g2 = Solver.new_var s and e2 = Solver.new_var s in
+  let t = Solver.new_var s in
+  Cnf.lex_gt_implies s ~under:[ u ] ~target:t [ (g1, e1); (g2, e2) ];
+  (* First digit greater forces the target... *)
+  expect_unsat ~assumptions:[ u; g1; -t ] s;
+  (* ...so does the second when the first is equal... *)
+  expect_unsat ~assumptions:[ u; e1; g2; -t ] s;
+  (* ...but not without the equality prefix or the guard. *)
+  ignore (expect_sat s);
+  (match Solver.solve ~assumptions:[ u; -e1; g2; -t ] s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "no forcing without eq prefix");
+  (match Solver.solve ~assumptions:[ -u; g1; -t ] s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "no forcing without guard");
+  (* lex_le bans the greater sequences outright. *)
+  let s2 = Solver.create () in
+  let u' = Solver.new_var s2 in
+  let g1' = Solver.new_var s2 and e1' = Solver.new_var s2 in
+  let g2' = Solver.new_var s2 and e2' = Solver.new_var s2 in
+  ignore e2';
+  Cnf.lex_le s2 ~under:[ u' ] [ (g1', e1'); (g2', e2') ];
+  expect_unsat ~assumptions:[ u'; g1' ] s2;
+  expect_unsat ~assumptions:[ u'; e1'; g2' ] s2;
+  match Solver.solve ~assumptions:[ -u'; g1' ] s2 with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "lex_le must be guarded"
+
+(* -- Clause groups -- *)
+
+let test_group_activation_and_retire () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  let g = Solver.new_group s in
+  Solver.add_clause_in s g [ a ];
+  (* Inert without the selector... *)
+  (match Solver.solve ~assumptions:[ -a ] s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "group must be inert unassumed");
+  (* ...binding under it... *)
+  expect_unsat ~assumptions:[ Solver.group_lit g; -a ] s;
+  (* ...and permanently off after retirement. *)
+  Solver.retire_group s g;
+  expect_unsat ~assumptions:[ Solver.group_lit g ] s;
+  (match Solver.solve ~assumptions:[ -a ] s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "retired group must not constrain");
+  Solver.retire_group s g;
+  (* Adding to a retired group is a programming error. *)
+  match Solver.add_clause_in s g [ a ] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_group_learnts_survive_retirement () =
+  (* Pigeonhole inside a group: solving under the selector learns clauses
+     that mention it; after retirement the instance must behave as if the
+     group never existed. *)
+  let s = Solver.create () in
+  let p = Array.init 4 (fun _ -> Array.of_list (fresh_vars s 3)) in
+  let g = Solver.new_group s in
+  for i = 0 to 3 do
+    Solver.add_clause_in s g (Array.to_list p.(i))
+  done;
+  for h = 0 to 2 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        Solver.add_clause_in s g [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  expect_unsat ~assumptions:[ Solver.group_lit g ] s;
+  Solver.retire_group s g;
+  (* All pigeon variables are free again. *)
+  let m = expect_sat s in
+  ignore m;
+  match Solver.solve ~assumptions:[ p.(0).(0); p.(1).(0) ] s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "retired constraints must not bind"
+
+(* -- Learnt-DB reduction -- *)
+
+let test_reduce_db_soundness () =
+  (* A tiny learnt ceiling forces many reduction passes mid-search; the
+     answer must not change. Pigeonhole 5->4 generates thousands of
+     conflicts. *)
+  let s = Solver.create () in
+  let p = Array.init 5 (fun _ -> Array.of_list (fresh_vars s 4)) in
+  Solver.set_max_learnts s 8;
+  for i = 0 to 4 do
+    Solver.add_clause s (Array.to_list p.(i))
+  done;
+  for h = 0 to 3 do
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        Solver.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  expect_unsat s;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "reductions happened" true
+    (st.Solver.db_reductions > 0);
+  Alcotest.(check bool) "live learnts bounded below total" true
+    (st.Solver.learnts_live <= st.Solver.learnts_total)
+
+let test_enumeration_under_gc () =
+  (* Model counting with an aggressive learnt GC: the count is exact
+     regardless of which learnt clauses survive. *)
+  let n = 6 and k = 2 in
+  let s = Solver.create () in
+  let vs = fresh_vars s n in
+  Cnf.at_most_k s vs k;
+  Solver.set_max_learnts s 8;
+  let expected = binom n 0 + binom n 1 + binom n 2 in
+  Alcotest.(check int) "count under GC" expected (count_models s vs)
+
+let test_stats_move () =
+  let s = Solver.create () in
+  let vs = Array.of_list (fresh_vars s 10) in
+  Solver.add_clause s [ vs.(0) ];
+  for i = 0 to 8 do
+    Solver.add_clause s [ -vs.(i); vs.(i + 1) ]
+  done;
+  ignore (expect_sat s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "propagations counted" true (st.Solver.propagations >= 10)
+
+(* -- Determinism of randomized enumeration -- *)
+
+let enumerate_with_seeds n_vars n_models =
+  (* One fixed formula; randomize with seed i before the i-th solve and
+     collect the model bit-strings. *)
+  let s = Solver.create () in
+  let vs = fresh_vars s n_vars in
+  Solver.add_clause s vs;
+  Cnf.at_most_k s vs 3;
+  let out = ref [] in
+  (try
+     for i = 1 to n_models do
+       Solver.randomize s ~seed:(i * 7919);
+       match Solver.solve s with
+       | Solver.Unsat -> raise Exit
+       | Solver.Sat m ->
+           out :=
+             String.concat ""
+               (List.map (fun v -> if m.(v) then "1" else "0") vs)
+             :: !out;
+           Solver.add_clause s (List.map (fun v -> if m.(v) then -v else v) vs)
+     done
+   with Exit -> ());
+  List.rev !out
+
+let test_randomize_deterministic () =
+  (* The documented contract: fixed seed sequence + identical clause order
+     => bit-identical model sequence. *)
+  let a = enumerate_with_seeds 9 25 in
+  let b = enumerate_with_seeds 9 25 in
+  Alcotest.(check (list string)) "bit-identical model sequences" a b;
+  Alcotest.(check bool) "non-trivial run" true (List.length a > 5)
+
 (* -- Differential fuzz vs brute force -- *)
 
 let brute_force_sat n clauses =
@@ -293,6 +485,17 @@ let suites =
         Alcotest.test_case "assumptions" `Quick test_assumptions;
         Alcotest.test_case "enumeration count" `Quick test_enumeration_count;
         Alcotest.test_case "randomize is sound" `Quick test_randomize_sound;
+        Alcotest.test_case "randomize is deterministic" `Quick
+          test_randomize_deterministic;
+        Alcotest.test_case "groups: activate and retire" `Quick
+          test_group_activation_and_retire;
+        Alcotest.test_case "groups: learnts survive retirement" `Quick
+          test_group_learnts_survive_retirement;
+        Alcotest.test_case "learnt-DB reduction sound" `Quick
+          test_reduce_db_soundness;
+        Alcotest.test_case "enumeration under GC" `Quick
+          test_enumeration_under_gc;
+        Alcotest.test_case "stats" `Quick test_stats_move;
       ]
       @ qcheck [ prop_matches_brute_force; prop_incremental_enumeration_complete ]
     );
@@ -300,11 +503,15 @@ let suites =
       [
         Alcotest.test_case "exactly_one" `Quick test_exactly_one;
         Alcotest.test_case "at_most_one" `Quick test_at_most_one;
+        Alcotest.test_case "at_most_one commander" `Quick
+          test_at_most_one_commander;
         Alcotest.test_case "at_most_k counts" `Quick test_at_most_k;
         Alcotest.test_case "at_most_k zero" `Quick test_at_most_k_zero;
         Alcotest.test_case "at_most_k slack" `Quick test_at_most_k_slack;
         Alcotest.test_case "define_and" `Quick test_define_and;
         Alcotest.test_case "define_or" `Quick test_define_or;
         Alcotest.test_case "implies" `Quick test_implies;
-      ] );
+        Alcotest.test_case "lex gadgets" `Quick test_lex_gadgets;
+      ]
+      @ qcheck [ prop_commander_equisatisfiable ] );
   ]
