@@ -253,6 +253,98 @@ let batch_store_tests =
          (Staged.stage (fun () ->
               ignore (Abg_batch.Store.get store read_digest))) ))
 
+(* The group-commit write path: the same fresh 4k payload, but staged in
+   a deferred store whose pack flush (one append write + one fsync)
+   lands every 64 puts — the store half of a 64-entry flush window. 63
+   runs stage in memory, the 64th pays the flush, so the estimate is the
+   honest amortized per-blob durability cost to hold against
+   store-blob-write-4k's fsync-per-blob baseline. *)
+let batch_store_amortized_test =
+  lazy
+    (let root =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "abagnale-bench-store-deferred.%d" (Unix.getpid ()))
+     in
+     let store = Abg_batch.Store.open_ ~deferred:true root in
+     let payload = String.init 4096 (fun i -> Char.chr (32 + (i mod 95))) in
+     let counter = ref 0 in
+     Test.make ~name:"batch: store-blob-write-4k-amortized"
+       (Staged.stage (fun () ->
+            incr counter;
+            ignore
+              (Abg_batch.Store.put store (string_of_int !counter ^ payload));
+            if !counter mod 64 = 0 then
+              ignore (Abg_batch.Store.flush_staged store))))
+
+let bench_entry i =
+  {
+    Abg_batch.Journal.job = Digest.to_hex (Digest.string (string_of_int i));
+    status =
+      (if i mod 16 = 0 then Abg_batch.Journal.Quarantined
+       else Abg_batch.Journal.Ok);
+    attempts = 1 + (i mod 3);
+    result = Some (Digest.to_hex (Digest.string ("r" ^ string_of_int i)));
+    error = None;
+  }
+
+(* The journal half of the same window: entries accumulate and every
+   64th run pays one append_batch (one write, one fsync) for the lot. *)
+let batch_journal_append_amortized_test =
+  lazy
+    (let path =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "abagnale-bench-journal-amortized.%d.jsonl"
+            (Unix.getpid ()))
+     in
+     if Sys.file_exists path then Sys.remove path;
+     let journal = Abg_batch.Journal.open_ path in
+     let counter = ref 0 in
+     let pending = ref [] in
+     Test.make ~name:"batch: journal-append-amortized"
+       (Staged.stage (fun () ->
+            incr counter;
+            pending := bench_entry !counter :: !pending;
+            if !counter mod 64 = 0 then begin
+              Abg_batch.Journal.append_batch journal !pending;
+              pending := []
+            end)))
+
+(* Resume cost at the ISSUE's 100k-job scale: a journal holding 100k
+   settled outcomes behind a checkpoint record plus a 256-line tail —
+   the shape a long run has on disk — read back through the fast path.
+   The acceptance bar is sub-second. *)
+let batch_journal_replay_100k_test =
+  lazy
+    (let path =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "abagnale-bench-journal-100k.%d.jsonl"
+            (Unix.getpid ()))
+     in
+     if Sys.file_exists path then Sys.remove path;
+     let journal = Abg_batch.Journal.open_ path in
+     let total = 100_000 and tail = 256 and chunk = 4_096 in
+     let settled = ref [] in
+     let rec fill i =
+       if i < total then begin
+         let n = Stdlib.min chunk (total - i) in
+         let entries = List.init n (fun k -> bench_entry (i + k)) in
+         Abg_batch.Journal.append_batch journal entries;
+         settled := List.rev_append entries !settled;
+         fill (i + n)
+       end
+     in
+     fill 0;
+     Abg_batch.Journal.append_checkpoint journal !settled;
+     Abg_batch.Journal.append_batch journal
+       (List.init tail (fun k -> bench_entry (total + k)));
+     Abg_batch.Journal.close journal;
+     Test.make ~name:"batch: journal-replay-100k-checkpointed"
+       (Staged.stage (fun () ->
+            ignore (Abg_batch.Journal.replay_checkpointed path))))
+
 let batch_journal_replay_test =
   lazy
     (let path =
@@ -371,7 +463,10 @@ let run () =
       Lazy.force solve_assumptions_test;
       absint_prune_test; Lazy.force canonical_intern_test; simulate_test;
       collect_suite_test; Lazy.force classify_features_test; store_write;
-      store_read; Lazy.force batch_journal_replay_test ]
+      store_read; Lazy.force batch_store_amortized_test;
+      Lazy.force batch_journal_append_amortized_test;
+      Lazy.force batch_journal_replay_test;
+      Lazy.force batch_journal_replay_100k_test ]
   in
   (* Estimates are taken with telemetry off: they track the cost of the
      kernel operations themselves, and the disabled path is the one the

@@ -500,6 +500,43 @@ let shard_arg =
   in
   Arg.(value & opt (some shard_conv) None & info [ "shard" ] ~docv:"I/N" ~doc)
 
+let workers_arg =
+  let doc =
+    "Spawn $(docv) supervised worker processes, each running one slice of \
+     the grid into its own journal, and merge their progress into one \
+     report. A worker killed mid-run is resumed, not failed."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+let worker_arg =
+  let doc =
+    "Run as coordinator worker $(docv): slice I of N (index modulo N), \
+     journaling into journal.wIofN.jsonl of a shared run directory. \
+     Spawned by --workers; exclusive with --shard."
+  in
+  Arg.(value & opt (some shard_conv) None & info [ "worker" ] ~docv:"I/N" ~doc)
+
+let flush_window_arg =
+  let doc =
+    "Group-commit linger in seconds: how long a flush leader waits for \
+     concurrently completing jobs to join its fsync."
+  in
+  Arg.(value & opt float 0.0 & info [ "flush-window" ] ~docv:"SECONDS" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Journal lines between checkpoint records (resume/status parse only \
+     the lines after the last checkpoint)."
+  in
+  Arg.(value & opt int 1024 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let verify_arg =
+  let doc =
+    "Opt back into full-history verification: replay every journal line \
+     (not just the last checkpoint onward) and re-hash every blob read."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
 let retries_arg =
   let doc = "Extra attempts for a failing job before quarantine." in
   Arg.(value & opt int 2 & info [ "retries" ] ~doc)
@@ -516,17 +553,66 @@ let domains_arg =
   let doc = "Domain-pool participation cap for this run." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let batch_settings retries timeout shard max_jobs domains seed verbose =
+let batch_settings ~retries ~timeout ~shard ~worker ~max_jobs ~domains
+    ~flush_window ~checkpoint_every ~seed ~verbose =
   {
     Abg_batch.Runner.default_settings with
     Abg_batch.Runner.retries;
     timeout_s = Option.value ~default:infinity timeout;
     shard;
+    worker;
     max_jobs;
     num_domains = domains;
+    flush_window_s = flush_window;
+    checkpoint_every;
     refinement = { Abg_core.Refinement.default_config with seed };
     verbose;
   }
+
+(* Re-invoke this binary as `batch resume DIR --worker i/n`, forwarding
+   the knobs that shape execution. Respawn-on-kill is sound because
+   resume is: a respawned worker skips everything its journal settled. *)
+let run_workers ~dir ~workers ~retries ~timeout ~max_jobs ~domains
+    ~flush_window ~checkpoint_every ~seed ~verbose =
+  if workers < 1 then begin
+    Printf.eprintf "--workers must be >= 1\n";
+    exit 1
+  end;
+  let opt_arg flag fmt = function
+    | None -> []
+    | Some v -> [ flag; fmt v ]
+  in
+  let base =
+    [ "batch"; "resume"; dir; "--retries"; string_of_int retries ]
+    @ opt_arg "--timeout" string_of_float timeout
+    @ opt_arg "--max-jobs" string_of_int max_jobs
+    @ opt_arg "--domains" string_of_int domains
+    @ [
+        "--flush-window";
+        string_of_float flush_window;
+        "--checkpoint-every";
+        string_of_int checkpoint_every;
+        "--seed";
+        string_of_int seed;
+      ]
+    @ (if verbose then [ "--verbose" ] else [])
+  in
+  let argv i =
+    Array.of_list
+      ((Sys.executable_name :: base)
+      @ [ "--worker"; Printf.sprintf "%d/%d" i workers ])
+  in
+  let outcome = Abg_batch.Coordinator.supervise ~argv ~workers () in
+  List.iter
+    (fun (w, why) ->
+      Printf.eprintf "worker %d abandoned after repeated deaths: %s\n" w why)
+    outcome.Abg_batch.Coordinator.failed;
+  if outcome.Abg_batch.Coordinator.respawns > 0 then
+    Printf.printf "workers: %d respawn(s)\n"
+      outcome.Abg_batch.Coordinator.respawns;
+  print_string (Abg_batch.Report.status dir);
+  if outcome.Abg_batch.Coordinator.failed <> [] then exit 1;
+  if outcome.Abg_batch.Coordinator.quarantined then exit 2
 
 let print_batch_summary verbose (summary : Abg_batch.Runner.summary) =
   let ok, quarantined =
@@ -561,7 +647,8 @@ let print_batch_summary verbose (summary : Abg_batch.Runner.summary) =
   if quarantined <> [] then exit 2
 
 let batch_run dir kinds ccas scenarios duration ack_jitter seeds retries
-    timeout shard max_jobs domains seed verbose telemetry =
+    timeout shard workers max_jobs domains flush_window checkpoint_every seed
+    verbose telemetry =
   with_telemetry telemetry @@ fun () ->
   let kinds =
     List.map
@@ -584,63 +671,129 @@ let batch_run dir kinds ccas scenarios duration ack_jitter seeds retries
     Abg_batch.Job.expand
       { Abg_batch.Job.kinds; ccas; scenarios; duration; ack_jitter; seeds }
   in
-  let settings =
-    batch_settings retries timeout shard max_jobs domains seed verbose
-  in
   Printf.printf "grid: %d job(s) -> %s\n" (List.length jobs) dir;
-  print_batch_summary verbose (Abg_batch.Runner.run ~dir ~settings jobs)
+  match workers with
+  | Some workers ->
+      (* Coordinator mode: persist the grid, then fan execution out to
+         supervised child processes. *)
+      if shard <> None then begin
+        Printf.eprintf "--workers and --shard are exclusive\n";
+        exit 1
+      end;
+      Abg_batch.Runner.init ~dir jobs;
+      run_workers ~dir ~workers ~retries ~timeout ~max_jobs ~domains
+        ~flush_window ~checkpoint_every ~seed ~verbose
+  | None ->
+      let settings =
+        batch_settings ~retries ~timeout ~shard ~worker:None ~max_jobs
+          ~domains ~flush_window ~checkpoint_every ~seed ~verbose
+      in
+      print_batch_summary verbose (Abg_batch.Runner.run ~dir ~settings jobs)
 
 let batch_run_cmd =
   let info =
     Cmd.info "run"
       ~doc:
         "Expand an experiment grid (kinds x ccas x seeds over the testbed \
-         scenarios) into a run directory and execute it"
+         scenarios) into a run directory and execute it, in-process or \
+         across supervised --workers"
   in
   Cmd.v info
     Term.(
       const batch_run $ batch_dir_arg $ kinds_arg $ ccas_arg $ scenarios_arg
       $ duration_arg $ ack_jitter_arg $ seeds_arg $ retries_arg $ timeout_arg
-      $ shard_arg $ max_jobs_arg $ domains_arg $ seed_arg $ verbose_arg
+      $ shard_arg $ workers_arg $ max_jobs_arg $ domains_arg
+      $ flush_window_arg $ checkpoint_every_arg $ seed_arg $ verbose_arg
       $ telemetry_arg)
 
-let batch_resume dir retries timeout shard max_jobs domains seed verbose
-    telemetry =
+let batch_resume dir retries timeout shard worker workers max_jobs domains
+    flush_window checkpoint_every seed verbose telemetry =
   with_telemetry telemetry @@ fun () ->
-  let settings =
-    batch_settings retries timeout shard max_jobs domains seed verbose
-  in
-  print_batch_summary verbose (Abg_batch.Runner.resume ~dir ~settings ())
+  match workers with
+  | Some workers ->
+      if shard <> None || worker <> None then begin
+        Printf.eprintf "--workers is exclusive with --shard/--worker\n";
+        exit 1
+      end;
+      run_workers ~dir ~workers ~retries ~timeout ~max_jobs ~domains
+        ~flush_window ~checkpoint_every ~seed ~verbose
+  | None ->
+      let settings =
+        batch_settings ~retries ~timeout ~shard ~worker ~max_jobs ~domains
+          ~flush_window ~checkpoint_every ~seed ~verbose
+      in
+      print_batch_summary verbose (Abg_batch.Runner.resume ~dir ~settings ())
 
 let batch_resume_cmd =
   let info =
     Cmd.info "resume"
       ~doc:
-        "Replay a run directory's journal and execute every job without a \
+        "Replay a run directory's journals and execute every job without a \
          terminal record (crash recovery; idempotent)"
   in
   Cmd.v info
     Term.(
       const batch_resume $ batch_dir_arg $ retries_arg $ timeout_arg
-      $ shard_arg $ max_jobs_arg $ domains_arg $ seed_arg $ verbose_arg
+      $ shard_arg $ worker_arg $ workers_arg $ max_jobs_arg $ domains_arg
+      $ flush_window_arg $ checkpoint_every_arg $ seed_arg $ verbose_arg
       $ telemetry_arg)
 
-let batch_status dir = print_string (Abg_batch.Report.status ~dir)
+let batch_status verify dir =
+  print_string (Abg_batch.Report.status ~verify dir)
 
 let batch_status_cmd =
-  let info = Cmd.info "status" ~doc:"Summarize a run directory's progress" in
-  Cmd.v info Term.(const batch_status $ batch_dir_arg)
+  let info =
+    Cmd.info "status"
+      ~doc:
+        "Summarize a run directory's progress (checkpointed fast path; \
+         --verify replays and re-hashes everything)"
+  in
+  Cmd.v info Term.(const batch_status $ verify_arg $ batch_dir_arg)
 
-let batch_report dir = print_string (Abg_batch.Report.render ~dir)
+let batch_report verify dir =
+  print_string (Abg_batch.Report.render ~verify dir)
 
 let batch_report_cmd =
   let info =
     Cmd.info "report"
       ~doc:
         "Render the deterministic Table-2-style report of a run directory \
-         (a pure function of its grid, journal, and store)"
+         (a pure function of its grid, journals, and store)"
   in
-  Cmd.v info Term.(const batch_report $ batch_dir_arg)
+  Cmd.v info Term.(const batch_report $ verify_arg $ batch_dir_arg)
+
+let batch_gc dir =
+  let stats = Abg_batch.Runner.gc ~dir in
+  Printf.printf
+    "gc: %d live blob(s) kept, %d swept, %d tmp file(s) swept, %d pack(s) \
+     folded, %d dir(s) pruned\n"
+    stats.Abg_batch.Store.kept stats.Abg_batch.Store.swept
+    stats.Abg_batch.Store.tmp_swept stats.Abg_batch.Store.packs_folded
+    stats.Abg_batch.Store.dirs_pruned
+
+let batch_gc_cmd =
+  let info =
+    Cmd.info "gc"
+      ~doc:
+        "Offline store maintenance: verify and fold pack files into the \
+         loose blob tree, sweep blobs no journal references, prune empty \
+         directories (must not run concurrently with an executing run)"
+  in
+  Cmd.v info Term.(const batch_gc $ batch_dir_arg)
+
+let batch_compact dir =
+  Abg_batch.Runner.compact ~dir;
+  Printf.printf "compacted %d journal(s)\n"
+    (List.length (Abg_batch.Runner.journal_paths ~dir))
+
+let batch_compact_cmd =
+  let info =
+    Cmd.info "compact"
+      ~doc:
+        "Rewrite each journal as a single checkpoint record covering its \
+         settled outcome set (offline; crash-safe via temp-fsync-rename)"
+  in
+  Cmd.v info Term.(const batch_compact $ batch_dir_arg)
 
 let batch_cmd =
   let info =
@@ -648,10 +801,17 @@ let batch_cmd =
       ~doc:
         "Crash-safe batch experiment orchestration: expand a grid, run it \
          with retries and quarantine, resume after a kill, shard across \
-         processes, and report"
+         supervised worker processes, garbage-collect, and report"
   in
   Cmd.group info
-    [ batch_run_cmd; batch_resume_cmd; batch_status_cmd; batch_report_cmd ]
+    [
+      batch_run_cmd;
+      batch_resume_cmd;
+      batch_status_cmd;
+      batch_report_cmd;
+      batch_gc_cmd;
+      batch_compact_cmd;
+    ]
 
 (* -- fingerprint -- *)
 

@@ -12,22 +12,26 @@ type row = {
   entry : Journal.entry option;  (** [None] = still pending *)
 }
 
-let load ~dir =
+let load ~verify dir =
   let jobs = Runner.jobs_of_dir ~dir in
   let settled = Hashtbl.create 64 in
   List.iter
     (fun (e : Journal.entry) -> Hashtbl.replace settled e.Journal.job e)
-    (Journal.replay (dir / "journal.jsonl"));
+    (Runner.settled_entries ~verify dir);
   List.map
     (fun job ->
       let digest = Job.digest job in
       { job; digest; entry = Hashtbl.find_opt settled digest })
     jobs
 
-let result_doc store (row : row) =
+(* Verification is opt-in here: a report touches every blob in the run,
+   and re-hashing them all on each invocation is exactly the O(history)
+   cost this layer exists to avoid. *)
+let result_doc ~verify store (row : row) =
   match row.entry with
   | Some { Journal.status = Journal.Ok; result = Some blob; _ } ->
-      Some (Jsonx.parse (Store.get store blob))
+      let read = if verify then Store.get else Store.get_unverified in
+      Some (Jsonx.parse (read store blob))
   | _ -> None
 
 (* -- field accessors over result documents -- *)
@@ -71,8 +75,8 @@ let buf_section buf title rows render_row =
     Buffer.add_char buf '\n'
   end
 
-let synth_row store (row : row) =
-  match result_doc store row with
+let synth_row doc_of (row : row) =
+  match doc_of row with
   | None -> Printf.sprintf "  %-12s seed=%-6d PENDING" row.job.Job.cca row.job.Job.seed
   | Some doc ->
       if not (found doc) then
@@ -85,14 +89,14 @@ let synth_row store (row : row) =
           (fmt_opt fmt_dist (hex_field doc "distance"))
           (fmt_opt Fun.id (str_field doc "handler"))
 
-let noise_row store (row : row) =
+let noise_row doc_of (row : row) =
   let params =
     match row.job.Job.kind with
     | Job.Noise { stddev; keep } ->
         Printf.sprintf "stddev=%g keep=%g" stddev keep
     | _ -> ""
   in
-  match result_doc store row with
+  match doc_of row with
   | None ->
       Printf.sprintf "  %-12s seed=%-6d %-24s PENDING" row.job.Job.cca
         row.job.Job.seed params
@@ -107,16 +111,16 @@ let noise_row store (row : row) =
           (fmt_opt fmt_dist (hex_field doc "distance_clean"))
           (fmt_opt Fun.id (str_field doc "dsl"))
 
-let classify_row store (row : row) =
-  match result_doc store row with
+let classify_row doc_of (row : row) =
+  match doc_of row with
   | None -> Printf.sprintf "  %-12s PENDING" row.job.Job.cca
   | Some doc ->
       Printf.sprintf "  %-12s gordon=%-20s ccanalyzer=%s" row.job.Job.cca
         (fmt_opt Fun.id (str_field doc "gordon"))
         (fmt_opt Fun.id (str_field doc "ccanalyzer"))
 
-let collect_row store (row : row) =
-  match result_doc store row with
+let collect_row doc_of (row : row) =
+  match doc_of row with
   | None -> Printf.sprintf "  %-12s PENDING" row.job.Job.cca
   | Some doc ->
       let traces =
@@ -133,8 +137,8 @@ let collect_row store (row : row) =
       Printf.sprintf "  %-12s %d trace(s), %d record(s)" row.job.Job.cca
         (List.length traces) records
 
-let probe_row store (row : row) =
-  match result_doc store row with
+let probe_row doc_of (row : row) =
+  match doc_of row with
   | None -> Printf.sprintf "  %-12s seed=%-6d PENDING" row.job.Job.cca row.job.Job.seed
   | Some doc ->
       Printf.sprintf "  %-12s seed=%-6d %s checksum=%s" row.job.Job.cca
@@ -163,9 +167,10 @@ let is_quarantined (row : row) =
   | Some { Journal.status = Journal.Quarantined; _ } -> true
   | _ -> false
 
-let render ~dir =
-  let rows = load ~dir in
+let render ?(verify = false) dir =
+  let rows = load ~verify dir in
   let store = Store.open_ (dir / "store") in
+  let doc_of = result_doc ~verify store in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "Batch report: %d job(s)\n\n" (List.length rows));
@@ -174,11 +179,11 @@ let render ~dir =
       (List.filter (fun r -> is_kind kind r && not (is_quarantined r)) rows)
       render_row
   in
-  section "Synthesis" "synth" (synth_row store);
-  section "Noise robustness" "noise" (noise_row store);
-  section "Classification" "classify" (classify_row store);
-  section "Collection" "collect" (collect_row store);
-  section "Probes" "probe" (probe_row store);
+  section "Synthesis" "synth" (synth_row doc_of);
+  section "Noise robustness" "noise" (noise_row doc_of);
+  section "Classification" "classify" (classify_row doc_of);
+  section "Collection" "collect" (collect_row doc_of);
+  section "Probes" "probe" (probe_row doc_of);
   buf_section buf "Quarantined" (List.filter_map quarantined_row rows) Fun.id;
   let done_ = List.length (List.filter is_ok rows) in
   let quarantined = List.length (List.filter is_quarantined rows) in
@@ -189,8 +194,8 @@ let render ~dir =
        (List.length (Store.list store)));
   Buffer.contents buf
 
-let status ~dir =
-  let rows = load ~dir in
+let status ?(verify = false) dir =
+  let rows = load ~verify dir in
   let store = Store.open_ (dir / "store") in
   let buf = Buffer.create 512 in
   let done_ = List.length (List.filter is_ok rows) in

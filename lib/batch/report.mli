@@ -1,15 +1,24 @@
 (** Deterministic run reports.
 
     Both entry points are pure functions of the run directory's
-    persisted state — the grid, the journal's settled outcomes, and the
-    store — never of this process's timing, so a killed-and-resumed run
-    reports byte-identically to an uninterrupted one. *)
+    persisted state — the grid, the journal family's settled outcomes,
+    and the store — never of this process's timing, so a
+    killed-and-resumed run reports byte-identically to an uninterrupted
+    one, and a coordinator run (several worker journals) byte-identically
+    to a single-process one.
 
-val status : dir:string -> string
+    By default both read the fast path: the last checkpoint plus the
+    outcome lines after it ({!Runner.settled_entries}), and blob reads
+    skip content re-hashing ({!Store.get_unverified} — skips are
+    counted in [batch.verify_skipped]). [~verify:true] opts back into
+    full-history replay and re-hashed blob reads: same output, plus an
+    exception if any journal line, checkpoint, or blob is corrupt. *)
+
+val status : ?verify:bool -> string -> string
 (** One-screen progress summary: jobs total / done / quarantined /
     pending, per-kind breakdown, store blob count. *)
 
-val render : dir:string -> string
+val render : ?verify:bool -> string -> string
 (** The full Table-2-style report: one section per job kind
     (synthesis, noise robustness, classification, collection, probes),
     rows in canonical job order, then quarantined jobs with their

@@ -5,8 +5,12 @@ type settings = {
   backoff_s : float;
   timeout_s : float;
   shard : (int * int) option;
+  worker : (int * int) option;
   max_jobs : int option;
   num_domains : int option;
+  flush_window_s : float;
+  flush_max_batch : int;
+  checkpoint_every : int;
   refinement : Abg_core.Refinement.config;
   verbose : bool;
 }
@@ -17,8 +21,12 @@ let default_settings =
     backoff_s = 0.05;
     timeout_s = infinity;
     shard = None;
+    worker = None;
     max_jobs = None;
     num_domains = None;
+    flush_window_s = 0.;
+    flush_max_batch = 256;
+    checkpoint_every = 1024;
     refinement = Abg_core.Refinement.default_config;
     verbose = false;
   }
@@ -55,8 +63,30 @@ let obs_retries = Abg_obs.Obs.Counter.make ~volatile:true "batch.retries"
 let ( / ) = Filename.concat
 
 let grid_path dir = dir / "grid.json"
-let journal_path dir = dir / "journal.jsonl"
 let store_path dir = dir / "store"
+
+(* Each coordinator worker journals into its own file so workers never
+   contend on one fd; every reader merges the whole family. *)
+let journal_path ?worker dir =
+  match worker with
+  | None -> dir / "journal.jsonl"
+  | Some (i, n) -> dir / Printf.sprintf "journal.w%dof%d.jsonl" i n
+
+let journal_paths ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             String.length n >= 7
+             && String.sub n 0 7 = "journal"
+             && Filename.check_suffix n ".jsonl")
+      |> List.sort String.compare
+      |> List.map (fun n -> dir / n)
+
+let settled_entries ?(verify = false) dir =
+  let replay = if verify then Journal.replay else Journal.replay_checkpointed in
+  List.concat_map replay (journal_paths ~dir)
 
 (* -- job bodies -- *)
 
@@ -231,7 +261,7 @@ let log settings fmt =
    quarantine. Every exception is contained here — a poisoned job must
    not take down the dispatch loop. Timeout errors carry the limit, not
    the measured elapsed time, so quarantine records stay deterministic. *)
-let run_one ~settings ~store ~journal (digest, (job : Job.t)) =
+let run_one ~settings ~store ~commit (digest, (job : Job.t)) =
   Abg_obs.Obs.span "batch/job" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let max_attempts = settings.retries + 1 in
@@ -266,7 +296,6 @@ let run_one ~settings ~store ~journal (digest, (job : Job.t)) =
   let entry, status, result =
     match outcome with
     | Ok blob ->
-        Abg_obs.Obs.Counter.incr obs_ok;
         ( {
             Journal.job = digest;
             status = Journal.Ok;
@@ -277,7 +306,6 @@ let run_one ~settings ~store ~journal (digest, (job : Job.t)) =
           Done,
           Some blob )
     | Error err ->
-        Abg_obs.Obs.Counter.incr obs_quarantined;
         ( {
             Journal.job = digest;
             status = Journal.Quarantined;
@@ -288,7 +316,14 @@ let run_one ~settings ~store ~journal (digest, (job : Job.t)) =
           Quarantined err,
           None )
   in
-  Journal.append journal entry;
+  (* The durability gate: commit blocks until the fsync covering this
+     entry's journal line (and, before it, the pack fsync covering its
+     blobs) has returned. Only then may the job be reported done —
+     counters, logs, and the returned completion all sit after it. *)
+  Group_commit.commit commit entry;
+  (match status with
+  | Done -> Abg_obs.Obs.Counter.incr obs_ok
+  | Quarantined _ -> Abg_obs.Obs.Counter.incr obs_quarantined);
   log settings "[batch] %s: %s after %d attempt(s)\n%!" (Job.describe job)
     (match status with Done -> "ok" | Quarantined _ -> "QUARANTINED")
     attempts;
@@ -362,20 +397,28 @@ let rec take k = function
   | rest -> ([], rest)
 
 let execute ~dir ~settings =
+  (match (settings.shard, settings.worker) with
+  | Some _, Some _ ->
+      invalid_arg "Runner.execute: --shard and --worker are exclusive"
+  | _ -> ());
   let jobs = jobs_of_dir ~dir in
+  (* Resume skips anything settled by *any* journal in the family —
+     including lines a crashed run persisted but never acknowledged:
+     the flush ordering guarantees their blobs are durable, so
+     re-running them would only append duplicate lines. *)
   let settled =
     let tbl = Hashtbl.create 64 in
     List.iter
       (fun (e : Journal.entry) -> Hashtbl.replace tbl e.Journal.job ())
-      (Journal.replay (journal_path dir));
+      (settled_entries dir);
     tbl
   in
-  let store = Store.open_ (store_path dir) in
+  let store = Store.open_ ~deferred:true (store_path dir) in
   let mine =
     let keyed = List.map (fun j -> (Job.digest j, j)) jobs in
-    match settings.shard with
-    | None -> keyed
-    | Some (i, n) -> shard_select ~i ~n keyed
+    match (settings.shard, settings.worker) with
+    | Some (i, n), _ | _, Some (i, n) -> shard_select ~i ~n keyed
+    | None, None -> keyed
   in
   let pending =
     List.filter (fun (d, _) -> not (Hashtbl.mem settled d)) mine
@@ -388,14 +431,25 @@ let execute ~dir ~settings =
   in
   log settings "[batch] %d job(s) pending, %d already journaled\n%!"
     (List.length pending) skipped;
-  let journal = Journal.open_ (journal_path dir) in
+  let my_journal = journal_path ?worker:settings.worker dir in
+  let journal = Journal.open_ my_journal in
+  let commit =
+    Group_commit.create ~window_s:settings.flush_window_s
+      ~max_batch:settings.flush_max_batch
+      ~checkpoint_every:settings.checkpoint_every ~store ~journal
+      ~initial:(Journal.replay_checkpointed my_journal)
+      ()
+  in
   let before = Abg_obs.Obs.snapshot () in
   let completions =
     Fun.protect
-      ~finally:(fun () -> Journal.close journal)
+      ~finally:(fun () ->
+        Group_commit.close commit;
+        Journal.close journal;
+        Store.close store)
       (fun () ->
         Abg_parallel.Pool.map_list ?num_domains:settings.num_domains
-          (run_one ~settings ~store ~journal)
+          (run_one ~settings ~store ~commit)
           pending)
   in
   let after = Abg_obs.Obs.snapshot () in
@@ -411,3 +465,41 @@ let run ~dir ~settings jobs =
   execute ~dir ~settings
 
 let resume ~dir ~settings () = execute ~dir ~settings
+
+(* -- offline maintenance -- *)
+
+let is_hex32 s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+(* Result documents reference blobs as bare 32-hex strings ("blob",
+   "features", ...); treating every such string as a reference is the
+   conservative over-approximation that keeps GC safe as result schemas
+   grow new fields. *)
+let rec add_refs tbl = function
+  | Jsonx.Str s when is_hex32 s -> Hashtbl.replace tbl s ()
+  | Jsonx.List l -> List.iter (add_refs tbl) l
+  | Jsonx.Obj fields -> List.iter (fun (_, v) -> add_refs tbl v) fields
+  | _ -> ()
+
+let gc ~dir =
+  let store = Store.open_ (store_path dir) in
+  let live = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Journal.entry) ->
+      match (e.Journal.status, e.Journal.result) with
+      | Journal.Ok, Some blob -> (
+          Hashtbl.replace live blob ();
+          match Store.get store blob with
+          | content -> (
+              match Jsonx.parse content with
+              | doc -> add_refs live doc
+              | exception _ -> ())
+          | exception Not_found -> ())
+      | _ -> ())
+    (settled_entries ~verify:true dir);
+  Store.gc store ~live:(Hashtbl.mem live)
+
+let compact ~dir = List.iter Journal.compact (journal_paths ~dir)

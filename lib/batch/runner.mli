@@ -1,19 +1,28 @@
-(** Crash-safe job runner: retries, quarantine, sharding, resume.
+(** Crash-safe job runner: retries, quarantine, sharding, group commit,
+    resume.
 
     A batch run lives in a directory:
     {v
-      DIR/grid.json      expanded job list (written once by run)
-      DIR/journal.jsonl  append-only completion journal (fsync'd)
-      DIR/store/         content-addressed artifact store
+      DIR/grid.json              expanded job list (written once by run)
+      DIR/journal.jsonl          completion journal (single-process runs)
+      DIR/journal.wIofN.jsonl    per-worker journals (coordinator runs)
+      DIR/store/                 content-addressed artifact store
     v}
 
     {!run} writes the grid and executes it; {!resume} replays the
-    journal and executes only the jobs without a terminal record —
-    including the one a kill interrupted mid-flight, whose re-run is
+    journal family and executes only the jobs without a terminal record
+    — including the one a kill interrupted mid-flight, whose re-run is
     harmless because every artifact is content-addressed. The
     determinism contract: for a fixed grid and settings, a run that is
     killed at any instant and resumed produces a journal outcome set,
     report, and store byte-identical to an uninterrupted run.
+
+    Durability goes through {!Group_commit}: the store runs in deferred
+    (pack-file) mode and concurrently completing jobs share one fsync
+    per flush window, with a job reported done — counters, verbose log,
+    the returned completion — only after the fsync covering its journal
+    line returns. Checkpoint records keep resume/status cost
+    O(outstanding since the last checkpoint) regardless of history.
 
     Jobs dispatch onto the shared {!Abg_parallel.Pool} in canonical
     (digest) order. A job that raises is retried with exponential
@@ -25,18 +34,30 @@
     supervising process's job — SIGKILL plus [resume] is the supported
     path, and is exactly what the CI smoke job exercises).
 
-    [--shard i/n] partitions the canonical job order by index modulo
-    [n]: shards are disjoint, their union is the full grid, and each
-    shard journals into its own run directory, so fanning a grid over
-    processes or machines is [n] invocations with different [i]. *)
+    Two ways to partition the canonical job order by index modulo [n]:
+    [--shard i/n] journals into its own run {e directory} (manual
+    fan-out across machines), while [worker = (i, n)] — what the
+    {!Coordinator} passes to the children it spawns — shares one run
+    directory, writing [journal.wIofN.jsonl] alongside its siblings'
+    journals and sharing their store. All readers ({!resume} skipping,
+    {!Report}) merge the whole journal family. *)
 
 type settings = {
   retries : int;  (** extra attempts after the first (default 2) *)
   backoff_s : float;  (** base backoff, doubled per retry (default 0.05) *)
   timeout_s : float;  (** per-attempt wall-clock limit (default: none) *)
   shard : (int * int) option;  (** [(i, n)], 0-based shard index *)
+  worker : (int * int) option;
+      (** coordinator worker slice [(i, n)] — same partition as [shard]
+          but sharing the run directory; exclusive with [shard] *)
   max_jobs : int option;  (** stop after this many completions (smoke) *)
   num_domains : int option;  (** pool participation cap *)
+  flush_window_s : float;
+      (** group-commit linger before the leader flushes (default 0) *)
+  flush_max_batch : int;  (** max entries per flush (default 256) *)
+  checkpoint_every : int;
+      (** journal lines between checkpoint records, before geometric
+          spacing widens it (default 1024) *)
   refinement : Abg_core.Refinement.config;
       (** refinement knobs for synthesis jobs; the per-job seed
           overrides [refinement.seed] *)
@@ -70,6 +91,16 @@ val shard_select : i:int -> n:int -> 'a list -> 'a list
 (** Deterministic shard partition: elements at index [≡ i (mod n)].
     Raises [Invalid_argument] unless [0 <= i < n]. *)
 
+val journal_paths : dir:string -> string list
+(** Every journal in the run directory ([journal*.jsonl]), sorted —
+    one for a single-process run, one per worker after a coordinator
+    run. *)
+
+val settled_entries : ?verify:bool -> string -> Journal.entry list
+(** The merged settled outcome set across the journal family. Default
+    is the fast checkpointed read ({!Journal.replay_checkpointed});
+    [~verify:true] parses full history ({!Journal.replay}). *)
+
 val init : dir:string -> Job.t list -> unit
 (** Create a run directory and persist the grid. Raises
     [Invalid_argument] if the directory already holds a run. *)
@@ -81,8 +112,17 @@ val run : dir:string -> settings:settings -> Job.t list -> summary
 (** {!init} then execute. *)
 
 val resume : dir:string -> settings:settings -> unit -> summary
-(** Execute every job the journal does not already settle. Idempotent:
-    resuming a finished run does nothing. *)
+(** Execute every job the journal family does not already settle.
+    Idempotent: resuming a finished run does nothing. *)
+
+val gc : dir:string -> Store.gc_stats
+(** Offline store maintenance: mark live digests (journaled result
+    blobs plus every blob reference inside their result documents),
+    fold pack files into verified, fsync'd loose blobs, and sweep the
+    rest. Must not run concurrently with an executing run. *)
+
+val compact : dir:string -> unit
+(** {!Journal.compact} every journal in the family. Offline only. *)
 
 val perform :
   settings:settings -> store:Store.t -> attempt:int -> Job.t -> Jsonx.t

@@ -5,6 +5,7 @@
 module Job = Abg_batch.Job
 module Store = Abg_batch.Store
 module Journal = Abg_batch.Journal
+module Group_commit = Abg_batch.Group_commit
 module Runner = Abg_batch.Runner
 module Report = Abg_batch.Report
 
@@ -211,10 +212,97 @@ let test_store_detects_manifest_mismatch () =
 let test_store_sweeps_tmp () =
   let root = Filename.concat (fresh_dir ()) "store" in
   ignore (Store.open_ root);
-  let stray = Filename.concat (Filename.concat root "tmp") "blob.1.1" in
-  write_file stray "half-written";
+  let tmp name = Filename.concat (Filename.concat root "tmp") name in
+  (* Pid 4194303 is the top of the default pid space — dead in practice;
+     our own pid marks a previous incarnation of this process. The
+     parent's pid is a live process that is not us: a coordinator
+     sibling mid-put, whose tmp file must survive the sweep. *)
+  let dead = tmp "blob.4194303.1" in
+  let own = tmp (Printf.sprintf "blob.%d.9" (Unix.getpid ())) in
+  let sibling = tmp (Printf.sprintf "blob.%d.1" (Unix.getppid ())) in
+  let unparseable = tmp "junk" in
+  List.iter (fun p -> write_file p "half-written") [ dead; own; sibling; unparseable ];
   ignore (Store.open_ root);
-  Alcotest.(check bool) "stray tmp swept" false (Sys.file_exists stray)
+  Alcotest.(check bool) "dead pid swept" false (Sys.file_exists dead);
+  Alcotest.(check bool) "own pid swept" false (Sys.file_exists own);
+  Alcotest.(check bool) "unparseable swept" false (Sys.file_exists unparseable);
+  Alcotest.(check bool) "live sibling kept" true (Sys.file_exists sibling)
+
+let test_store_deferred_flush_and_close () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  let s = Store.open_ ~deferred:true root in
+  let d = Store.put s "alpha" in
+  Alcotest.(check string) "staged blob readable" "alpha" (Store.get s d);
+  Alcotest.(check bool) "staged blob mem" true (Store.mem s d);
+  Alcotest.(check (list string)) "nothing loose before flush" []
+    (Store.list s);
+  Alcotest.(check int) "one blob flushed" 1 (Store.flush_staged s);
+  Alcotest.(check int) "flush idempotent" 0 (Store.flush_staged s);
+  Alcotest.(check string) "flushed blob readable from pack" "alpha"
+    (Store.get s d);
+  let d2 = Store.put s "beta" in
+  Store.close s;
+  (* close flushes the stragglers and materializes the loose tree. *)
+  Alcotest.(check (list string)) "loose tree complete after close"
+    (List.sort String.compare [ d; d2 ])
+    (Store.list s);
+  let reopened = Store.open_ root in
+  Alcotest.(check string) "survives reopen" "beta" (Store.get reopened d2)
+
+let test_store_pack_recovery () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  let s = Store.open_ ~deferred:true root in
+  let d = Store.put s "durable-but-not-closed" in
+  ignore (Store.flush_staged s);
+  (* Crash before close: no loose blobs exist. A fresh open must
+     re-materialize them from the pack. *)
+  let reopened = Store.open_ root in
+  Alcotest.(check (list string)) "recovered from pack" [ d ]
+    (Store.list reopened);
+  Alcotest.(check string) "content intact" "durable-but-not-closed"
+    (Store.get reopened d)
+
+let test_store_torn_pack_tail () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  let s = Store.open_ ~deferred:true root in
+  let d = Store.put s "committed" in
+  ignore (Store.flush_staged s);
+  (* Kill mid-append: a torn record fragment after the valid prefix. *)
+  let pack =
+    Filename.concat (Filename.concat root "pack")
+      (Printf.sprintf "%d.pack" (Unix.getpid ()))
+  in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 pack in
+  output_string oc "{\"blob\":\"ffffffffffffffffffffffffffffffff\",\"bytes\":9999}\ntrunc";
+  close_out oc;
+  let reopened = Store.open_ root in
+  Alcotest.(check (list string)) "only the committed blob" [ d ]
+    (Store.list reopened);
+  Alcotest.(check string) "committed blob intact" "committed"
+    (Store.get reopened d)
+
+let test_store_gc () =
+  let root = Filename.concat (fresh_dir ()) "store" in
+  let s = Store.open_ ~deferred:true root in
+  let live = Store.put s "keep me" in
+  let dead = Store.put s "sweep me" in
+  ignore (Store.flush_staged s);
+  Store.close s;
+  (match Store.gc s ~live:(fun _ -> true) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gc on a deferred store must be refused");
+  let offline = Store.open_ root in
+  let stats = Store.gc offline ~live:(String.equal live) in
+  Alcotest.(check int) "kept" 1 stats.Store.kept;
+  Alcotest.(check int) "swept" 1 stats.Store.swept;
+  Alcotest.(check bool) "pack folded" true (stats.Store.packs_folded >= 1);
+  Alcotest.(check (list string)) "canonical listing" [ live ]
+    (Store.list offline);
+  Alcotest.(check string) "live blob verified in place" "keep me"
+    (Store.get offline live);
+  Alcotest.(check (array string)) "pack dir emptied" [||]
+    (Sys.readdir (Filename.concat root "pack"));
+  Alcotest.(check bool) "dead blob gone" false (Store.mem offline dead)
 
 (* -- Journal -- *)
 
@@ -271,6 +359,255 @@ let test_journal_interior_corruption_raises () =
   match Journal.replay path with
   | exception Abg_batch.Jsonx.Malformed _ -> ()
   | _ -> Alcotest.fail "expected Malformed"
+
+(* -- Journal checkpoints -- *)
+
+let dig i = Digest.to_hex (Digest.string (string_of_int i))
+
+let mk_entry ?(status = Journal.Ok) ?(attempts = 1) i =
+  match status with
+  | Journal.Ok ->
+      { Journal.job = dig i; status; attempts;
+        result = Some (dig (100000 + i)); error = None }
+  | Journal.Quarantined ->
+      { Journal.job = dig i; status; attempts; result = None;
+        error = Some (Printf.sprintf "Failure(\"boom %d\")" i) }
+
+let lines_of entries =
+  List.sort String.compare (List.map Journal.entry_to_line entries)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A valid checkpoint record for [entries], obtained through the public
+   API via a scratch journal. *)
+let checkpoint_line_for entries =
+  let path = Filename.concat (fresh_dir ()) "scratch.jsonl" in
+  let j = Journal.open_ path in
+  Journal.append_checkpoint j entries;
+  Journal.close j;
+  String.trim (read_file path)
+
+(* Flip one hex digit of the record's integrity hash: still canonical
+   JSON, still carries the checkpoint prefix, but fails verification. *)
+let corrupt_checkpoint line =
+  let marker = "\"hash\":\"" in
+  let rec find i =
+    if i + String.length marker > String.length line then
+      Alcotest.fail "no hash field in checkpoint line"
+    else if String.sub line i (String.length marker) = marker then
+      i + String.length marker
+    else find (i + 1)
+  in
+  let at = find 0 in
+  let b = Bytes.of_string line in
+  Bytes.set b at (if line.[at] = '0' then '1' else '0');
+  Bytes.to_string b
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_journal_checkpoint_roundtrip () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let early = List.init 5 mk_entry in
+  let late =
+    List.init 3 (fun i -> mk_entry ~status:Journal.Quarantined ~attempts:3 (50 + i))
+  in
+  let j = Journal.open_ path in
+  Journal.append_batch j early;
+  Journal.append_checkpoint j early;
+  Journal.append_batch j late;
+  Journal.close j;
+  let all = early @ late in
+  Alcotest.(check (list string)) "full replay sees through checkpoint"
+    (lines_of all) (lines_of (Journal.replay path));
+  Alcotest.(check (list string)) "checkpointed replay agrees"
+    (lines_of all) (lines_of (Journal.replay_checkpointed path))
+
+let test_journal_torn_checkpoint_falls_back () =
+  let build () =
+    let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+    let early = List.init 4 mk_entry in
+    let late = List.init 4 (fun i -> mk_entry (50 + i)) in
+    let j = Journal.open_ path in
+    Journal.append_batch j early;
+    Journal.append_checkpoint j early;
+    Journal.append_batch j late;
+    Journal.close j;
+    (path, early @ late)
+  in
+  (* A kill mid-checkpoint-append leaves a torn (newline-less) record:
+     both readers ignore it; the fast one falls back to the previous
+     checkpoint. *)
+  let path, all = build () in
+  let cp = checkpoint_line_for all in
+  append_raw path (String.sub cp 0 (String.length cp / 2));
+  Alcotest.(check (list string)) "replay ignores torn checkpoint"
+    (lines_of all) (lines_of (Journal.replay path));
+  Alcotest.(check (list string)) "checkpointed replay falls back"
+    (lines_of all) (lines_of (Journal.replay_checkpointed path));
+  (* A complete-but-corrupt final record (bad hash) likewise. *)
+  let path, all = build () in
+  append_raw path (corrupt_checkpoint (checkpoint_line_for all) ^ "\n");
+  Alcotest.(check (list string)) "replay drops invalid final checkpoint"
+    (lines_of all) (lines_of (Journal.replay path));
+  Alcotest.(check (list string)) "checkpointed replay falls back past it"
+    (lines_of all) (lines_of (Journal.replay_checkpointed path))
+
+let test_journal_interior_checkpoint_corruption_raises () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let early = List.init 3 mk_entry in
+  let j = Journal.open_ path in
+  Journal.append_batch j early;
+  Journal.close j;
+  append_raw path (corrupt_checkpoint (checkpoint_line_for early) ^ "\n");
+  append_raw path (Journal.entry_to_line (mk_entry 50) ^ "\n");
+  (* Not in final position, so not a crash artifact: corruption. *)
+  match Journal.replay path with
+  | exception Abg_batch.Jsonx.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed"
+
+let test_journal_compact () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let entries = List.init 10 mk_entry in
+  let j = Journal.open_ path in
+  Journal.append_batch j entries;
+  Journal.append_checkpoint j entries;
+  Journal.close j;
+  Journal.compact path;
+  Alcotest.(check int) "compacted to one line" 1
+    (List.length (String.split_on_char '\n' (String.trim (read_file path))));
+  Alcotest.(check (list string)) "outcome set survives compaction"
+    (lines_of entries) (lines_of (Journal.replay path));
+  Alcotest.(check (list string)) "fast path agrees"
+    (lines_of entries) (lines_of (Journal.replay_checkpointed path));
+  (* The compacted journal is still an appendable journal. *)
+  let extra = mk_entry 999 in
+  let j = Journal.open_ path in
+  Journal.append j extra;
+  Journal.close j;
+  Alcotest.(check (list string)) "append after compact"
+    (lines_of (extra :: entries))
+    (lines_of (Journal.replay path));
+  (* Compacting a missing journal leaves it missing. *)
+  let absent = Filename.concat (fresh_dir ()) "absent.jsonl" in
+  Journal.compact absent;
+  Alcotest.(check bool) "missing stays missing" false (Sys.file_exists absent)
+
+let test_journal_compact_interrupted () =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let entries = List.init 6 mk_entry in
+  let j = Journal.open_ path in
+  Journal.append_batch j entries;
+  Journal.close j;
+  (* Kill before the rename: a half-written tmp next to the intact
+     journal. Readers never look at the tmp; a retry overwrites it. *)
+  write_file (path ^ ".compact") "half-written checkpoint record";
+  Alcotest.(check (list string)) "journal unaffected by stale tmp"
+    (lines_of entries) (lines_of (Journal.replay path));
+  Journal.compact path;
+  Alcotest.(check bool) "retry consumes the tmp" false
+    (Sys.file_exists (path ^ ".compact"));
+  Alcotest.(check (list string)) "retry compacts correctly"
+    (lines_of entries) (lines_of (Journal.replay_checkpointed path))
+
+(* Property: for any interleaving of outcome batches and checkpoint
+   records — with any of the crash artifacts a SIGKILL can leave at the
+   tail — the fast checkpointed reader and the full verifying reader
+   agree on the outcome set, and it is exactly the set appended. *)
+let replay_equivalence_prop (sizes_cps, statuses, tail_kind) =
+  let path = Filename.concat (fresh_dir ()) "journal.jsonl" in
+  let j = Journal.open_ path in
+  let statuses = ref statuses in
+  let next_status () =
+    match !statuses with
+    | [] -> Journal.Ok
+    | s :: rest ->
+        statuses := rest;
+        if s then Journal.Ok else Journal.Quarantined
+  in
+  let counter = ref 0 in
+  let settled = ref [] in
+  List.iter
+    (fun (size, checkpoint_after) ->
+      let chunk =
+        List.init size (fun _ ->
+            incr counter;
+            mk_entry ~status:(next_status ()) ~attempts:(1 + (!counter mod 4))
+              !counter)
+      in
+      Journal.append_batch j chunk;
+      settled := !settled @ chunk;
+      if checkpoint_after then Journal.append_checkpoint j !settled)
+    sizes_cps;
+  Journal.close j;
+  let all = !settled in
+  (match tail_kind with
+  | 0 -> () (* clean shutdown *)
+  | 1 -> append_raw path "{\"job\":\"0123456789abcdef0123456789abcdef\",\"st"
+  | 2 ->
+      let cp = checkpoint_line_for all in
+      append_raw path (String.sub cp 0 (max 1 (String.length cp / 2)))
+  | _ -> append_raw path (corrupt_checkpoint (checkpoint_line_for all) ^ "\n"));
+  let expected = lines_of all in
+  expected = lines_of (Journal.replay path)
+  && expected = lines_of (Journal.replay_checkpointed path)
+
+let qcheck_replay_equivalence =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 6) (pair (int_range 0 8) bool))
+        (list_size (int_range 0 48) bool)
+        (int_range 0 3))
+  in
+  QCheck.Test.make ~name:"checkpointed replay = full replay" ~count:100
+    (QCheck.make gen) replay_equivalence_prop
+
+(* -- Group commit -- *)
+
+let test_group_commit_flush_and_checkpoint () =
+  let dir = fresh_dir () in
+  let store = Store.open_ ~deferred:true (Filename.concat dir "store") in
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let journal = Journal.open_ jpath in
+  let commit =
+    Group_commit.create ~checkpoint_every:4 ~store ~journal ~initial:[] ()
+  in
+  let entries =
+    List.init 6 (fun i ->
+        let blob = Store.put store (Printf.sprintf "result %d" i) in
+        { (mk_entry i) with Journal.result = Some blob })
+  in
+  List.iteri
+    (fun i e ->
+      Group_commit.commit commit e;
+      (* The durability-window invariant: once commit returns, the
+         journal line and every blob it references are on disk. *)
+      let on_disk = lines_of (Journal.replay_checkpointed jpath) in
+      Alcotest.(check bool)
+        (Printf.sprintf "entry %d durable at commit return" i)
+        true
+        (List.mem (Journal.entry_to_line e) on_disk))
+    entries;
+  Group_commit.close commit;
+  Journal.close journal;
+  Store.close store;
+  Alcotest.(check (list string)) "all entries settled"
+    (lines_of entries) (lines_of (Journal.replay jpath));
+  Alcotest.(check bool) "checkpoint record written" true
+    (contains ~affix:"{\"checkpoint\":" (read_file jpath));
+  let reopened = Store.open_ (Filename.concat dir "store") in
+  List.iter
+    (fun (e : Journal.entry) ->
+      Alcotest.(check bool) "result blob durable" true
+        (Store.mem reopened (Option.get e.Journal.result)))
+    entries
 
 (* -- Runner -- *)
 
@@ -346,11 +683,9 @@ let test_runner_kill_and_resume_deterministic () =
   Alcotest.(check (list (pair string string))) "stores identical"
     (store_blobs uninterrupted) (store_blobs killed);
   Alcotest.(check string) "reports byte-identical"
-    (Report.render ~dir:uninterrupted)
-    (Report.render ~dir:killed);
+    (Report.render uninterrupted) (Report.render killed);
   Alcotest.(check string) "status byte-identical"
-    (Report.status ~dir:uninterrupted)
-    (Report.status ~dir:killed);
+    (Report.status uninterrupted) (Report.status killed);
   Alcotest.(check (array string)) "crash tmp swept on resume" [||]
     (Sys.readdir (Filename.concat (Filename.concat killed "store") "tmp"));
   (* Resuming a finished run is a no-op. *)
@@ -482,6 +817,101 @@ let test_runner_grid_persists_canonically () =
     (List.sort String.compare (List.map Job.digest jobs))
     (List.map Job.digest loaded)
 
+let merged_settled_lines dir =
+  Runner.settled_entries ~verify:true dir
+  |> List.map Journal.entry_to_line
+  |> List.sort String.compare
+
+let test_runner_worker_journals_merge () =
+  (* Two coordinator workers sharing one run directory must together
+     reproduce the single-process run byte-for-byte: journal outcome
+     union, store, and report. *)
+  let jobs = List.map (fun seed -> probe_job ~seed "reno") [ 1; 2; 3; 4; 5 ] in
+  let whole = fresh_dir () in
+  ignore (Runner.run ~dir:whole ~settings:quiet_settings jobs);
+  let dir = fresh_dir () in
+  Runner.init ~dir jobs;
+  List.iter
+    (fun i ->
+      ignore
+        (Runner.resume ~dir
+           ~settings:{ quiet_settings with Runner.worker = Some (i, 2) }
+           ()))
+    [ 0; 1 ];
+  Alcotest.(check (list string)) "two worker journals"
+    [ "journal.w0of2.jsonl"; "journal.w1of2.jsonl" ]
+    (List.map Filename.basename (Runner.journal_paths ~dir));
+  Alcotest.(check (list string)) "journal union = single-process"
+    (merged_settled_lines whole) (merged_settled_lines dir);
+  Alcotest.(check (list (pair string string))) "stores identical"
+    (store_blobs whole) (store_blobs dir);
+  Alcotest.(check string) "reports byte-identical"
+    (Report.render whole) (Report.render dir);
+  (* A full-family resume (no worker slice) finds nothing left. *)
+  let idle = Runner.resume ~dir ~settings:quiet_settings () in
+  Alcotest.(check int) "family fully settled" 0
+    (List.length idle.Runner.completions);
+  Alcotest.(check int) "all skipped" (List.length jobs) idle.Runner.skipped
+
+let test_runner_worker_excludes_shard () =
+  let dir = fresh_dir () in
+  Runner.init ~dir [ probe_job ~seed:1 "reno" ];
+  match
+    Runner.resume ~dir
+      ~settings:
+        { quiet_settings with Runner.worker = Some (0, 2); shard = Some (0, 2) }
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_runner_gc_keeps_live_sweeps_orphans () =
+  let dir = fresh_dir () in
+  ignore (Runner.run ~dir ~settings:quiet_settings smoke_jobs);
+  let before_report = Report.render dir in
+  let before_blobs = store_blobs dir in
+  let stats = Runner.gc ~dir in
+  Alcotest.(check int) "nothing live swept" 0 stats.Store.swept;
+  Alcotest.(check (list (pair string string))) "store unchanged"
+    before_blobs (store_blobs dir);
+  (* Plant an orphan — a blob no journaled result references. *)
+  let store = Store.open_ (Filename.concat dir "store") in
+  let orphan = Store.put store "orphaned by a superseded run" in
+  let stats = Runner.gc ~dir in
+  Alcotest.(check int) "orphan swept" 1 stats.Store.swept;
+  Alcotest.(check bool) "orphan gone" false (Store.mem store orphan);
+  Alcotest.(check (list (pair string string))) "live blobs survive gc"
+    before_blobs (store_blobs dir);
+  Alcotest.(check string) "report unchanged by gc" before_report
+    (Report.render dir)
+
+let test_runner_compact_then_resume () =
+  let dir = fresh_dir () in
+  ignore (Runner.run ~dir ~settings:quiet_settings smoke_jobs);
+  let before_report = Report.render dir in
+  let before_lines = merged_settled_lines dir in
+  Runner.compact ~dir;
+  Alcotest.(check int) "journal is one checkpoint line" 1
+    (List.length
+       (String.split_on_char '\n'
+          (String.trim (read_file (Filename.concat dir "journal.jsonl")))));
+  Alcotest.(check (list string)) "outcome set survives" before_lines
+    (merged_settled_lines dir);
+  Alcotest.(check string) "report unchanged" before_report (Report.render dir);
+  let idle = Runner.resume ~dir ~settings:quiet_settings () in
+  Alcotest.(check int) "compacted run is still settled" 0
+    (List.length idle.Runner.completions);
+  Alcotest.(check int) "all skipped" (List.length smoke_jobs)
+    idle.Runner.skipped
+
+let test_report_verify_equivalent () =
+  let dir = fresh_dir () in
+  ignore (Runner.run ~dir ~settings:quiet_settings smoke_jobs);
+  Alcotest.(check string) "verified render = fast render"
+    (Report.render dir) (Report.render ~verify:true dir);
+  Alcotest.(check string) "verified status = fast status"
+    (Report.status dir) (Report.status ~verify:true dir)
+
 let suites =
   [
     ( "batch.job",
@@ -504,6 +934,11 @@ let suites =
         Alcotest.test_case "manifest mismatch" `Quick
           test_store_detects_manifest_mismatch;
         Alcotest.test_case "tmp sweep" `Quick test_store_sweeps_tmp;
+        Alcotest.test_case "deferred flush/close" `Quick
+          test_store_deferred_flush_and_close;
+        Alcotest.test_case "pack recovery" `Quick test_store_pack_recovery;
+        Alcotest.test_case "torn pack tail" `Quick test_store_torn_pack_tail;
+        Alcotest.test_case "gc" `Quick test_store_gc;
       ] );
     ( "batch.journal",
       [
@@ -513,6 +948,21 @@ let suites =
         Alcotest.test_case "torn tail" `Quick test_journal_drops_torn_tail;
         Alcotest.test_case "interior corruption" `Quick
           test_journal_interior_corruption_raises;
+        Alcotest.test_case "checkpoint roundtrip" `Quick
+          test_journal_checkpoint_roundtrip;
+        Alcotest.test_case "torn checkpoint fallback" `Quick
+          test_journal_torn_checkpoint_falls_back;
+        Alcotest.test_case "interior checkpoint corruption" `Quick
+          test_journal_interior_checkpoint_corruption_raises;
+        Alcotest.test_case "compact" `Quick test_journal_compact;
+        Alcotest.test_case "compact interrupted" `Quick
+          test_journal_compact_interrupted;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_replay_equivalence;
+      ] );
+    ( "batch.group_commit",
+      [
+        Alcotest.test_case "flush and checkpoint" `Quick
+          test_group_commit_flush_and_checkpoint;
       ] );
     ( "batch.runner",
       [
@@ -531,5 +981,15 @@ let suites =
           test_runner_init_refuses_overwrite;
         Alcotest.test_case "grid persists" `Quick
           test_runner_grid_persists_canonically;
+        Alcotest.test_case "worker journals merge" `Quick
+          test_runner_worker_journals_merge;
+        Alcotest.test_case "worker excludes shard" `Quick
+          test_runner_worker_excludes_shard;
+        Alcotest.test_case "gc keeps live" `Quick
+          test_runner_gc_keeps_live_sweeps_orphans;
+        Alcotest.test_case "compact then resume" `Quick
+          test_runner_compact_then_resume;
+        Alcotest.test_case "verify equivalence" `Quick
+          test_report_verify_equivalent;
       ] );
   ]
