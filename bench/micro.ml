@@ -207,6 +207,46 @@ let canonical_intern_test =
        (Staged.stage (fun () ->
             ignore (Abg_analysis.Canonical.Tbl.intern tbl analysis_sketch))))
 
+(* The relational stages the enumerator runs on every conditional sketch:
+   the zone-domain guard check (the vacuous/implied walk, priced on the
+   Student-5 shape the interval domain cannot decide) and a full
+   [Equiv.decide] on a handler pair — the semantic-subsumption /
+   translation-validation worst case, structural provers plus the SAT
+   guard-skeleton pass. *)
+let relint_guard_sketch =
+  let open Abg_dsl.Expr in
+  Ite
+    ( Lt (Div (Macro Abg_dsl.Macro.Vegas_diff, Signal Abg_dsl.Signal.Min_rtt),
+          Const 0.0),
+      Add (Cwnd, Signal Abg_dsl.Signal.Mss),
+      Mul (Const 2.0, Signal Abg_dsl.Signal.Mss) )
+
+let relint_guard_check_test =
+  lazy
+    (let rel = Abg_analysis.Relint.for_dsl Abg_dsl.Catalog.vegas in
+     let guard =
+       match relint_guard_sketch with
+       | Abg_dsl.Expr.Ite (g, _, _) -> g
+       | _ -> assert false
+     in
+     Test.make ~name:"sec61: relint-guard-check"
+       (Staged.stage (fun () ->
+            ignore (Abg_analysis.Relint.boolean rel guard))))
+
+let equiv_handler_pair_test =
+  lazy
+    (let rel = Abg_analysis.Relint.default () in
+     let open Abg_dsl.Expr in
+     let a =
+       Ite
+         ( Gt (Signal Abg_dsl.Signal.Rtt, Const 0.05),
+           Add (Cwnd, Signal Abg_dsl.Signal.Mss),
+           Add (Signal Abg_dsl.Signal.Mss, Cwnd) )
+     and b = Add (Cwnd, Signal Abg_dsl.Signal.Mss) in
+     Test.make ~name:"sec61: equiv-handler-pair"
+       (Staged.stage (fun () ->
+            ignore (Abg_analysis.Equiv.decide rel a b))))
+
 let simulate_test =
   Test.make ~name:"table3: simulate-1s-reno"
     (Staged.stage (fun () ->
@@ -461,7 +501,9 @@ let run () =
       frechet_full_test; replay_compiled; replay_interp; bucket_cutoff;
       bucket_full; pool_persistent; pool_spawning; Lazy.force enumerate_test;
       Lazy.force solve_assumptions_test;
-      absint_prune_test; Lazy.force canonical_intern_test; simulate_test;
+      absint_prune_test; Lazy.force canonical_intern_test;
+      Lazy.force relint_guard_check_test; Lazy.force equiv_handler_pair_test;
+      simulate_test;
       collect_suite_test; Lazy.force classify_features_test; store_write;
       store_read; Lazy.force batch_store_amortized_test;
       Lazy.force batch_journal_append_amortized_test;

@@ -6,6 +6,7 @@
      synth     — reverse-engineer a cwnd-ack handler from traces
      distance  — score a handler expression against traces
      lint      — run the static-analysis diagnostics over handlers
+     simplify  — sound (relational-oracle) simplification + validation
      batch     — crash-safe grid orchestration (run/resume/status/report)
      telemetry — inspect / diff machine-readable telemetry reports
      list      — show the available CCAs and sub-DSLs
@@ -306,8 +307,52 @@ let strict_arg =
   let doc = "Exit non-zero if any error-severity diagnostic is produced." in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
-let lint strict telemetry names =
-  with_telemetry telemetry @@ fun () ->
+let lint_format_arg =
+  let doc =
+    "Output format: `text' (human-readable, default) or `json' (a stable \
+     machine-readable document — rule id, severity, span, message, \
+     interval witness — suitable for diffing against a committed \
+     expectation file in CI)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+(* Hand-rolled JSON emission: no JSON library in the dependency set, and
+   the output must be byte-stable for the CI diff. Non-finite interval
+   endpoints (JSON has no Infinity/NaN literals) are emitted as the
+   strings "inf"/"-inf"; finite floats use %.17g (round-trip exact). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let json_witness = function
+  | None -> "null"
+  | Some (w : Abg_util.Interval.t) ->
+      Printf.sprintf "{\"lo\": %s, \"hi\": %s, \"nan\": %b}"
+        (json_float w.Abg_util.Interval.lo)
+        (json_float w.Abg_util.Interval.hi)
+        w.Abg_util.Interval.nan
+
+(* Shared handler-name resolution for lint and simplify. *)
+let resolve_handlers names =
   let showcase =
     List.map (fun (n, e) -> ("showcase/" ^ n, e)) Abg_analysis.Lint.showcase
   in
@@ -319,61 +364,171 @@ let lint strict telemetry names =
         (fun (n, e) -> ("fine-tuned/" ^ n, e))
         Abg_core.Fine_tuned.fine_tuned
   in
-  let targets =
-    match names with
-    | [] -> catalog @ showcase
-    | names ->
-        List.concat_map
-          (fun name ->
-            if name = "showcase" then showcase
-            else if name = "catalog" then catalog
-            else begin
-              let found =
-                List.filter
-                  (fun (n, _) ->
-                    n = name
-                    || n = "synthesized/" ^ name
-                    || n = "fine-tuned/" ^ name)
-                  catalog
-              in
-              if found = [] then begin
-                Printf.eprintf "no handler named %s; try `abagnale list'\n"
-                  name;
-                exit 1
-              end;
-              found
-            end)
-          names
-  in
+  match names with
+  | [] -> catalog @ showcase
+  | names ->
+      List.concat_map
+        (fun name ->
+          if name = "showcase" then showcase
+          else if name = "catalog" then catalog
+          else begin
+            let found =
+              List.filter
+                (fun (n, _) ->
+                  n = name
+                  || n = "synthesized/" ^ name
+                  || n = "fine-tuned/" ^ name)
+                catalog
+            in
+            if found = [] then begin
+              Printf.eprintf "no handler named %s; try `abagnale list'\n"
+                name;
+              exit 1
+            end;
+            found
+          end)
+        names
+
+let lint strict format telemetry names =
+  with_telemetry telemetry @@ fun () ->
+  let targets = resolve_handlers names in
   let errors = ref 0 and warnings = ref 0 in
-  List.iter
-    (fun (name, handler) ->
-      match Abg_analysis.Lint.check handler with
-      | [] -> ()
-      | diags ->
-          Printf.printf "%s: %s\n" name (Abg_dsl.Pretty.num handler);
-          List.iter
-            (fun d ->
-              (match d.Abg_analysis.Lint.severity with
-              | Abg_analysis.Lint.Error -> incr errors
-              | Abg_analysis.Lint.Warning -> incr warnings
-              | Abg_analysis.Lint.Info -> ());
-              Printf.printf "  %s\n"
-                (Fmt.str "%a" Abg_analysis.Lint.pp_diag d))
-            diags)
-    targets;
-  Printf.printf "%d handler(s) linted: %d error(s), %d warning(s)\n"
-    (List.length targets) !errors !warnings;
+  let linted = List.map (fun (name, handler) ->
+      let diags = Abg_analysis.Lint.check handler in
+      List.iter
+        (fun d ->
+          match d.Abg_analysis.Lint.severity with
+          | Abg_analysis.Lint.Error -> incr errors
+          | Abg_analysis.Lint.Warning -> incr warnings
+          | Abg_analysis.Lint.Info -> ())
+        diags;
+      (name, handler, diags))
+      targets
+  in
+  (match format with
+  | `Text ->
+      List.iter
+        (fun (name, handler, diags) ->
+          match diags with
+          | [] -> ()
+          | diags ->
+              Printf.printf "%s: %s\n" name (Abg_dsl.Pretty.num handler);
+              List.iter
+                (fun d ->
+                  Printf.printf "  %s\n"
+                    (Fmt.str "%a" Abg_analysis.Lint.pp_diag d))
+                diags)
+        linted;
+      Printf.printf "%d handler(s) linted: %d error(s), %d warning(s)\n"
+        (List.length targets) !errors !warnings
+  | `Json ->
+      let diag_json (d : Abg_analysis.Lint.diag) =
+        Printf.sprintf
+          "      {\"rule\": \"%s\", \"severity\": \"%s\", \"span\": \
+           \"%s\", \"message\": \"%s\", \"witness\": %s}"
+          (json_escape d.Abg_analysis.Lint.rule)
+          (Abg_analysis.Lint.severity_name d.Abg_analysis.Lint.severity)
+          (json_escape (Abg_dsl.Pretty.num d.Abg_analysis.Lint.expr))
+          (json_escape d.Abg_analysis.Lint.message)
+          (json_witness d.Abg_analysis.Lint.witness)
+      in
+      let handler_json (name, handler, diags) =
+        Printf.sprintf
+          "  {\"handler\": \"%s\", \"expr\": \"%s\", \"diagnostics\": \
+           [%s]}"
+          (json_escape name)
+          (json_escape (Abg_dsl.Pretty.num handler))
+          (match diags with
+          | [] -> ""
+          | diags ->
+              "\n"
+              ^ String.concat ",\n" (List.map diag_json diags)
+              ^ "\n    ")
+      in
+      Printf.printf "[\n%s\n]\n"
+        (String.concat ",\n" (List.map handler_json linted)));
   if strict && !errors > 0 then exit 1
 
 let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the interval-analysis diagnostics over handler expressions \
-         (rule id, expression, reason, interval witness)"
+        "Run the static-analysis diagnostics over handler expressions \
+         (rule id, expression, reason, interval witness), including the \
+         relational rules (vacuous-guard, guard-implied, \
+         branch-equivalent)"
   in
-  Cmd.v info Term.(const lint $ strict_arg $ telemetry_arg $ lint_names_arg)
+  Cmd.v info
+    Term.(
+      const lint $ strict_arg $ lint_format_arg $ telemetry_arg
+      $ lint_names_arg)
+
+(* -- simplify -- *)
+
+let simplify_validate_arg =
+  let doc =
+    "Translation validation: run every target handler through the sound \
+     (relational-oracle) simplifier and check the rewrite with \
+     Equiv.validate_rewrite — a structural/SAT proof where possible, \
+     tolerance-checked differential sampling otherwise. Exit non-zero \
+     on any validation failure."
+  in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
+let simplify_cmd_fn validate telemetry names =
+  with_telemetry telemetry @@ fun () ->
+  let targets = resolve_handlers names in
+  let rel = Abg_analysis.Relint.default () in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, handler) ->
+      let rewritten = Abg_analysis.Relint.simplify rel handler in
+      if validate then begin
+        match
+          Abg_analysis.Equiv.validate_rewrite rel ~original:handler
+            ~rewritten
+        with
+        | Ok `Proved ->
+            Printf.printf "%s: ok (proved)  %s ~> %s\n" name
+              (Abg_dsl.Pretty.num handler)
+              (Abg_dsl.Pretty.num rewritten)
+        | Ok (`Sampled n) ->
+            Printf.printf "%s: ok (%d samples)  %s ~> %s\n" name n
+              (Abg_dsl.Pretty.num handler)
+              (Abg_dsl.Pretty.num rewritten)
+        | Error env ->
+            incr failures;
+            Printf.printf
+              "%s: FAILED  %s ~> %s disagree at cwnd=%g rtt=%g min-rtt=%g \
+               acked=%g\n"
+              name
+              (Abg_dsl.Pretty.num handler)
+              (Abg_dsl.Pretty.num rewritten)
+              env.Abg_dsl.Env.cwnd env.Abg_dsl.Env.rtt
+              env.Abg_dsl.Env.min_rtt env.Abg_dsl.Env.acked_bytes
+      end
+      else
+        Printf.printf "%s: %s ~> %s\n" name
+          (Abg_dsl.Pretty.num handler)
+          (Abg_dsl.Pretty.num rewritten))
+    targets;
+  if validate then
+    Printf.printf "%d handler(s) validated, %d failure(s)\n"
+      (List.length targets) !failures;
+  if !failures > 0 then exit 1
+
+let simplify_cmd =
+  let info =
+    Cmd.info "simplify"
+      ~doc:
+        "Simplify handler expressions under the sound relational oracle \
+         (each cancellation's side condition proven on the signal zone), \
+         optionally with per-rewrite translation validation (--validate)"
+  in
+  Cmd.v info
+    Term.(
+      const simplify_cmd_fn $ simplify_validate_arg $ telemetry_arg
+      $ lint_names_arg)
 
 (* -- telemetry -- *)
 
@@ -891,6 +1046,7 @@ let main_cmd =
       synth_cmd;
       distance_cmd;
       lint_cmd;
+      simplify_cmd;
       fingerprint_cmd;
       batch_cmd;
       telemetry_cmd;

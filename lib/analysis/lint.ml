@@ -1,11 +1,22 @@
-(* Lint diagnostics for DSL handlers, built on the abstract interpreter.
+(* Lint diagnostics for DSL handlers, built on the abstract interpreter
+   and the relational layer.
 
    Each rule reports (rule id, offending subexpression, reason, interval
    witness). Errors are handlers the search itself would prune as dead on
    arrival; warnings flag behavior that is legal but almost certainly not
    what the handler's author intended (a window that can silently
-   overflow to the one-MSS floor, a denominator that can cross zero);
-   infos flag redundant structure. *)
+   overflow to the one-MSS floor, a denominator that can cross zero, a
+   conditional that can never change anything); infos flag redundant
+   structure.
+
+   The relational rules close the paper's §5.6 gap: [vacuous-guard] fires
+   when the zone domain decides a guard the interval domain cannot
+   (Student 5's conditional relating two signals), [guard-implied] when a
+   nested guard is decided by the assumptions of its enclosing guards,
+   and [branch-equivalent] when the two branches are provably the same
+   function. Every vacuous/implied verdict is cross-checked by replaying
+   sampled zone-consistent environments through [Eval] before the
+   diagnostic is emitted — interval evidence alone is never reported. *)
 
 open Abg_util
 open Abg_dsl
@@ -77,6 +88,105 @@ let rec sub_diags box (e : Expr.num) acc =
       sub_diags box t (sub_diags box el acc)
   | Expr.Cube a | Expr.Cbrt a -> sub_diags box a acc
 
+(* Replay cross-check for a relationally-decided guard: sample
+   zone-consistent environments and confirm [Eval.boolean] agrees with
+   the verdict on every one. The analysis is sound, so this can only
+   fail on an analysis bug — in which case the diagnostic is suppressed
+   rather than reported as a false positive. Holes are filled with the
+   hole interval's midpoint for the replay. *)
+let replay_confirms rel (g : Expr.boolean) expected =
+  let fill =
+    let iv = Relint.hole rel in
+    let lo = Float.max iv.Interval.lo (-1e6)
+    and hi = Float.min iv.Interval.hi 1e6 in
+    let mid = lo +. ((hi -. lo) /. 2.0) in
+    fun _ -> mid
+  in
+  let g =
+    match g with
+    | Expr.Lt (a, b) -> Expr.Lt (Expr.fill a fill, Expr.fill b fill)
+    | Expr.Gt (a, b) -> Expr.Gt (Expr.fill a fill, Expr.fill b fill)
+    | Expr.Mod_eq (a, b) -> Expr.Mod_eq (Expr.fill a fill, Expr.fill b fill)
+  in
+  let rng = Rng.create 0x11A7 in
+  let rec go k =
+    k = 0
+    ||
+    let env = Relint.sample_env rel rng in
+    Eval.boolean env g = expected && go (k - 1)
+  in
+  go 64
+
+(* The relational rules. [base] is the unrefined zone; [rel] carries the
+   assumptions of the enclosing guards. A guard already decided by the
+   interval domain is [sub_diags]'s dead-guard, not ours. *)
+let rec rel_diags box base rel (e : Expr.num) acc =
+  match e with
+  | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _ ->
+      acc
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) ->
+      rel_diags box base rel a (rel_diags box base rel b acc)
+  | Expr.Cube a | Expr.Cbrt a -> rel_diags box base rel a acc
+  | Expr.Ite (c, t, el) ->
+      let interval_verdict = Absint.boolean box c in
+      let base_verdict = Relint.boolean base c in
+      let ctx_verdict = Relint.boolean rel c in
+      let acc =
+        match (interval_verdict, base_verdict, ctx_verdict) with
+        | Interval.Unknown, (Interval.True | Interval.False), _
+          when replay_confirms base c (base_verdict = Interval.True) ->
+            let branch =
+              if base_verdict = Interval.True then "else" else "then"
+            in
+            diag ~witness:(Relint.guard_witness base c) "vacuous-guard"
+              Warning e
+              (Fmt.str
+                 "guard is %s for every physically-consistent environment \
+                  (a cross-signal relation the interval domain cannot \
+                  see); the %s-branch is unreachable"
+                 (if base_verdict = Interval.True then "true" else "false")
+                 branch)
+            :: acc
+        | Interval.Unknown, Interval.Unknown, (Interval.True | Interval.False)
+          when replay_confirms rel c (ctx_verdict = Interval.True) ->
+            diag ~witness:(Relint.guard_witness rel c) "guard-implied"
+              Warning e
+              (Fmt.str
+                 "guard is %s whenever this branch is reached (implied by \
+                  the enclosing guards); the %s-branch is unreachable here"
+                 (if ctx_verdict = Interval.True then "true" else "false")
+                 (if ctx_verdict = Interval.True then "else" else "then"))
+            :: acc
+        | _ -> acc
+      in
+      let acc =
+        (* Equal branches make the conditional redundant regardless of
+           the guard. Only worth deciding when the guard is open. *)
+        match ctx_verdict with
+        | Interval.Unknown -> begin
+            match Equiv.decide ~draws:64 ~icp_budget:64 rel t el with
+            | Equiv.Equal ->
+                diag "branch-equivalent" Info e
+                  "both branches are provably the same function; the \
+                   conditional is redundant"
+                :: acc
+            | Equiv.Distinct _ | Equiv.Unknown _ -> acc
+          end
+        | _ -> acc
+      in
+      let rel_t =
+        match Relint.assume rel c true with Some r -> r | None -> rel
+      in
+      let rel_f =
+        match Relint.assume rel c false with Some r -> r | None -> rel
+      in
+      let acc =
+        match c with
+        | Expr.Lt (a, b) | Expr.Gt (a, b) | Expr.Mod_eq (a, b) ->
+            rel_diags box base rel a (rel_diags box base rel b acc)
+      in
+      rel_diags box base rel_t t (rel_diags box base rel_f el acc)
+
 (** [check ?box e] is every diagnostic the analysis can prove about
     handler [e], outermost rules first. *)
 let check ?box (e : Expr.num) : diag list =
@@ -111,6 +221,10 @@ let check ?box (e : Expr.num) : diag list =
     else root
   in
   let structural = List.rev (sub_diags box e []) in
+  let relational =
+    let rel = Relint.of_box box in
+    List.rev (rel_diags box rel rel e [])
+  in
   let redundancy =
     let simp =
       if Absint.is_simplifiable box e then
@@ -128,7 +242,7 @@ let check ?box (e : Expr.num) : diag list =
     in
     simp @ canon
   in
-  List.rev root @ structural @ redundancy
+  List.rev root @ structural @ relational @ redundancy
 
 (** Named degenerate handlers demonstrating every rule — living
     documentation for [abagnale lint], and fixtures for the tests and the
@@ -146,7 +260,28 @@ let showcase : (string * Expr.num) list =
     );
     ("zero-div", Div (Macro Macro.Reno_inc, Const 0.0));
     ("gradient-div", Div (Cwnd, Signal Signal.Delay_gradient));
-    ("unsorted", Add (Signal Signal.Mss, Cwnd)) ]
+    ("unsorted", Add (Signal Signal.Mss, Cwnd));
+    ( "vacuous-guard",
+      (* Student 5's shape: rtt < min-rtt relates two signals, so the
+         interval domain cannot decide it, but the zone's rtt ordering
+         invariant proves it false. *)
+      Ite
+        ( Lt (Signal Signal.Rtt, Signal Signal.Min_rtt),
+          Mul (Const 2.0, Cwnd),
+          Cwnd ) );
+    ( "guard-implied",
+      Ite
+        ( Gt (Signal Signal.Rtt, Const 1.0),
+          Ite
+            ( Gt (Signal Signal.Rtt, Const 0.5),
+              Mul (Const 2.0, Cwnd),
+              Cwnd ),
+          Cwnd ) );
+    ( "branch-equivalent",
+      Ite
+        ( Gt (Signal Signal.Rtt, Const 0.05),
+          Add (Cwnd, Signal Signal.Mss),
+          Add (Signal Signal.Mss, Cwnd) ) ) ]
 
 let pp_diag ppf d =
   let witness =

@@ -1,9 +1,22 @@
-(** Lint diagnostics for DSL handlers, built on {!Absint}.
+(** Lint diagnostics for DSL handlers, built on {!Absint} and the
+    relational layer ({!Relint}/{!Equiv}).
 
     Errors are handlers the search itself prunes as dead on arrival;
     warnings flag legal-but-suspicious behavior (silent overflow or NaN
-    to the one-MSS floor, a denominator crossing zero); infos flag
-    redundant structure. *)
+    to the one-MSS floor, a denominator crossing zero, a guard no
+    physically-consistent environment can flip); infos flag redundant
+    structure.
+
+    Relational rules (each vacuous/implied verdict is replay-confirmed
+    through [Eval] on sampled zone-consistent environments before being
+    reported):
+    - [vacuous-guard] (warning): the zone domain decides a guard the
+      interval domain cannot — a cross-signal relation such as Student
+      5's [vegas-diff / min-rtt < 0].
+    - [guard-implied] (warning): a nested guard is decided by the
+      assumptions of its enclosing guards.
+    - [branch-equivalent] (info): both branches of an open conditional
+      are provably the same function ({!Equiv.decide} = [Equal]). *)
 
 open Abg_util
 open Abg_dsl
@@ -23,7 +36,8 @@ type diag = {
 val check : ?box:Absint.box -> Expr.num -> diag list
 (** Every diagnostic the analysis can prove about a handler, root rules
     first, then structural (per-subterm) rules in syntactic order, then
-    redundancy infos. [box] defaults to {!Absint.default_box}. *)
+    relational rules, then redundancy infos. [box] defaults to
+    {!Absint.default_box}. *)
 
 val showcase : (string * Expr.num) list
 (** Named degenerate handlers demonstrating every rule — living

@@ -1,0 +1,92 @@
+(** Relational abstract interpretation: a zone (difference-bound) domain
+    over {cwnd} ∪ signals, seeded from the {!Abg_dsl.Signal.range}
+    physical contracts plus cross-signal invariants (min-rtt <= rtt <=
+    max-rtt) and refined by guard assumptions.
+
+    Closes the relational half of the paper's §5.6 simplification gap:
+    guards that are vacuous only because of a relation *between* signals
+    (Student 5's conditional) are decided here, where {!Absint} must
+    answer Unknown.
+
+    Compatibility contract: on expressions whose atoms carry no
+    relational edge — every reno-DSL sketch — {!num} and {!boolean} are
+    bit-for-bit identical to {!Absint}'s (the zone bound through the
+    virtual zero variable equals [Interval.sub]'s endpoint exactly, and
+    IEEE subtraction is sign-exact), so relational pruning cannot perturb
+    the fingerprint-pinned reno enumeration stream.
+
+    Soundness mirrors {!Absint}'s qcheck contract: for every environment
+    satisfying the zone (interval bounds plus the rtt ordering), the
+    concrete [Eval] result lies in the derived interval, and a non-Unknown
+    {!boolean} verdict matches [Eval.boolean]. *)
+
+open Abg_util
+open Abg_dsl
+
+type t
+
+val of_box : Absint.box -> t
+(** Seed the zone from an interval box (signal ranges, cwnd clamp, hole
+    interval) plus the built-in cross-signal invariants. *)
+
+val default : unit -> t
+(** [of_box (Absint.default_box ())]. *)
+
+val for_dsl : Catalog.t -> t
+(** [of_box (Absint.box_for dsl)] — hole interval from the constant
+    pool. *)
+
+val box : t -> Absint.box
+(** The zone's interval projection as an [Absint] box (signal bounds
+    possibly tightened by assumptions). *)
+
+val cwnd_iv : t -> Interval.t
+val signal_iv : t -> Signal.t -> Interval.t
+val hole : t -> Interval.t
+
+val num : t -> Expr.num -> Interval.t
+(** Derived interval (holes allowed); differences of environment
+    variables are intersected with the zone bounds. *)
+
+val diff : t -> Expr.num -> Expr.num -> Interval.t
+(** Refined interval of [a - b] (the comparison residual). *)
+
+val boolean : t -> Expr.boolean -> Interval.verdict
+(** Three-valued truth over the zone; strictly more precise than
+    {!Absint.boolean} on relational guards, identical elsewhere. *)
+
+val guard_witness : t -> Expr.boolean -> Interval.t
+(** Evidence for a decided guard: the refined difference interval whose
+    sign proves the verdict (the modulus interval for [Mod_eq]). *)
+
+val assume : t -> Expr.boolean -> bool -> t option
+(** [assume t g truth] — the zone refined by guard [g] held at [truth]
+    (strict bounds relaxed to non-strict, so the result always contains
+    every environment of [t] satisfying the assumption). [None] when the
+    refined zone is empty: no environment gives [g] that truth value. *)
+
+val refine_signal : t -> Signal.t -> Interval.t -> t option
+(** Intersect one signal's bounds (branch-and-prune splitting); [None]
+    when the zone becomes empty. *)
+
+val refine_cwnd : t -> Interval.t -> t option
+
+val sample_env : t -> Rng.t -> Env.t
+(** A deterministic environment sample consistent with the zone's
+    interval bounds and the rtt ordering invariant (log-uniform across
+    wide positive ranges). *)
+
+val facts : t -> Simplify.facts
+(** Relational guard oracle for [Simplify.simplify ~facts]. *)
+
+val oracle : t -> Simplify.oracle
+(** The sound rewrite oracle: subterm bounds from the zone, branch
+    rewrites under the dominating guard's assumption. With this oracle,
+    [Simplify]'s cancellation rules fire only when their side conditions
+    (divisor clear of the safe-division guard, finite intermediates) are
+    proven — on the branch's own refined zone. *)
+
+val simplify : t -> Expr.num -> Expr.num
+(** [Simplify.simplify] under {!oracle} — sound simplification. *)
+
+val is_simplifiable : t -> Expr.num -> bool

@@ -55,7 +55,16 @@ let synthesized : (string * num) list =
           mss ) );
     ("student3", Mul (c 0.8, Div (acked, min_rtt)));
     ("student4", mss);
-    ("student5", Mul (c 2.0, mss));
+    ( "student5",
+      (* The paper prints the simplified [2 * mss]; the handler as written
+         guards on [vegas-diff / min-rtt < 0], which no physical
+         environment satisfies (rtt >= min-rtt makes vegas-diff >= 0) —
+         exactly the §5.6 vacuous conditional the relational analysis is
+         built to catch. Evaluates bit-identically to [2 * mss]. *)
+      Ite
+        ( Lt (Div (vegas_diff, min_rtt), c 0.0),
+          Add (Cwnd, mss),
+          Mul (c 2.0, mss) ) );
     ("student6", Div (Add (Cwnd, Mul (c 150.0, mss)), delay_gradient));
     ("student7", Add (Cwnd, Div (Mul (c 2.0, acked), rtt)));
   ]

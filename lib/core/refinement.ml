@@ -376,8 +376,13 @@ let run ?(config = default_config) ~(dsl : Catalog.t) segments =
       Some
         {
           (* Concretization can leave foldable arithmetic (x * 1, c + c);
-             simplify for readability as the paper does for Table 2. *)
-          handler = Simplify.simplify best.Score.handler;
+             simplify for readability as the paper does for Table 2 — under
+             the relational oracle, so each cancellation's side condition
+             is proven on the DSL's own signal zone rather than assumed. *)
+          handler =
+            Abg_analysis.Relint.simplify
+              (Abg_analysis.Relint.for_dsl dsl)
+              best.Score.handler;
           sketch = best.Score.sketch;
           distance = best.Score.distance;
           iterations = List.rev !reports;

@@ -26,15 +26,23 @@
     enumeration: buckets are selected purely via assumptions, and each
     bucket's blocking clauses live in a retractable {!Abg_sat.Solver}
     clause group so {!retire_bucket} can reclaim them when the
-    refinement loop drops the bucket. Post-decode, three pruning stages
+    refinement loop drops the bucket. Post-decode, five pruning stages
     run before a sketch is handed to the scorer, each
     blocking-and-skipping the model: arithmetic simplifiability (§4.1's
     sympy filter), the interval-domain dead-on-arrival rules of
     {!Abg_analysis.Absint} (window provably <= 0 or non-finite,
     provably-zero denominators, guards constant over the whole input
-    box), and — retained as a safety net even though the in-encoding
-    symmetry breaking should leave it idle — commutative-duplicate
-    detection via {!Abg_analysis.Canonical}. Returned sketches are in
+    box), commutative-duplicate detection via {!Abg_analysis.Canonical}
+    (retained as a safety net even though the in-encoding symmetry
+    breaking should leave it idle), relational dead-guard detection via
+    {!Abg_analysis.Relint} (guards decided by the zone domain — the
+    cross-signal relations of §5.6 — either outright or under the
+    assumptions of enclosing guards), and semantic subsumption (one
+    representative per {!Abg_analysis.Equiv.rnorm} relational
+    normal-form class, so sketches that differ only in provably-dead
+    structure are never scored twice). The relational stages touch only
+    sketches containing a conditional, so an Ite-free DSL (reno)
+    enumerates bit-identically with them on. Returned sketches are in
     canonical form; per-reason counters are surfaced via
     {!prune_stats}. *)
 
@@ -58,12 +66,20 @@ type t = {
       (** per-bucket blocking-clause groups, keyed by sorted operator set *)
   box : Abg_analysis.Absint.box;
       (** interval box: physical signal ranges, hole = the constant pool *)
+  rel : Abg_analysis.Relint.t;
+      (** the zone over the same box, for the relational prune stages *)
   seen : Abg_analysis.Canonical.Tbl.t;
       (** canonical forms already returned, for commutative dedup *)
+  sem : Abg_analysis.Canonical.Tbl.t;
+      (** relational normal forms of every returned sketch, for
+          semantic-subsumption dedup; never fed back into [seen] *)
   dead : int array;  (** per-{!Abg_analysis.Absint.reason} prune counts *)
   mutable enumerated : int;
   mutable blocked_simplifiable : int;
   mutable blocked_duplicate : int;
+  mutable blocked_vacuous : int;
+  mutable blocked_implied : int;
+  mutable blocked_subsumed : int;
 }
 
 let reason_index r =
@@ -88,6 +104,15 @@ let obs_unsat = Abg_obs.Obs.Counter.make "enum.sat.unsat"
 let obs_simplifiable = Abg_obs.Obs.Counter.make "enum.pruned.simplifiable"
 let obs_duplicate = Abg_obs.Obs.Counter.make "enum.pruned.duplicate"
 
+let obs_vacuous =
+  Abg_obs.Obs.Counter.make "enum.pruned.vacuous-guard"
+
+let obs_implied =
+  Abg_obs.Obs.Counter.make "enum.pruned.guard-implied"
+
+let obs_subsumed =
+  Abg_obs.Obs.Counter.make "enum.pruned.equiv-subsumed"
+
 let obs_dead =
   Array.of_list
     (List.map
@@ -106,7 +131,10 @@ let global_prune_stats () =
        (fun i r ->
          (Abg_analysis.Absint.reason_name r, Abg_obs.Obs.Counter.value obs_dead.(i)))
        Abg_analysis.Absint.all_reasons
-  @ [ ("duplicate", Abg_obs.Obs.Counter.value obs_duplicate) ]
+  @ [ ("duplicate", Abg_obs.Obs.Counter.value obs_duplicate);
+      ("vacuous-guard", Abg_obs.Obs.Counter.value obs_vacuous);
+      ("guard-implied", Abg_obs.Obs.Counter.value obs_implied);
+      ("equiv-subsumed", Abg_obs.Obs.Counter.value obs_subsumed) ]
 
 (** Process-wide count of sketches returned by {!next} (telemetry). *)
 let global_returned () = Abg_obs.Obs.Counter.value obs_returned
@@ -287,9 +315,12 @@ let create ?(symmetry = true) (dsl : Catalog.t) =
       solver; dsl; nodes; components; active; comp; unit_vars; unit_domain;
       used_op; symmetry; bucket_groups = Hashtbl.create 16;
       box = Abg_analysis.Absint.box_for dsl;
+      rel = Abg_analysis.Relint.for_dsl dsl;
       seen = Abg_analysis.Canonical.Tbl.create ();
+      sem = Abg_analysis.Canonical.Tbl.create ();
       dead = Array.make (List.length Abg_analysis.Absint.all_reasons) 0;
       enumerated = 0; blocked_simplifiable = 0; blocked_duplicate = 0;
+      blocked_vacuous = 0; blocked_implied = 0; blocked_subsumed = 0;
     }
   in
   let unit_index u = unit_index_in unit_domain u in
@@ -642,8 +673,79 @@ let assumptions_for_bucket enc ops =
     enc.used_op
 
 let skipped enc =
-  enc.blocked_simplifiable + enc.blocked_duplicate
+  enc.blocked_simplifiable + enc.blocked_duplicate + enc.blocked_vacuous
+  + enc.blocked_implied + enc.blocked_subsumed
   + Array.fold_left ( + ) 0 enc.dead
+
+(* The relational prune stages only ever fire on conditionals; every
+   other sketch short-circuits here for free. *)
+let rec has_ite (e : Expr.num) =
+  match e with
+  | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _ ->
+      false
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) ->
+      has_ite a || has_ite b
+  | Expr.Cube a | Expr.Cbrt a -> has_ite a
+  | Expr.Ite _ -> true
+
+(* A guard the interval box leaves Unknown but the zone decides — either
+   unconditionally ([`Vacuous], Student 5's cross-signal relation) or
+   under the assumptions of its enclosing guards ([`Implied]). Such a
+   sketch evaluates identically to its folded, strictly smaller form on
+   every physically-consistent environment, so it is dead weight exactly
+   like [Absint]'s dead-guard rule — just one domain stronger. *)
+let relationally_dead box base (sketch : Expr.num) =
+  let rec go rel (e : Expr.num) =
+    match e with
+    | Expr.Cwnd | Expr.Signal _ | Expr.Macro _ | Expr.Const _ | Expr.Hole _
+      ->
+        None
+    | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b)
+      -> begin
+        match go rel a with Some _ as r -> r | None -> go rel b
+      end
+    | Expr.Cube a | Expr.Cbrt a -> go rel a
+    | Expr.Ite (c, t, el) -> begin
+        match Abg_analysis.Absint.boolean box c with
+        | Interval.True | Interval.False ->
+            (* Absint's own dead-guard prune fires first; unreachable. *)
+            None
+        | Interval.Unknown -> begin
+            match Abg_analysis.Relint.boolean base c with
+            | Interval.True | Interval.False -> Some `Vacuous
+            | Interval.Unknown -> begin
+                match Abg_analysis.Relint.boolean rel c with
+                | Interval.True | Interval.False -> Some `Implied
+                | Interval.Unknown ->
+                    let guard_operands =
+                      match c with
+                      | Expr.Lt (a, b)
+                      | Expr.Gt (a, b)
+                      | Expr.Mod_eq (a, b) -> begin
+                          match go rel a with
+                          | Some _ as r -> r
+                          | None -> go rel b
+                        end
+                    in
+                    let under truth =
+                      match Abg_analysis.Relint.assume rel c truth with
+                      | Some r -> r
+                      | None -> rel
+                    in
+                    begin
+                      match guard_operands with
+                      | Some _ as r -> r
+                      | None -> begin
+                          match go (under true) t with
+                          | Some _ as r -> r
+                          | None -> go (under false) el
+                        end
+                    end
+              end
+          end
+      end
+  in
+  go base sketch
 
 (* Bucket-scoped enumeration state for one [next]/[next_raw] call: the
    assumption list (used_op pins plus the blocking group's selector) and
@@ -701,9 +803,44 @@ let rec next ?bucket enc =
               next ?bucket enc
             end
             else begin
-              enc.enumerated <- enc.enumerated + 1;
-              Abg_obs.Obs.Counter.incr obs_returned;
-              Some canonical
+              match
+                if has_ite canonical then
+                  relationally_dead enc.box enc.rel canonical
+                else None
+              with
+              | Some `Vacuous ->
+                  enc.blocked_vacuous <- enc.blocked_vacuous + 1;
+                  Abg_obs.Obs.Counter.incr obs_vacuous;
+                  next ?bucket enc
+              | Some `Implied ->
+                  enc.blocked_implied <- enc.blocked_implied + 1;
+                  Abg_obs.Obs.Counter.incr obs_implied;
+                  next ?bucket enc
+              | None ->
+                  (* Semantic subsumption: one representative per
+                     relational-normal-form class. Conditional-free
+                     sketches are their own normal form, so [sem] mirrors
+                     [seen] exactly on an Ite-free DSL and this stage
+                     never fires there. *)
+                  let key =
+                    if has_ite canonical then
+                      Abg_analysis.Canonical.normalize
+                        (Abg_analysis.Equiv.rnorm enc.rel canonical)
+                    else canonical
+                  in
+                  let _id, fresh_sem =
+                    Abg_analysis.Canonical.Tbl.intern enc.sem key
+                  in
+                  if not fresh_sem then begin
+                    enc.blocked_subsumed <- enc.blocked_subsumed + 1;
+                    Abg_obs.Obs.Counter.incr obs_subsumed;
+                    next ?bucket enc
+                  end
+                  else begin
+                    enc.enumerated <- enc.enumerated + 1;
+                    Abg_obs.Obs.Counter.incr obs_returned;
+                    Some canonical
+                  end
             end
       end
 
@@ -743,7 +880,10 @@ let prune_stats enc =
   :: List.mapi
        (fun i r -> (Abg_analysis.Absint.reason_name r, enc.dead.(i)))
        Abg_analysis.Absint.all_reasons
-  @ [ ("duplicate", enc.blocked_duplicate) ]
+  @ [ ("duplicate", enc.blocked_duplicate);
+      ("vacuous-guard", enc.blocked_vacuous);
+      ("guard-implied", enc.blocked_implied);
+      ("equiv-subsumed", enc.blocked_subsumed) ]
 
 (** Fraction of decoded sketches pruned before simulation. *)
 let prune_rate enc =

@@ -17,11 +17,16 @@
     live in a retractable {!Abg_sat.Solver} clause group
     (see {!retire_bucket}).
 
-    Three pruning stages run post-decode, each blocking-and-skipping the
+    Five pruning stages run post-decode, each blocking-and-skipping the
     model: the §4.1 simplifiability filter, the interval-domain
-    dead-on-arrival rules of {!Abg_analysis.Absint}, and — retained as a
-    safety net — commutative-duplicate detection via
-    {!Abg_analysis.Canonical}. *)
+    dead-on-arrival rules of {!Abg_analysis.Absint}, commutative-duplicate
+    detection via {!Abg_analysis.Canonical} (retained as a safety net),
+    relational dead-guard detection via {!Abg_analysis.Relint}
+    (["vacuous-guard"]/["guard-implied"]), and semantic subsumption via
+    {!Abg_analysis.Equiv.rnorm} (["equiv-subsumed"]: one scored
+    representative per relational normal-form class). The relational
+    stages only touch sketches containing a conditional, so an Ite-free
+    DSL (reno) enumerates bit-identically with them on. *)
 
 open Abg_dsl
 
@@ -68,7 +73,9 @@ val stats : t -> int * int
 
 val prune_stats : t -> (string * int) list
 (** Per-reason prune counters, in reporting order: ["simplifiable"], each
-    {!Abg_analysis.Absint.reason_name}, ["duplicate"]. *)
+    {!Abg_analysis.Absint.reason_name}, ["duplicate"], then the
+    relational stages ["vacuous-guard"], ["guard-implied"],
+    ["equiv-subsumed"]. *)
 
 val global_prune_stats : unit -> (string * int) list
 (** Process-wide prune counters from the telemetry layer ({!Abg_obs.Obs}),

@@ -239,7 +239,20 @@ let eval_audit env e =
   let rec go e =
     note (Eval.num env e);
     match e with
-    | Add (a, b) | Sub (a, b) | Mul (a, b) -> go a; go b
+    | Add (a, b) | Sub (a, b) ->
+        go a;
+        go b;
+        (* Catastrophic cancellation: when the sum is many orders of
+           magnitude below its operands, its value is dominated by the
+           operands' roundoff (ulp of the large magnitude), and a
+           cancelling rewrite like rtt - wmax + wmax = rtt may legally
+           differ from it by far more than any result-scaled
+           tolerance. *)
+        let va = Eval.num env a and vb = Eval.num env b in
+        let r = Eval.num env e in
+        if Float.abs r < 1e-3 *. Float.max (Float.abs va) (Float.abs vb)
+        then clean := false
+    | Mul (a, b) -> go a; go b
     | Div (a, b) ->
         go a;
         go b;
@@ -248,11 +261,40 @@ let eval_audit env e =
     | Ite (g, t, el) -> go_bool g; go t; go el
     | Cwnd | Signal _ | Macro _ | Const _ | Hole _ -> ()
   and go_bool = function
-    | Lt (a, b) | Gt (a, b) -> go a; go b
+    | Lt (a, b) | Gt (a, b) ->
+        go a;
+        go b;
+        (* A comparison decided by less than the rounding slack is not a
+           robust hypothesis: the permissive simplifier's up-to-rounding
+           cancellations (a + (b - a) = b, cbrt(x)^3 = x) may legally
+           land on the other side of it and flip the branch. *)
+        let va = Eval.num env a and vb = Eval.num env b in
+        let slack =
+          1e-9 *. (1.0 +. Float.max (Float.abs va) (Float.abs vb))
+        in
+        if Float.abs (va -. vb) <= slack then clean := false
     | Mod_eq (a, b) ->
         go a;
         go b;
-        if Float.abs (Eval.num env b) < 1e-9 then clean := false
+        let x = Eval.num env a and y = Eval.num env b in
+        if Float.abs y < 1e-9 then clean := false
+        else begin
+          (* The tolerant divisibility predicate folds fmod of the
+             numerator: an ulp-level rewrite of either operand shifts
+             the remainder by up to ~1e-9 * |x|, so the verdict is only
+             robust when the remainder sits clear of both tolerance
+             boundaries by that much (and the shift itself stays well
+             under the modulus — a huge |x| / |y| ratio makes fmod
+             chaotic under perturbation). *)
+          let slack = 1e-9 *. (1.0 +. Float.abs x) in
+          let r = Abg_util.Floatx.fmod x y in
+          let tol = 0.05 *. Float.abs y in
+          if
+            slack >= 0.5 *. Float.abs y
+            || Float.abs (r -. tol) <= slack
+            || Float.abs (Float.abs y -. r -. tol) <= slack
+          then clean := false
+        end
   in
   go e;
   if !clean then Some !m else None
@@ -375,7 +417,8 @@ let test_lint_showcase_coverage () =
       Alcotest.(check bool) (id ^ " demonstrated") true (List.mem id ids))
     [ "collapses-to-floor"; "always-nonfinite"; "zero-denominator";
       "dead-guard"; "possible-zero-denominator"; "possible-nan";
-      "unbounded-window"; "simplifiable"; "non-canonical" ];
+      "unbounded-window"; "simplifiable"; "non-canonical";
+      "vacuous-guard"; "guard-implied"; "branch-equivalent" ];
   Alcotest.(check bool) "at least four rules" true (List.length ids >= 4)
 
 let test_lint_errors_are_pruned () =
@@ -393,6 +436,220 @@ let test_lint_clean_handler () =
   (* A canonical, live handler produces no diagnostics at all. *)
   Alcotest.(check int) "no diags" 0
     (List.length (L.check (Add (Cwnd, Mul (ri, c 0.7)))))
+
+(* -- Relational layer: Relint soundness, Equiv verdicts -- *)
+
+module R = Abg_analysis.Relint
+module Q = Abg_analysis.Equiv
+
+let rel = R.default ()
+
+(* Environments satisfying the zone: inside the box AND relationally
+   ordered (min-rtt <= rtt <= max-rtt). [gen_box_env] draws the three
+   rtt-family signals independently and routinely violates the ordering
+   invariant the zone is seeded with, so it cannot exercise Relint's
+   soundness contract. *)
+let gen_zone_env =
+  let open QCheck.Gen in
+  gen_box_env >>= fun env ->
+  let lo, hi = Signal.range Signal.Rtt in
+  gen_in_range lo hi >>= fun r1 ->
+  gen_in_range lo hi >>= fun r2 ->
+  gen_in_range lo hi >>= fun r3 ->
+  match List.sort Float.compare [ r1; r2; r3 ] with
+  | [ a; b; c ] -> return { env with Env.min_rtt = a; rtt = b; max_rtt = c }
+  | _ -> assert false
+
+let arbitrary_expr_zone_env =
+  QCheck.make
+    ~print:(fun (e, env) ->
+      Printf.sprintf "%s in cwnd=%g rtt=%g min-rtt=%g max-rtt=%g"
+        (Pretty.num e) env.Env.cwnd env.Env.rtt env.Env.min_rtt
+        env.Env.max_rtt)
+    QCheck.Gen.(pair gen_expr gen_zone_env)
+
+let prop_relint_sound =
+  QCheck.Test.make ~name:"Eval.num is contained in Relint.num" ~count:2000
+    arbitrary_expr_zone_env (fun (e, env) ->
+      I.contains (R.num rel e) (Eval.num env e))
+
+let prop_relint_boolean_sound =
+  QCheck.Test.make
+    ~name:"definite Relint verdicts agree with Eval.boolean on the zone"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair (pair gen_expr gen_expr) gen_zone_env))
+    (fun ((a, b), env) ->
+      List.for_all
+        (fun g ->
+          match R.boolean rel g with
+          | I.True -> Eval.boolean env g
+          | I.False -> not (Eval.boolean env g)
+          | I.Unknown -> true)
+        [ Lt (a, b); Gt (a, b); Mod_eq (a, b) ])
+
+let prop_relint_assume_sound =
+  (* [assume rel g truth] must keep every zone environment on which [g]
+     evaluates to [truth]: the refined intervals still contain the
+     concrete result, and [None] is only sound if no such environment
+     exists. *)
+  QCheck.Test.make ~name:"Relint.assume keeps the satisfying environments"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(pair (pair gen_expr (pair gen_expr gen_expr)) gen_zone_env))
+    (fun ((e, (a, b)), env) ->
+      List.for_all
+        (fun g ->
+          let truth = Eval.boolean env g in
+          match R.assume rel g truth with
+          | None -> false (* the witness env satisfies g at truth *)
+          | Some r -> I.contains (R.num r e) (Eval.num env e))
+        [ Lt (a, b); Gt (a, b) ])
+
+let prop_relint_sample_env_in_zone =
+  (* The replay cross-checks trust sample_env to stay inside the zone. *)
+  QCheck.Test.make ~name:"Relint.sample_env satisfies the zone" ~count:500
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Abg_util.Rng.create seed in
+      let env = R.sample_env rel rng in
+      env.Env.min_rtt <= env.Env.rtt
+      && env.Env.rtt <= env.Env.max_rtt
+      && I.contains (R.signal_iv rel Signal.Rtt) env.Env.rtt
+      && I.contains (R.cwnd_iv rel) env.Env.cwnd)
+
+let prop_equiv_distinct_witness =
+  (* Every Distinct verdict carries a replayed witness: the two sides
+     evaluate to different raw values on it. *)
+  QCheck.Test.make ~name:"Equiv.Distinct witnesses evaluate differently"
+    ~count:400
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "%s vs %s" (Pretty.num a) (Pretty.num b))
+       QCheck.Gen.(pair gen_expr gen_expr))
+    (fun (a, b) ->
+      match Q.decide ~draws:64 ~icp_budget:64 rel a b with
+      | Q.Distinct env ->
+          not (Float.equal (Eval.num env a) (Eval.num env b))
+      | Q.Equal | Q.Unknown _ -> true)
+
+let prop_equiv_rnorm_bit_exact =
+  (* The relational normal form promises bit-exact evaluation on every
+     zone environment — it is what semantic subsumption dedups on. *)
+  QCheck.Test.make ~name:"Equiv.rnorm preserves Eval bit-exactly on the zone"
+    ~count:1000 arbitrary_expr_zone_env (fun (e, env) ->
+      Float.equal (Eval.num env e) (Eval.num env (Q.rnorm rel e)))
+
+let test_equiv_equal_matches_sampling () =
+  (* Differential testing of the Equal verdict across the catalog: for
+     every handler pair the prover calls Equal, 2000 zone-consistent
+     draws must agree bit-for-bit (and known-identical pairs must indeed
+     be proved Equal, so the check is not vacuous). *)
+  let handlers =
+    List.map (fun (n, e) -> ("synthesized/" ^ n, e))
+      Abg_core.Fine_tuned.synthesized
+    @ List.map (fun (n, e) -> ("fine-tuned/" ^ n, e))
+        Abg_core.Fine_tuned.fine_tuned
+  in
+  let equal_pairs = ref 0 in
+  let rng = Abg_util.Rng.create 0xD1FF in
+  List.iteri
+    (fun i (ni, a) ->
+      List.iteri
+        (fun j (nj, b) ->
+          if j > i then
+            match Q.decide rel a b with
+            | Q.Equal ->
+                incr equal_pairs;
+                for _ = 1 to 2000 do
+                  let env = R.sample_env rel rng in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s = %s on a zone draw" ni nj)
+                    true
+                    (Float.equal (Eval.num env a) (Eval.num env b))
+                done
+            | Q.Distinct env ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s <> %s witness replays" ni nj)
+                  true
+                  (not (Float.equal (Eval.num env a) (Eval.num env b)))
+            | Q.Unknown _ -> ())
+        handlers)
+    handlers;
+  (* reno/westwood duplicates across the two tables guarantee hits. *)
+  Alcotest.(check bool) "some pairs proved Equal" true (!equal_pairs >= 2)
+
+let test_equiv_student5 () =
+  (* The §5.6 headline: Student 5's vacuous conditional is provably the
+     constant 2*mss — a cross-signal fact the interval domain cannot
+     decide (beyond-paper result). *)
+  let s5 =
+    match Abg_core.Fine_tuned.find_synthesized "student5" with
+    | Some e -> e
+    | None -> Alcotest.fail "student5 missing from the catalog"
+  in
+  let two_mss = Mul (c 2.0, Signal Signal.Mss) in
+  (match s5 with
+  | Ite (g, _, _) ->
+      Alcotest.(check bool) "Absint cannot decide the guard" true
+        (A.boolean box g = I.Unknown);
+      Alcotest.(check bool) "Relint proves it false" true
+        (R.boolean rel g = I.False)
+  | _ -> Alcotest.fail "student5 should be a conditional");
+  Alcotest.(check bool) "Equiv proves s5 = 2*mss" true
+    (Q.decide rel s5 two_mss = Q.Equal);
+  Alcotest.(check bool) "lint flags vacuous-guard" true
+    (List.exists (fun d -> d.L.rule = "vacuous-guard") (L.check s5))
+
+let test_sound_simplify_guard_adjacent_cancellation () =
+  (* The §9 caveat, resolved: a cancellation adjacent to a guard fires
+     only when the zone proves the guard keeps the operands clear of the
+     evaluator's safe-division regime. [acked > 0] refines acked to
+     [0, _] (strict relaxed to non-strict) — NOT clear of the guard, so
+     the sound simplifier must keep the quotient; [acked > mss] proves
+     acked >= 400, so it may fold. The permissive simplifier folds both
+     (the historical §4.1 behavior, unchanged). *)
+  let acked = Signal Signal.Acked_bytes and mss = Signal Signal.Mss in
+  let risky = Ite (Gt (acked, c 0.0), Div (acked, acked), c 1.0) in
+  let safe = Ite (Gt (acked, mss), Div (acked, acked), c 1.0) in
+  Alcotest.(check bool) "sound: risky quotient kept" true
+    (Expr.equal_num (R.simplify rel risky) risky);
+  Alcotest.(check bool) "sound: proven quotient folds" true
+    (Expr.equal_num (R.simplify rel safe) (c 1.0));
+  Alcotest.(check bool) "permissive folds both" true
+    (Expr.equal_num (Simplify.simplify risky) (c 1.0)
+    && Expr.equal_num (Simplify.simplify safe) (c 1.0));
+  (* And the witness for the sound behavior: an environment where the
+     rewrite would have been wrong — acked positive (the guard binds the
+     then-branch) yet inside the evaluator's safe-division guard, so the
+     quotient is 0, not 1. *)
+  let env =
+    QCheck.Gen.generate1 gen_zone_env |> fun e ->
+    { e with Env.acked_bytes = 1e-13 }
+  in
+  Alcotest.(check bool) "folding risky would change Eval" true
+    (not (Float.equal (Eval.num env risky) (Eval.num env (c 1.0))))
+
+let prop_sound_simplify_preserves_eval_on_zone =
+  (* The sound simplifier's whole point: bit-exact-or-tolerance-free is
+     too strong for cancellations, but on zone environments the same
+     rounding tolerance as the permissive simplifier applies — without
+     needing the audit to exclude division-guard regimes for the rules
+     the oracle refused to fire. *)
+  QCheck.Test.make ~name:"Relint.simplify preserves Eval on the zone"
+    ~count:1000 arbitrary_expr_zone_env (fun (e, env) ->
+      let before = Eval.num env e in
+      let after = Eval.num env (R.simplify rel e) in
+      close_up_to_magnitude env e before after)
+
+let prop_validate_rewrite_accepts_sound =
+  QCheck.Test.make ~name:"validate_rewrite accepts the sound simplifier"
+    ~count:300 (QCheck.make ~print:Pretty.num gen_expr) (fun e ->
+      match
+        Q.validate_rewrite ~draws:128 rel ~original:e
+          ~rewritten:(R.simplify rel e)
+      with
+      | Ok _ -> true
+      | Error _ -> false)
 
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -438,4 +695,28 @@ let suites =
           test_lint_errors_are_pruned;
         Alcotest.test_case "clean handler" `Quick test_lint_clean_handler;
       ] );
+    ( "analysis.relint",
+      qcheck
+        [
+          prop_relint_sound; prop_relint_boolean_sound;
+          prop_relint_assume_sound; prop_relint_sample_env_in_zone;
+        ] );
+    ( "analysis.equiv",
+      [
+        Alcotest.test_case "Equal agrees with 2k-draw sampling" `Slow
+          test_equiv_equal_matches_sampling;
+        Alcotest.test_case "student5 is the vacuous conditional" `Quick
+          test_equiv_student5;
+      ]
+      @ qcheck [ prop_equiv_distinct_witness; prop_equiv_rnorm_bit_exact ] );
+    ( "analysis.sound-simplify",
+      [
+        Alcotest.test_case "guard-adjacent cancellation" `Quick
+          test_sound_simplify_guard_adjacent_cancellation;
+      ]
+      @ qcheck
+          [
+            prop_sound_simplify_preserves_eval_on_zone;
+            prop_validate_rewrite_accepts_sound;
+          ] );
   ]
