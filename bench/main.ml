@@ -4,7 +4,7 @@
 
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table2 table3 table4 fig3 fig4 fig5 fig6 sec41 sec61
-             mister880 ablation micro
+             mister880 ablation micro serve gate
    With no arguments, every section runs (tables and figures share cached
    synthesis runs, so the combined run is much cheaper than the sum). *)
 
@@ -13,7 +13,7 @@ let sections =
     ("table4", Table4.run); ("fig3", Fig3.run); ("fig4", Fig4.run);
     ("fig5", Fig5.run); ("fig6", Fig6.run); ("sec61", Sec61.run);
     ("mister880", Mister880_cmp.run); ("ablation", Ablation.run);
-    ("micro", Micro.run) ]
+    ("micro", Micro.run); ("serve", Serve.run); ("gate", Gate.run) ]
 
 let () =
   let requested =

@@ -8,6 +8,8 @@
      lint      — run the static-analysis diagnostics over handlers
      simplify  — sound (relational-oracle) simplification + validation
      batch     — crash-safe grid orchestration (run/resume/status/report)
+     serve     — long-lived online classifier daemon (line protocol)
+     stream    — client for serve: stream trace files, print verdicts
      telemetry — inspect / diff machine-readable telemetry reports
      list      — show the available CCAs and sub-DSLs
 
@@ -1021,6 +1023,123 @@ let fingerprint_cmd =
   in
   Cmd.v info Term.(const fingerprint $ fingerprint_dsl_arg $ fingerprint_cap_arg)
 
+(* -- serve / stream -- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path to listen on (or connect to)." in
+  Arg.(
+    value & opt string "abagnale.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Use TCP on 127.0.0.1:$(docv) instead of a Unix socket." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let window_arg =
+  let doc = "Sliding-window capacity, in records per flow." in
+  Arg.(
+    value
+    & opt int Abg_serve.Engine.default_config.Abg_serve.Engine.window
+    & info [ "window" ] ~doc)
+
+let max_sessions_arg =
+  let doc = "Maximum concurrent sessions across all connections." in
+  Arg.(
+    value
+    & opt int Abg_serve.Engine.default_config.Abg_serve.Engine.max_sessions
+    & info [ "max-sessions" ] ~doc)
+
+let no_escalate_arg =
+  let doc = "Do not synthesize handlers for flows that classify Unknown." in
+  Arg.(value & flag & info [ "no-escalate" ] ~doc)
+
+let endpoint_of socket tcp =
+  match tcp with
+  | Some port -> Abg_serve.Daemon.Tcp port
+  | None -> Abg_serve.Daemon.Unix_socket socket
+
+let serve socket tcp window max_sessions no_escalate telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let escalate =
+    if no_escalate then None
+    else
+      (* Unknown flows go to real synthesis on the pool's background
+         lane; the outcome lands in the daemon log. *)
+      Some
+        (Abg_serve.Escalate.create (fun ~sid trace ->
+             match Abg_core.Synthesis.run ~name:sid [ trace ] with
+             | Some o ->
+                 Printf.printf "escalate %s: synthesized %s (distance %.3f)\n%!"
+                   sid o.Abg_core.Synthesis.dsl_name
+                   o.Abg_core.Synthesis.distance
+             | None ->
+                 Printf.printf "escalate %s: synthesis found no handler\n%!"
+                   sid))
+  in
+  let config =
+    {
+      Abg_serve.Daemon.endpoint = endpoint_of socket tcp;
+      engine = { Abg_serve.Engine.window; max_sessions; escalate };
+      max_connections = Abg_serve.Daemon.default_config.max_connections;
+      log =
+        (fun line ->
+          print_endline line;
+          flush stdout);
+    }
+  in
+  Abg_serve.Daemon.run ~config ()
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the online classifier daemon (SIGTERM drains cleanly)"
+  in
+  Cmd.v info
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ window_arg $ max_sessions_arg
+      $ no_escalate_arg $ telemetry_arg)
+
+let json_arg =
+  let doc = "Print verdicts as a JSON array instead of raw reply lines." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let stream socket tcp json trace_files telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let flows =
+    List.mapi
+      (fun i path ->
+        let base = Filename.remove_extension (Filename.basename path) in
+        (Printf.sprintf "s%d-%s" i base, Abg_trace.Io.load path))
+      trace_files
+  in
+  let lines = Abg_serve.Client.stream (endpoint_of socket tcp) flows in
+  if json then begin
+    let rows =
+      Abg_serve.Client.verdicts lines
+      |> List.map (fun (sid, window, distance, verdict) ->
+             Abg_batch.Jsonx.Obj
+               [
+                 ("sid", Abg_batch.Jsonx.Str sid);
+                 ("window", Abg_batch.Jsonx.Num (float_of_int window));
+                 ("distance", Abg_batch.Jsonx.hex distance);
+                 ("verdict", Abg_batch.Jsonx.Str verdict);
+               ])
+    in
+    print_endline (Abg_batch.Jsonx.to_string (Abg_batch.Jsonx.List rows))
+  end
+  else List.iter print_endline lines
+
+let stream_cmd =
+  let info =
+    Cmd.info "stream"
+      ~doc:
+        "Stream trace files to a running serve daemon as concurrent \
+         sessions and report the verdicts"
+  in
+  Cmd.v info
+    Term.(
+      const stream $ socket_arg $ tcp_arg $ json_arg $ trace_files_arg
+      $ telemetry_arg)
+
 (* -- list -- *)
 
 let list_all () =
@@ -1049,6 +1168,8 @@ let main_cmd =
       simplify_cmd;
       fingerprint_cmd;
       batch_cmd;
+      serve_cmd;
+      stream_cmd;
       telemetry_cmd;
       list_cmd;
     ]

@@ -58,16 +58,22 @@ let distance ?band ?(cutoff = infinity) a b =
       if hi < m then c.(hi + 1) <- infinity;
       let ai = a.(!i - 1) in
       let row_min = ref infinity in
+      (* [left] carries c.(j - 1) across iterations — the value the
+         previous iteration just wrote — so the hot loop reads each array
+         once. Indices are in range by construction (1 <= lo <= j <= hi
+         <= m against rows of length m + 1 and b of length m), so the
+         accesses are unchecked: this loop is the process's single
+         hottest path when the serving layer is scoring windows. *)
+      let left = ref (Array.unsafe_get c (lo - 1)) in
       for j = lo to hi do
-        let cost = Float.abs (ai -. b.(j - 1)) in
-        let best =
-          let pj = p.(j) and cl = c.(j - 1) in
-          let b1 = if pj < cl then pj else cl in
-          let pd = p.(j - 1) in
-          if b1 < pd then b1 else pd
-        in
+        let cost = Float.abs (ai -. Array.unsafe_get b (j - 1)) in
+        let pj = Array.unsafe_get p j in
+        let pd = Array.unsafe_get p (j - 1) in
+        let b1 = if pj < !left then pj else !left in
+        let best = if b1 < pd then b1 else pd in
         let v = cost +. best in
-        c.(j) <- v;
+        Array.unsafe_set c j v;
+        left := v;
         if v < !row_min then row_min := v
       done;
       if !row_min > cutoff then abandoned := true

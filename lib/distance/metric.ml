@@ -34,26 +34,130 @@ type prepared = {
   length : int;
   reference : float array;  (* truth, resampled to [length] and normalized *)
   scale : float;  (* multiplier that maps candidates into the same space *)
+  env_lo : float array;  (* DTW only: banded min-envelope of [reference] *)
+  env_hi : float array;  (* DTW only: banded max-envelope; else [||] *)
 }
+
+(* Sakoe-Chiba envelopes of the reference: [env_lo.(i)]/[env_hi.(i)]
+   bound every reference value a banded warping path may match against
+   candidate position [i]. O(length * band) once per prepare. *)
+let envelopes ~band reference =
+  let n = Array.length reference in
+  let lo = Array.make n infinity and hi = Array.make n neg_infinity in
+  for i = 0 to n - 1 do
+    for j = Stdlib.max 0 (i - band) to Stdlib.min (n - 1) (i + band) do
+      let v = reference.(j) in
+      if v < lo.(i) then lo.(i) <- v;
+      if v > hi.(i) then hi.(i) <- v
+    done
+  done;
+  (lo, hi)
 
 (** [prepare ?length kind ~truth] does the truth-side preparation once,
     for reuse across every candidate scored against this segment. *)
 let prepare ?(length = Series.default_length) kind ~truth =
   let reference, scale = Series.prepare_truth ~length truth in
-  { kind; length; reference; scale }
+  let env_lo, env_hi =
+    match kind with
+    | Dtw -> envelopes ~band:(dtw_band length) reference
+    | Euclidean | Manhattan | Frechet -> ([||], [||])
+  in
+  { kind; length; reference; scale; env_lo; env_hi }
+
+(* LB_Keogh lower bound (Keogh & Ratanamahatana, KAIS '05) for the L1
+   banded DTW: every warping path matches candidate position [i] against
+   some reference value inside the band, contributing at least the
+   candidate's distance to the envelope there; the row sums are
+   independent, so their total bounds the true distance from below. A
+   candidate whose bound already exceeds the cutoff is rejected in
+   O(length) without touching the O(length * band) DP lattice — on the
+   serving layer's scoring loop (hundreds of references per query, most
+   hopeless) this prunes the bulk of the work. NaN samples contribute
+   nothing, which only weakens the bound — never a wrong prune. *)
+let obs_lb_pruned = Abg_obs.Obs.Counter.make "distance.dtw.lb_pruned"
+
+let lb_keogh ~env_lo ~env_hi candidate =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length candidate - 1 do
+    let v = candidate.(i) in
+    if v > env_hi.(i) then acc := !acc +. (v -. env_hi.(i))
+    else if v < env_lo.(i) then acc := !acc +. (env_lo.(i) -. v)
+  done;
+  !acc
+
+(* Kernel dispatch shared by the materialized and windowed entry points:
+   [candidate'] is already resampled and scaled into the prepared truth's
+   normalized space. *)
+let dispatch ?cutoff { kind; length; reference; env_lo; env_hi; _ } candidate'
+    =
+  match kind with
+  | Dtw -> (
+      match cutoff with
+      | Some c
+        when Array.length env_lo > 0
+             && Array.length candidate' = Array.length env_lo
+             && lb_keogh ~env_lo ~env_hi candidate' > c ->
+          Abg_obs.Obs.Counter.incr obs_lb_pruned;
+          infinity
+      | _ -> Dtw.distance ~band:(dtw_band length) ?cutoff reference candidate')
+  | Euclidean -> Pointwise.euclidean ?cutoff reference candidate'
+  | Manhattan -> Pointwise.manhattan ?cutoff reference candidate'
+  | Frechet ->
+      Frechet.distance ~band:(dtw_band length) ?cutoff reference candidate'
 
 (** [compute_prepared ?cutoff prepared ~candidate] is the distance of a
     candidate series against a prepared ground truth. With [?cutoff],
     the metric abandons early once the distance provably (strictly)
     exceeds it and returns [infinity]; results at or below the cutoff
     are exact, so a best-so-far fold keeps the same winner. *)
-let compute_prepared ?cutoff { kind; length; reference; scale } ~candidate =
-  let candidate' = Series.prepare_candidate ~length ~scale candidate in
-  match kind with
-  | Dtw -> Dtw.distance ~band:(dtw_band length) ?cutoff reference candidate'
-  | Euclidean -> Pointwise.euclidean ?cutoff reference candidate'
-  | Manhattan -> Pointwise.manhattan ?cutoff reference candidate'
-  | Frechet -> Frechet.distance ~band:(dtw_band length) ?cutoff reference candidate'
+let compute_prepared ?cutoff ({ length; scale; _ } as prepared) ~candidate =
+  dispatch ?cutoff prepared (Series.prepare_candidate ~length ~scale candidate)
+
+(** [compute_prepared_window ?cutoff ?scratch ?scale prepared ~get ~len]
+    is {!compute_prepared} for a candidate read through an accessor — the
+    serving layer's windowed kernel, scoring a per-flow sliding window
+    directly out of its ring buffer ([get i] is the i-th value of the
+    window, oldest first). [scratch] (length [prepared.length]) is
+    overwritten with the resampled candidate and reused across calls, so
+    steady-state scoring allocates nothing.
+
+    [scale] overrides the truth-derived candidate scale (default
+    [prepared.scale]). Synthesis scoring must keep the default — a
+    candidate shrinking its error by inflating its output is the exact
+    gaming the shared scale prevents — but classification of a {e
+    measured} flow window is shape matching between different scenarios,
+    where the query self-normalizes (pass [1 /. window_mean]) to be
+    comparable against a unit-mean reference.
+
+    Same early-abandon contract as {!compute_prepared}: with [?cutoff]
+    the result is [infinity] once the distance provably exceeds it,
+    exact at or below. With the default scale, bit-identical to
+    [compute_prepared prepared ~candidate:(Array.init len get)]. *)
+let compute_prepared_window ?cutoff ?scratch ?scale prepared ~get ~len =
+  let dst =
+    match scratch with
+    | Some a when Array.length a = prepared.length -> a
+    | Some _ | None -> Array.make prepared.length 0.0
+  in
+  let scale = Option.value ~default:prepared.scale scale in
+  Series.prepare_candidate_into ~get ~len ~scale dst;
+  dispatch ?cutoff prepared dst
+
+(** [compute_resampled ?cutoff prepared ~candidate] scores a candidate
+    that is {e already} in the prepared space — resampled to
+    [prepared.length] and scaled (e.g. by {!Series.prepare_candidate_into}).
+    The serving layer's scoring loop compares one query window against
+    hundreds of same-length references; resampling once and dispatching
+    here, instead of calling {!compute_prepared_window} per reference,
+    removes the redundant per-reference resample. Raises
+    [Invalid_argument] on a length mismatch — a misprepared candidate
+    would otherwise score garbage silently. *)
+let compute_resampled ?cutoff prepared ~candidate =
+  if Array.length candidate <> prepared.length then
+    invalid_arg
+      (Printf.sprintf "Metric.compute_resampled: candidate length %d <> %d"
+         (Array.length candidate) prepared.length);
+  dispatch ?cutoff prepared candidate
 
 (** [compute kind ~truth ~candidate] is the distance between the
     ground-truth and candidate visible-CWND value series. Lower is a

@@ -50,6 +50,27 @@ let prepare_truth ?(length = default_length) truth =
 let prepare_candidate ?(length = default_length) ~scale candidate =
   Array.map (fun v -> v *. scale) (resample ~length candidate)
 
+(** [prepare_candidate_into ~get ~len ~scale dst] is {!prepare_candidate}
+    reading the candidate through an accessor ([get i], [i] in
+    [0 .. len-1]) and writing into [dst] (whose length is the prepared
+    length) — the windowed, zero-allocation variant the serving layer
+    uses to score a sliding window's ring buffer without materializing
+    it. Bit-identical to [prepare_candidate ~length:(Array.length dst)
+    ~scale (Array.init len get)]. *)
+let prepare_candidate_into ~get ~len ~scale dst =
+  let n = Array.length dst in
+  if len = n then
+    for i = 0 to n - 1 do
+      dst.(i) <- get i *. scale
+    done
+  else if len = 0 then Array.fill dst 0 n 0.0
+  else begin
+    Abg_util.Resample.linear_fn_into ~time:float_of_int ~value:get ~len ~dst;
+    for i = 0 to n - 1 do
+      dst.(i) <- dst.(i) *. scale
+    done
+  end
+
 (** [prepare ?length ~truth ~candidate ()] resamples both value series to
     [length] points and normalizes by the truth's mean, returning
     [(truth', candidate')]. *)

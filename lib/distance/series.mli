@@ -28,6 +28,15 @@ val prepare_candidate :
     scales it into the normalized space of the truth that produced
     [scale]. *)
 
+val prepare_candidate_into :
+  get:(int -> float) -> len:int -> scale:float -> float array -> unit
+(** [prepare_candidate_into ~get ~len ~scale dst] is {!prepare_candidate}
+    reading the candidate through [get] (indices [0 .. len-1]) and
+    writing into [dst] (length = prepared length) with no intermediate
+    allocation — the windowed variant for scoring a ring buffer.
+    Bit-identical to [prepare_candidate ~length:(Array.length dst) ~scale
+    (Array.init len get)]. *)
+
 val prepare :
   ?length:int ->
   truth:float array ->

@@ -294,6 +294,36 @@ module Histogram = struct
     done;
     { count = !count; sum = float_sum t.sum_id; nonzero = !nonzero }
 
+  (* Quantile estimate from the power-of-two buckets: walk the
+     cumulative counts to the target rank, then interpolate linearly
+     within the bucket (the top, open-ended bucket reports its lower
+     bound). Resolution is a factor of two — fine for the latency
+     summaries the serve daemon prints on drain; exact percentiles come
+     from raw samples (the serve bench keeps its own). *)
+  let quantile s q =
+    if s.count = 0 then 0.0
+    else begin
+      let target =
+        Stdlib.max 1
+          (int_of_float (Float.round (q *. float_of_int s.count)))
+      in
+      let rec walk cum = function
+        | [] -> 0.0
+        | (b, n) :: rest ->
+            if cum + n >= target then begin
+              let lb = lower_bound b in
+              if b >= buckets - 1 then lb
+              else begin
+                let ub = lower_bound (b + 1) in
+                let frac = float_of_int (target - cum) /. float_of_int n in
+                lb +. (frac *. (ub -. lb))
+              end
+            end
+            else walk (cum + n) rest
+      in
+      walk 0 s.nonzero
+    end
+
   let name t = t.name
 
   let all () =

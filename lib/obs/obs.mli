@@ -75,6 +75,13 @@ module Histogram : sig
   }
 
   val summary : t -> summary
+
+  val quantile : summary -> float -> float
+  (** [quantile s q] ([q] in [0, 1]) estimated from the power-of-two
+      buckets (linear interpolation within a bucket, so resolution is a
+      factor of two; the open-ended top bucket reports its lower bound).
+      [0.0] on an empty summary. *)
+
   val name : t -> string
 end
 

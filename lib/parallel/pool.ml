@@ -40,6 +40,12 @@ let obs_workers = Abg_obs.Obs.Gauge.make "pool.workers"
 let obs_busy = Abg_obs.Obs.Floatcell.make "pool.busy_s"
 let obs_job_items = Abg_obs.Obs.Histogram.make "pool.job_items"
 
+let obs_background =
+  Abg_obs.Obs.Counter.make ~volatile:true "pool.background_tasks"
+
+let obs_background_failures =
+  Abg_obs.Obs.Counter.make ~volatile:true "pool.background_failures"
+
 type job = {
   run : int -> unit;
   n : int;
@@ -53,11 +59,20 @@ type job = {
 type t = {
   mutable workers : unit Domain.t array;
   m : Mutex.t;
-  cv : Condition.t;  (* new job submitted, or shutdown *)
-  done_cv : Condition.t;  (* some job completed its last item *)
+  cv : Condition.t;  (* new job submitted, background task queued, or shutdown *)
+  done_cv : Condition.t;  (* job completed its last item, or bg task finished *)
   mutable job : job option;
   mutable generation : int;  (* bumped per submitted job *)
   mutable stop : bool;
+  (* Background lane: low-priority tasks (the serve daemon's escalated
+     synthesis jobs) that idle workers pick up only when no foreground
+     job wants them. Foreground maps always win the wakeup check, and at
+     least one worker slot is kept clear of background work on pools of
+     two or more, so serve sessions fanning classification work out as
+     maps are never starved behind a long synthesis. *)
+  bg : (unit -> unit) Queue.t;
+  mutable bg_active : int;  (* background tasks currently running *)
+  bg_cap : int;  (* max concurrent background tasks: max 1 (size - 1) *)
 }
 
 (* Claim and run items until none remain. Any participant may run any
@@ -92,13 +107,27 @@ let work t job =
     end
   end
 
+(* Run one already-claimed background task (caller incremented
+   [bg_active] under the lock and released it). Exceptions are swallowed
+   into a counter: a failed escalation must not take a worker down. *)
+let run_background_task t task =
+  Abg_obs.Obs.Counter.incr obs_background;
+  (try task ()
+   with _ -> Abg_obs.Obs.Counter.incr obs_background_failures);
+  Mutex.lock t.m;
+  t.bg_active <- t.bg_active - 1;
+  Condition.broadcast t.done_cv;
+  Mutex.unlock t.m
+
 let worker_loop t () =
   let last_gen = ref 0 in
   let continue = ref true in
   while !continue do
     Mutex.lock t.m;
     while
-      (not t.stop) && (t.job = None || t.generation = !last_gen)
+      (not t.stop)
+      && (t.job = None || t.generation = !last_gen)
+      && (Queue.is_empty t.bg || t.bg_active >= t.bg_cap)
     do
       Condition.wait t.cv t.m
     done;
@@ -106,13 +135,19 @@ let worker_loop t () =
       Mutex.unlock t.m;
       continue := false
     end
-    else begin
+    else if t.job <> None && t.generation <> !last_gen then begin
       let job = Option.get t.job in
       last_gen := t.generation;
       Mutex.unlock t.m;
       (* Honor the job's participation cap (?num_domains): claim one of
          the [active] slots or sit this job out. *)
       if Atomic.fetch_and_add job.participants 1 < job.active then work t job
+    end
+    else begin
+      let task = Queue.pop t.bg in
+      t.bg_active <- t.bg_active + 1;
+      Mutex.unlock t.m;
+      run_background_task t task
     end
   done
 
@@ -135,6 +170,9 @@ let create ?size () =
       job = None;
       generation = 0;
       stop = false;
+      bg = Queue.create ();
+      bg_active = 0;
+      bg_cap = Stdlib.max 1 (size - 1);
     }
   in
   t.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop t));
@@ -239,3 +277,54 @@ let mapi ?pool ?num_domains f xs =
 (** [map_list ?pool ?num_domains f xs] is {!map} over lists. *)
 let map_list ?pool ?num_domains f xs =
   Array.to_list (map ?pool ?num_domains f (Array.of_list xs))
+
+(** [background ?pool task] enqueues [task] on the pool's low-priority
+    lane: an idle worker runs it only when no foreground job wants that
+    worker, and at most [max 1 (size - 1)] background tasks run at once,
+    so on pools of two or more workers at least one stays free for
+    foreground maps. Exceptions in [task] are swallowed (counted in
+    [pool.background_failures]). On a zero-worker pool tasks queue until
+    {!drain_background}. *)
+let background ?pool task =
+  let t = match pool with Some t -> t | None -> global () in
+  Mutex.lock t.m;
+  Queue.push task t.bg;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+(** [drain_background ?pool ()] runs every queued background task (on
+    the calling domain, racing the workers for them) and returns once
+    none are queued or running. The serve daemon's shutdown barrier; call
+    it before {!shutdown}, which discards still-queued tasks. Without
+    [?pool], drains the global pool if one was ever created. *)
+let drain_background ?pool () =
+  let t_opt =
+    match pool with
+    | Some t -> Some t
+    | None ->
+        Mutex.lock global_m;
+        let r = !global_pool in
+        Mutex.unlock global_m;
+        r
+  in
+  match t_opt with
+  | None -> ()
+  | Some t ->
+      let continue = ref true in
+      while !continue do
+        Mutex.lock t.m;
+        match Queue.take_opt t.bg with
+        | Some task ->
+            t.bg_active <- t.bg_active + 1;
+            Mutex.unlock t.m;
+            run_background_task t task
+        | None ->
+            if t.bg_active = 0 then begin
+              Mutex.unlock t.m;
+              continue := false
+            end
+            else begin
+              Condition.wait t.done_cv t.m;
+              Mutex.unlock t.m
+            end
+      done

@@ -33,3 +33,18 @@ val map : ?pool:t -> ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val mapi : ?pool:t -> ?num_domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val map_list : ?pool:t -> ?num_domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val background : ?pool:t -> (unit -> unit) -> unit
+(** [background task] enqueues [task] on the pool's low-priority lane
+    (default: the global pool). Idle workers run background tasks only
+    when no foreground job wants them, and at most [max 1 (size - 1)]
+    run concurrently, so foreground {!map}s are never starved on pools
+    of two or more workers. Exceptions in [task] are swallowed and
+    counted ([pool.background_failures]); on a zero-worker pool tasks
+    queue until {!drain_background}. *)
+
+val drain_background : ?pool:t -> unit -> unit
+(** Run every queued background task (the caller participates) and
+    return once none are queued or running. Call before {!shutdown},
+    which discards still-queued tasks. Without [?pool], drains the
+    global pool if one exists. *)

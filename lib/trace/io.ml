@@ -156,3 +156,110 @@ let of_string s =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+(** Incremental newline framing for the serving layer: socket reads
+    arrive as arbitrary chunks, and a logical line may span several of
+    them (or one chunk may carry many). [Lines] buffers the partial tail
+    and emits complete lines with the same liberal-reader semantics as
+    {!load} — CRs stripped, 1-based numbering. *)
+module Lines = struct
+  type t = { buf : Buffer.t; mutable lineno : int }
+
+  let create () = { buf = Buffer.create 256; lineno = 0 }
+
+  (** [feed t chunk emit] appends [chunk] and calls [emit lineno line]
+      for every newline-terminated line completed by it, in order. *)
+  let feed t chunk emit =
+    let n = String.length chunk in
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if chunk.[i] = '\n' then begin
+        Buffer.add_substring t.buf chunk !start (i - !start);
+        start := i + 1;
+        t.lineno <- t.lineno + 1;
+        let line = strip_cr (Buffer.contents t.buf) in
+        Buffer.clear t.buf;
+        emit t.lineno line
+      end
+    done;
+    Buffer.add_substring t.buf chunk !start (n - !start)
+
+  (** [flush t emit] emits the unterminated final line, if any — call at
+      EOF so a stream without a trailing newline loses nothing. *)
+  let flush t emit =
+    if Buffer.length t.buf > 0 then begin
+      t.lineno <- t.lineno + 1;
+      let line = strip_cr (Buffer.contents t.buf) in
+      Buffer.clear t.buf;
+      emit t.lineno line
+    end
+
+  let pending t = Buffer.length t.buf > 0
+end
+
+(** Incremental trace parsing: the serving layer's per-session reader.
+    A [Stream.t] accepts trace-format lines one at a time — exactly the
+    lines {!load} would read from a file, so a client can forward a
+    trace file verbatim — and parses data lines eagerly, so malformed
+    input is rejected at arrival with its 1-based position in the
+    session's stream (the error the daemon echoes back). Meta comments
+    accumulate and {!Stream.to_trace} materializes everything received
+    so far, which is what escalation hands to synthesis. *)
+module Stream = struct
+  type t = {
+    mutable lineno : int;  (* 1-based count of lines pushed *)
+    mutable meta : (int * string) list;  (* comment lines, newest first *)
+    mutable rev_records : Record.t list;  (* newest first *)
+    mutable count : int;
+  }
+
+  let create () = { lineno = 0; meta = []; rev_records = []; count = 0 }
+
+  (** [push t line] consumes one logical line (CR tolerated). Returns
+      the parsed record for data lines, [None] for comments and blanks.
+      Raises [Invalid_argument] with the line's 1-based stream position
+      for malformed data. *)
+  let push t line =
+    t.lineno <- t.lineno + 1;
+    let line = strip_cr line in
+    if String.length line > 0 && line.[0] = '#' then begin
+      t.meta <- (t.lineno, line) :: t.meta;
+      None
+    end
+    else if String.trim line = "" then None
+    else begin
+      let r = record_of_line ~lineno:t.lineno line in
+      t.rev_records <- r :: t.rev_records;
+      t.count <- t.count + 1;
+      Some r
+    end
+
+  let count t = t.count
+
+  (** Claimed CCA name from a [# cca:] comment, if one has arrived. *)
+  let cca_name t = parse_meta (List.rev t.meta) "cca"
+
+  (** [to_trace t] is the trace streamed so far — same result as parsing
+      the pushed lines with {!of_string}. *)
+  let to_trace t =
+    let meta = List.rev t.meta in
+    let cca_name = Option.value ~default:"unknown" (parse_meta meta "cca") in
+    let scenario =
+      Option.value ~default:"unknown" (parse_meta meta "scenario")
+    in
+    let loss_times =
+      match parse_meta meta "losses" with
+      | None | Some "" -> [||]
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.map float_of_string
+          |> Array.of_list
+    in
+    {
+      Trace.cca_name;
+      scenario;
+      config = Abg_netsim.Config.default;
+      records = Array.of_list (List.rev t.rev_records);
+      loss_times;
+    }
+end

@@ -84,6 +84,36 @@ let hold_fn ~time ~value ~len ~n =
     out
   end
 
+(** [linear_fn_into ~time ~value ~len ~dst] is {!linear} over the points
+    [(time i, value i)], [i] in [0 .. len-1], written into [dst] (whose
+    length is the output [n]) instead of a fresh array. The float results
+    are exactly the ones {!linear} computes from materialized copies, so
+    the output is bit-identical — this is the zero-allocation resample
+    the serving layer runs on every classification query, reading the
+    sliding window's ring buffer through [value]. *)
+let linear_fn_into ~time ~value ~len ~dst =
+  let n = Array.length dst in
+  assert (len > 0 && n > 0);
+  if len = 1 then Array.fill dst 0 n (value 0)
+  else begin
+    let t0 = time 0 and t1 = time (len - 1) in
+    let span = t1 -. t0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let t =
+        if n = 1 then t0 else t0 +. (span *. float_of_int i /. float_of_int (n - 1))
+      in
+      while !j < len - 2 && time (!j + 1) < t do
+        incr j
+      done;
+      let ta = time !j and tb = time (!j + 1) in
+      let va = value !j and vb = value (!j + 1) in
+      let frac = if tb = ta then 0.0 else (t -. ta) /. (tb -. ta) in
+      let frac = Float.max 0.0 (Float.min 1.0 frac) in
+      dst.(i) <- va +. (frac *. (vb -. va))
+    done
+  end
+
 (** [downsample xs n] keeps [n] evenly strided elements of [xs] (always
     including the first and last). *)
 let downsample xs n =

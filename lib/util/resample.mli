@@ -15,5 +15,12 @@ val hold_fn :
     without materialized input arrays; bit-identical to calling {!hold}
     on copies. *)
 
+val linear_fn_into :
+  time:(int -> float) -> value:(int -> float) -> len:int -> dst:float array ->
+  unit
+(** {!linear} over the points [(time i, value i)], [i] in [0 .. len-1],
+    written into [dst] (length = output size) with no intermediate
+    allocation; bit-identical to calling {!linear} on copies. *)
+
 val downsample : 'a array -> int -> 'a array
 (** Evenly strided subset keeping first and last elements. *)
