@@ -490,6 +490,26 @@ let write_meta path =
     (Abg_obs.Report.to_json (Abg_obs.Obs.snapshot ()));
   close_out oc
 
+(* One genetic-search generation step at the CI smoke population size:
+   ranking, tournament selection, crossover, and mutation for pop 8 —
+   the fuzzer's orchestration overhead per generation, exclusive of the
+   fitness evaluations themselves (those are simulator runs measured by
+   table3: simulate-1s-reno). *)
+let fuzz_generation_test =
+  lazy
+    (let params =
+       { Abg_fuzz.Search.default_params with Abg_fuzz.Search.pop = 8 }
+     in
+     let population = Abg_fuzz.Search.initial_population params in
+     let fitness =
+       Array.map (fun (g : Abg_fuzz.Genome.t) -> g.(0) +. g.(1)) population
+     in
+     Test.make ~name:"fuzz: generation-8"
+       (Staged.stage (fun () ->
+            ignore
+              (Abg_fuzz.Search.next_generation params ~gen:0 population
+                 fitness))))
+
 let run () =
   Runs.heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let replay_compiled, replay_interp = Lazy.force replay_tests in
@@ -508,7 +528,8 @@ let run () =
       store_read; Lazy.force batch_store_amortized_test;
       Lazy.force batch_journal_append_amortized_test;
       Lazy.force batch_journal_replay_test;
-      Lazy.force batch_journal_replay_100k_test ]
+      Lazy.force batch_journal_replay_100k_test;
+      Lazy.force fuzz_generation_test ]
   in
   (* Estimates are taken with telemetry off: they track the cost of the
      kernel operations themselves, and the disabled path is the one the

@@ -1140,6 +1140,554 @@ let stream_cmd =
       const stream $ socket_arg $ tcp_arg $ json_arg $ trace_files_arg
       $ telemetry_arg)
 
+(* -- fuzz -- *)
+
+(* Adversarial scenario search (DESIGN.md §12). A fuzz run directory
+   holds fuzz.json (the immutable search spec) plus one standard batch
+   run directory per generation (gen-0000, gen-0001, ...). There is no
+   other on-disk state: populations are re-derived from the seed, so
+   resume and report just re-drive the search loop and let the batch
+   layer skip every settled evaluation. *)
+
+let fuzz_spec_path dir = Filename.concat dir "fuzz.json"
+
+type fuzz_spec = {
+  fz_fitness : Abg_fuzz.Fitness.kind;
+  fz_cca : string;
+  fz_cca_b : string option;
+  fz_handler : string option;  (* codec form; counterexample target *)
+  fz_duration : float;  (* simulated seconds per evaluation *)
+  fz_params : Abg_fuzz.Search.params;
+  fz_synth_scenarios : int;  (* counterexample synthesis grid size *)
+  fz_synth_duration : float;
+}
+
+let fuzz_spec_to_json s =
+  let open Abg_batch.Jsonx in
+  let p = s.fz_params in
+  Obj
+    [
+      ("schema", Str "abagnale-fuzz/1");
+      ("fitness", Str (Abg_fuzz.Fitness.kind_name s.fz_fitness));
+      ("cca", Str s.fz_cca);
+      ("cca_b", match s.fz_cca_b with None -> Null | Some c -> Str c);
+      ("fn", match s.fz_handler with None -> Null | Some h -> Str h);
+      ("duration", hex s.fz_duration);
+      ("generations", Num (float_of_int p.Abg_fuzz.Search.generations));
+      ("pop", Num (float_of_int p.Abg_fuzz.Search.pop));
+      ("seed", Num (float_of_int p.Abg_fuzz.Search.seed));
+      ("tournament", Num (float_of_int p.Abg_fuzz.Search.tournament));
+      ("elite", Num (float_of_int p.Abg_fuzz.Search.elite));
+      ("mutation_rate", hex p.Abg_fuzz.Search.mutation_rate);
+      ("synth_scenarios", Num (float_of_int s.fz_synth_scenarios));
+      ("synth_duration", hex s.fz_synth_duration);
+    ]
+
+let fuzz_spec_of_json json =
+  let open Abg_batch.Jsonx in
+  let ctx = "fuzz" in
+  let fitness_token = str ~ctx (member ~ctx "fitness" json) in
+  let fz_fitness =
+    match Abg_fuzz.Fitness.kind_of_name fitness_token with
+    | Some k -> k
+    | None -> raise (Malformed ("fuzz: unknown fitness " ^ fitness_token))
+  in
+  {
+    fz_fitness;
+    fz_cca = str ~ctx (member ~ctx "cca" json);
+    fz_cca_b =
+      (match member ~ctx "cca_b" json with
+      | Null -> None
+      | j -> Some (str ~ctx j));
+    fz_handler =
+      (match member ~ctx "fn" json with Null -> None | j -> Some (str ~ctx j));
+    fz_duration = hex_float (member ~ctx "duration" json);
+    fz_params =
+      {
+        Abg_fuzz.Search.generations = int ~ctx (member ~ctx "generations" json);
+        pop = int ~ctx (member ~ctx "pop" json);
+        seed = int ~ctx (member ~ctx "seed" json);
+        tournament = int ~ctx (member ~ctx "tournament" json);
+        elite = int ~ctx (member ~ctx "elite" json);
+        mutation_rate = hex_float (member ~ctx "mutation_rate" json);
+      };
+    fz_synth_scenarios = int ~ctx (member ~ctx "synth_scenarios" json);
+    fz_synth_duration = hex_float (member ~ctx "synth_duration" json);
+  }
+
+let rec fuzz_mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    fuzz_mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let write_fuzz_spec dir spec =
+  fuzz_mkdir_p dir;
+  let path = fuzz_spec_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Abg_batch.Jsonx.to_string (fuzz_spec_to_json spec));
+  output_string oc "\n";
+  close_out oc;
+  Sys.rename tmp path
+
+let read_fuzz_spec dir =
+  let path = fuzz_spec_path dir in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "%s: no fuzz run here (missing fuzz.json)\n" dir;
+    exit 1
+  end;
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  fuzz_spec_of_json (Abg_batch.Jsonx.parse content)
+
+(* The scenario impairment seed is the search seed: one --seed pins the
+   entire run. *)
+let fuzz_batch_spec spec =
+  {
+    Abg_batch.Fuzz_batch.fitness = spec.fz_fitness;
+    cca = spec.fz_cca;
+    cca_b = spec.fz_cca_b;
+    handler = spec.fz_handler;
+    duration = spec.fz_duration;
+    scenario_seed = spec.fz_params.Abg_fuzz.Search.seed;
+  }
+
+let fuzz_champion_config spec genome =
+  Abg_fuzz.Genome.to_config ~duration:spec.fz_duration
+    ~seed:spec.fz_params.Abg_fuzz.Search.seed genome
+
+(* Drive the whole search. Settled generations replay from their
+   journals; missing ones execute (in-process, or across --workers by
+   initializing the generation grid first and fanning out `batch resume
+   GENDIR --worker i/n` children — each generation directory is a
+   perfectly ordinary batch run). *)
+let fuzz_drive ~dir ~settings ~workers ~retries ~timeout ~domains
+    ~flush_window ~checkpoint_every ~verbose spec =
+  let bspec = fuzz_batch_spec spec in
+  Abg_fuzz.Search.run ~params:spec.fz_params ~evaluate:(fun ~gen genomes ->
+      (match workers with
+      | None -> ()
+      | Some w ->
+          let gdir = Abg_batch.Fuzz_batch.gen_dir dir gen in
+          if not (Sys.file_exists (Abg_batch.Runner.grid_path gdir)) then begin
+            let jobs =
+              Array.to_list
+                (Array.map (Abg_batch.Fuzz_batch.job_of_genome bspec) genomes)
+              |> List.sort_uniq Abg_batch.Job.compare_canonical
+            in
+            Abg_batch.Runner.init ~dir:gdir jobs
+          end;
+          run_workers ~dir:gdir ~workers:w ~retries ~timeout ~max_jobs:None
+            ~domains ~flush_window ~checkpoint_every
+            ~seed:spec.fz_params.Abg_fuzz.Search.seed ~verbose);
+      Abg_batch.Fuzz_batch.evaluate ~dir ~settings bspec ~gen genomes)
+
+let fuzz_gene_table genome =
+  String.concat "\n"
+    (Array.to_list
+       (Array.mapi
+          (fun i (g : Abg_fuzz.Genome.spec) ->
+            Printf.sprintf "    %-16s %.6g" g.Abg_fuzz.Genome.name genome.(i))
+          Abg_fuzz.Genome.genes))
+
+(* The §3.2 grid baseline a divergence champion must beat: the same
+   fitness evaluated on every testbed_grid scenario (full 25-point
+   grid), at the fuzz evaluation duration. *)
+let fuzz_grid_baseline spec =
+  let bspec =
+    {
+      Abg_fuzz.Fitness.kind = spec.fz_fitness;
+      cca = spec.fz_cca;
+      cca_b = spec.fz_cca_b;
+      handler = None;
+    }
+  in
+  Abg_netsim.Config.testbed_grid ~duration:spec.fz_duration ~n:25 ()
+  |> List.map (fun cfg -> (cfg, Abg_fuzz.Fitness.evaluate bspec cfg))
+  |> List.fold_left
+       (fun acc (cfg, v) ->
+         match acc with
+         | Some (_, best) when best >= v -> acc
+         | _ -> Some (cfg, v))
+       None
+
+(* Counterexample refinement: append the champion scenario to the
+   synthesis trace suite and re-run synthesis — the loop the paper's
+   pipeline closes with adversarially mined scenarios. *)
+let fuzz_refine spec champion_cfg =
+  let ctor =
+    match Abg_cca.Registry.find spec.fz_cca with
+    | Some c -> c
+    | None -> failwith ("unknown CCA " ^ spec.fz_cca)
+  in
+  let configs =
+    Abg_netsim.Config.testbed_grid ~duration:spec.fz_synth_duration
+      ~n:spec.fz_synth_scenarios ()
+    @ [ champion_cfg ]
+  in
+  let config =
+    {
+      Abg_core.Refinement.default_config with
+      Abg_core.Refinement.seed = spec.fz_params.Abg_fuzz.Search.seed;
+    }
+  in
+  Abg_core.Synthesis.run_configs ~config ~configs ~name:spec.fz_cca ctor
+
+let fuzz_report_doc spec (result : Abg_fuzz.Search.result) =
+  let open Abg_batch.Jsonx in
+  let champion_cfg = fuzz_champion_config spec result.Abg_fuzz.Search.champion in
+  let generations =
+    List.map
+      (fun (s : Abg_fuzz.Search.gen_stats) ->
+        Obj
+          [
+            ("gen", Num (float_of_int s.Abg_fuzz.Search.gen));
+            ("best", hex s.Abg_fuzz.Search.best);
+            ("mean", hex s.Abg_fuzz.Search.mean);
+            ("fingerprint",
+             Str (Abg_fuzz.Genome.fingerprint s.Abg_fuzz.Search.best_genome));
+          ])
+      result.Abg_fuzz.Search.history
+  in
+  let champion =
+    Obj
+      [
+        ("fingerprint",
+         Str (Abg_fuzz.Genome.fingerprint result.Abg_fuzz.Search.champion));
+        ("fitness", hex result.Abg_fuzz.Search.champion_fitness);
+        ("gen", Num (float_of_int result.Abg_fuzz.Search.champion_gen));
+        ("genome", Str (Abg_fuzz.Genome.encode result.Abg_fuzz.Search.champion));
+        ("scenario", Str (Abg_netsim.Config.describe champion_cfg));
+        ("config", Str (Abg_netsim.Config.digest champion_cfg));
+      ]
+  in
+  let extras =
+    match spec.fz_fitness with
+    | Abg_fuzz.Fitness.Divergence -> (
+        match fuzz_grid_baseline spec with
+        | None -> []
+        | Some (grid_cfg, grid_max) ->
+            [
+              ("grid_max", hex grid_max);
+              ("grid_max_scenario",
+               Str (Abg_netsim.Config.describe grid_cfg));
+              ("exceeds_grid",
+               Bool (result.Abg_fuzz.Search.champion_fitness > grid_max));
+            ])
+    | Abg_fuzz.Fitness.Counterexample -> (
+        let refined = fuzz_refine spec champion_cfg in
+        match refined with
+        | None -> [ ("refined_found", Bool false) ]
+        | Some o ->
+            let refined_after =
+              Abg_fuzz.Fitness.evaluate
+                {
+                  Abg_fuzz.Fitness.kind = Abg_fuzz.Fitness.Counterexample;
+                  cca = spec.fz_cca;
+                  cca_b = None;
+                  handler = Some o.Abg_core.Synthesis.handler;
+                }
+                champion_cfg
+            in
+            [
+              ("refined_found", Bool true);
+              ("refined_handler", Str o.Abg_core.Synthesis.pretty);
+              ("refined_handler_code",
+               Str (Abg_fuzz.Codec.encode_num o.Abg_core.Synthesis.handler));
+              ("refined_distance", hex o.Abg_core.Synthesis.distance);
+              ("champion_distance_before",
+               hex result.Abg_fuzz.Search.champion_fitness);
+              ("champion_distance_after", hex refined_after);
+            ])
+    | Abg_fuzz.Fitness.Throughput -> []
+  in
+  Obj
+    ([
+       ("schema", Str "abagnale-fuzz-report/1");
+       ("spec", fuzz_spec_to_json spec);
+       ("generations", List generations);
+       ("champion", champion);
+     ]
+    @ extras)
+
+let fuzz_render_text spec (result : Abg_fuzz.Search.result) doc =
+  let open Abg_batch.Jsonx in
+  let buf = Buffer.create 2048 in
+  let p = spec.fz_params in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Fuzz report: fitness=%s cca=%s%s pop=%d generations=%d seed=%d \
+        duration=%gs\n\n"
+       (Abg_fuzz.Fitness.kind_name spec.fz_fitness)
+       spec.fz_cca
+       (match spec.fz_cca_b with None -> "" | Some b -> "/" ^ b)
+       p.Abg_fuzz.Search.pop p.Abg_fuzz.Search.generations
+       p.Abg_fuzz.Search.seed spec.fz_duration);
+  Buffer.add_string buf "  gen  best          mean          champion\n";
+  List.iter
+    (fun (s : Abg_fuzz.Search.gen_stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %3d  %-12.6g  %-12.6g  %s\n" s.Abg_fuzz.Search.gen
+           s.Abg_fuzz.Search.best s.Abg_fuzz.Search.mean
+           (Abg_fuzz.Genome.fingerprint s.Abg_fuzz.Search.best_genome)))
+    result.Abg_fuzz.Search.history;
+  let champion_cfg = fuzz_champion_config spec result.Abg_fuzz.Search.champion in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nchampion: fitness=%.6g gen=%d fingerprint=%s\n  scenario: %s\n%s\n"
+       result.Abg_fuzz.Search.champion_fitness
+       result.Abg_fuzz.Search.champion_gen
+       (Abg_fuzz.Genome.fingerprint result.Abg_fuzz.Search.champion)
+       (Abg_netsim.Config.describe champion_cfg)
+       (fuzz_gene_table result.Abg_fuzz.Search.champion));
+  let field name =
+    match doc with
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  (match (field "grid_max", field "grid_max_scenario") with
+  | Some gm, Some (Str sc) ->
+      let gm = hex_float gm in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\ntestbed_grid baseline (25 scenarios): max=%.6g at %s\n\
+            champion %s the grid (%.6g vs %.6g)\n"
+           gm sc
+           (if result.Abg_fuzz.Search.champion_fitness > gm then "EXCEEDS"
+            else "does not exceed")
+           result.Abg_fuzz.Search.champion_fitness gm)
+  | _ -> ());
+  (match field "refined_found" with
+  | Some (Bool found) ->
+      if not found then
+        Buffer.add_string buf "\nrefinement: re-synthesis found no handler\n"
+      else begin
+        let s name = match field name with Some (Str v) -> v | _ -> "?" in
+        let h name =
+          match field name with Some v -> hex_float v | None -> nan
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\ncounterexample refinement (champion scenario appended to \
+              the trace suite):\n\
+             \  handler before: %s\n\
+             \  handler after:  %s\n\
+             \  champion-scenario distance: %.6g -> %.6g\n"
+             (match spec.fz_handler with
+             | Some hc -> (
+                 match Abg_fuzz.Codec.decode_num hc with
+                 | Some e -> Abg_dsl.Pretty.num e
+                 | None -> hc)
+             | None -> "?")
+             (s "refined_handler")
+             (h "champion_distance_before")
+             (h "champion_distance_after"))
+      end
+  | _ -> ());
+  Buffer.contents buf
+
+let fuzz_fitness_arg =
+  let doc =
+    "Fitness function: divergence (maximize CWND-trace DTW between --cca \
+     and --cca-b), counterexample (synthesize a handler for --cca, then \
+     maximize its distance from ground truth), or throughput (minimize \
+     link utilization of --cca)."
+  in
+  Arg.(value & opt string "divergence" & info [ "fitness" ] ~docv:"KIND" ~doc)
+
+let fuzz_cca_arg =
+  let doc = "CCA under attack (see `abagnale list')." in
+  Arg.(value & opt string "reno" & info [ "cca" ] ~docv:"CCA" ~doc)
+
+let fuzz_cca_b_arg =
+  let doc = "Second CCA of a divergence pair." in
+  Arg.(value & opt string "cubic" & info [ "cca-b" ] ~docv:"CCA" ~doc)
+
+let fuzz_generations_arg =
+  let doc = "Number of generations to evolve." in
+  Arg.(value & opt int 4 & info [ "generations" ] ~docv:"N" ~doc)
+
+let fuzz_pop_arg =
+  let doc = "Population size per generation." in
+  Arg.(value & opt int 8 & info [ "pop" ] ~docv:"N" ~doc)
+
+let fuzz_duration_arg =
+  let doc = "Simulated seconds per fitness evaluation." in
+  Arg.(value & opt float 6.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let fuzz_synth_scenarios_arg =
+  let doc = "Testbed scenarios in the counterexample synthesis suite." in
+  Arg.(value & opt int 2 & info [ "synth-scenarios" ] ~docv:"N" ~doc)
+
+let fuzz_synth_duration_arg =
+  let doc = "Simulated seconds per counterexample synthesis trace." in
+  Arg.(value & opt float 6.0 & info [ "synth-duration" ] ~docv:"SECONDS" ~doc)
+
+let fuzz_json_arg =
+  let doc = "Print the report as canonical JSON (what CI pins)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let fuzz_settings ~retries ~domains ~seed ~verbose =
+  batch_settings ~retries ~timeout:None ~shard:None ~worker:None
+    ~max_jobs:None ~domains ~flush_window:0.0 ~checkpoint_every:1024 ~seed
+    ~verbose
+
+let fuzz_finish ~dir ~settings ~workers ~retries ~domains ~verbose ~json spec
+    =
+  let result =
+    fuzz_drive ~dir ~settings ~workers ~retries ~timeout:None ~domains
+      ~flush_window:0.0 ~checkpoint_every:1024 ~verbose spec
+  in
+  let doc = fuzz_report_doc spec result in
+  if json then print_endline (Abg_batch.Jsonx.to_string doc)
+  else print_string (fuzz_render_text spec result doc)
+
+let fuzz_run dir fitness cca cca_b generations pop duration synth_scenarios
+    synth_duration seed retries domains workers json verbose telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let fz_fitness =
+    match Abg_fuzz.Fitness.kind_of_name fitness with
+    | Some k -> k
+    | None ->
+        Printf.eprintf
+          "unknown fitness %s (want divergence, counterexample, or \
+           throughput)\n"
+          fitness;
+        exit 1
+  in
+  List.iter
+    (fun c ->
+      if Abg_cca.Registry.find c = None then begin
+        Printf.eprintf "unknown CCA %s; try `abagnale list'\n" c;
+        exit 1
+      end)
+    (cca
+    :: (match fz_fitness with
+       | Abg_fuzz.Fitness.Divergence -> [ cca_b ]
+       | _ -> []));
+  if Sys.file_exists (fuzz_spec_path dir) then begin
+    Printf.eprintf "%s already contains a fuzz run; use `fuzz resume'\n" dir;
+    exit 1
+  end;
+  let settings = fuzz_settings ~retries ~domains ~seed ~verbose in
+  (* The counterexample target is synthesized up front and frozen into
+     the spec: every generation attacks the same handler. *)
+  let fz_handler =
+    match fz_fitness with
+    | Abg_fuzz.Fitness.Counterexample -> (
+        let ctor = Option.get (Abg_cca.Registry.find cca) in
+        let config =
+          { Abg_core.Refinement.default_config with Abg_core.Refinement.seed }
+        in
+        let configs =
+          Abg_netsim.Config.testbed_grid ~duration:synth_duration
+            ~n:synth_scenarios ()
+        in
+        match Abg_core.Synthesis.run_configs ~config ~configs ~name:cca ctor with
+        | Some o ->
+            Printf.eprintf "synthesized %s target: %s (distance %.3f)\n%!" cca
+              o.Abg_core.Synthesis.pretty o.Abg_core.Synthesis.distance;
+            Some (Abg_fuzz.Codec.encode_num o.Abg_core.Synthesis.handler)
+        | None ->
+            Printf.eprintf
+              "counterexample fuzzing needs a synthesized handler, but \
+               synthesis found none for %s\n"
+              cca;
+            exit 1)
+    | _ -> None
+  in
+  let spec =
+    {
+      fz_fitness;
+      fz_cca = cca;
+      fz_cca_b =
+        (match fz_fitness with
+        | Abg_fuzz.Fitness.Divergence -> Some cca_b
+        | _ -> None);
+      fz_handler;
+      fz_duration = duration;
+      fz_params =
+        {
+          Abg_fuzz.Search.default_params with
+          Abg_fuzz.Search.generations;
+          pop;
+          seed;
+        };
+      fz_synth_scenarios = synth_scenarios;
+      fz_synth_duration = synth_duration;
+    }
+  in
+  write_fuzz_spec dir spec;
+  fuzz_finish ~dir ~settings ~workers ~retries ~domains ~verbose ~json spec
+
+let fuzz_run_cmd =
+  let info =
+    Cmd.info "run"
+      ~doc:
+        "Start a seeded adversarial scenario search: evolve extended \
+         netsim scenarios against a fitness function, evaluating each \
+         generation as batch jobs under DIR/gen-NNNN"
+  in
+  Cmd.v info
+    Term.(
+      const fuzz_run $ batch_dir_arg $ fuzz_fitness_arg $ fuzz_cca_arg
+      $ fuzz_cca_b_arg $ fuzz_generations_arg $ fuzz_pop_arg
+      $ fuzz_duration_arg $ fuzz_synth_scenarios_arg $ fuzz_synth_duration_arg
+      $ seed_arg $ retries_arg $ domains_arg $ workers_arg $ fuzz_json_arg
+      $ verbose_arg $ telemetry_arg)
+
+let fuzz_resume dir retries domains workers json verbose telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let spec = read_fuzz_spec dir in
+  let settings =
+    fuzz_settings ~retries ~domains ~seed:spec.fz_params.Abg_fuzz.Search.seed
+      ~verbose
+  in
+  fuzz_finish ~dir ~settings ~workers ~retries ~domains ~verbose ~json spec
+
+let fuzz_resume_cmd =
+  let info =
+    Cmd.info "resume"
+      ~doc:
+        "Re-drive a fuzz run from its spec: populations re-derive from \
+         the seed, settled evaluations replay from the generation \
+         journals, and only missing work executes (idempotent)"
+  in
+  Cmd.v info
+    Term.(
+      const fuzz_resume $ batch_dir_arg $ retries_arg $ domains_arg
+      $ workers_arg $ fuzz_json_arg $ verbose_arg $ telemetry_arg)
+
+let fuzz_report_cmd =
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Render the deterministic fuzz report (per-generation best/mean, \
+         champion genome and scenario, grid-baseline comparison or \
+         counterexample refinement); completes any unfinished \
+         evaluations first, so it equals the report of an uninterrupted \
+         run byte for byte"
+  in
+  Cmd.v info
+    Term.(
+      const fuzz_resume $ batch_dir_arg $ retries_arg $ domains_arg
+      $ workers_arg $ fuzz_json_arg $ verbose_arg $ telemetry_arg)
+
+let fuzz_cmd =
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Adversarial scenario search: a seeded genetic fuzzer over the \
+         extended netsim scenario space (cross-traffic, bandwidth steps, \
+         outages, reordering, RED), with batch-backed generations"
+  in
+  Cmd.group info [ fuzz_run_cmd; fuzz_resume_cmd; fuzz_report_cmd ]
+
 (* -- list -- *)
 
 let list_all () =
@@ -1168,6 +1716,7 @@ let main_cmd =
       simplify_cmd;
       fingerprint_cmd;
       batch_cmd;
+      fuzz_cmd;
       serve_cmd;
       stream_cmd;
       telemetry_cmd;

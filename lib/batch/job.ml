@@ -7,6 +7,12 @@ type kind =
   | Classify
   | Noise of { stddev : float; keep : float }
   | Probe of { fail_attempts : int; sleep_ms : int }
+  | Fuzz_eval of {
+      fitness : string;
+      cca_b : string option;
+      handler : string option;
+      genome : string;
+    }
 
 type t = {
   kind : kind;
@@ -30,6 +36,7 @@ let kind_name = function
   | Classify -> "classify"
   | Noise _ -> "noise"
   | Probe _ -> "probe"
+  | Fuzz_eval _ -> "fuzz"
 
 let kind_of_token token =
   match String.split_on_char ':' token with
@@ -50,7 +57,8 @@ let kind_of_token token =
       Error
         (Printf.sprintf
            "unknown job kind %S (want collect, synth[:DSL], classify, \
-            noise:STDDEV:KEEP, or probe:FAILS:SLEEP_MS)"
+            noise:STDDEV:KEEP, or probe:FAILS:SLEEP_MS; fuzz jobs are \
+            built by `abagnale fuzz`, not grid tokens)"
            token)
 
 (* Collect and Classify results do not depend on the job seed (the
@@ -58,7 +66,7 @@ let kind_of_token token =
    per seed would only duplicate report rows; they get the first seed. *)
 let seed_sensitive = function
   | Collect | Classify -> false
-  | Synthesize _ | Noise _ | Probe _ -> true
+  | Synthesize _ | Noise _ | Probe _ | Fuzz_eval _ -> true
 
 let expand grid =
   if grid.kinds = [] then invalid_arg "Job.expand: no kinds";
@@ -101,6 +109,13 @@ let to_json job =
         [
           ("fail_attempts", Jsonx.Num (float_of_int fail_attempts));
           ("sleep_ms", Jsonx.Num (float_of_int sleep_ms));
+        ]
+    | Fuzz_eval { fitness; cca_b; handler; genome } ->
+        [
+          ("fitness", Jsonx.Str fitness);
+          ("cca_b", match cca_b with None -> Jsonx.Null | Some c -> Jsonx.Str c);
+          ("fn", match handler with None -> Jsonx.Null | Some h -> Jsonx.Str h);
+          ("genome", Jsonx.Str genome);
         ]
   in
   Jsonx.Obj
@@ -145,6 +160,20 @@ let of_json json =
             fail_attempts =
               Jsonx.int ~ctx (Jsonx.member ~ctx "fail_attempts" json);
             sleep_ms = Jsonx.int ~ctx (Jsonx.member ~ctx "sleep_ms" json);
+          }
+    | "fuzz" ->
+        Fuzz_eval
+          {
+            fitness = Jsonx.str ~ctx (Jsonx.member ~ctx "fitness" json);
+            cca_b =
+              (match Jsonx.member ~ctx "cca_b" json with
+              | Jsonx.Null -> None
+              | j -> Some (Jsonx.str ~ctx:"job.cca_b" j));
+            handler =
+              (match Jsonx.member ~ctx "fn" json with
+              | Jsonx.Null -> None
+              | j -> Some (Jsonx.str ~ctx:"job.fn" j));
+            genome = Jsonx.str ~ctx:"job.genome" (Jsonx.member ~ctx "genome" json);
           }
     | other -> raise (Jsonx.Malformed ("job: unknown kind " ^ other))
   in

@@ -20,6 +20,14 @@ type kind =
   | Noise of { stddev : float; keep : float }
       (** observation noise then subsampling, both seeded by the job *)
   | Probe of { fail_attempts : int; sleep_ms : int }
+  | Fuzz_eval of {
+      fitness : string;  (** {!Abg_fuzz.Fitness.kind_name} token *)
+      cca_b : string option;  (** divergence pair's second CCA *)
+      handler : string option;  (** {!Abg_fuzz.Codec}-encoded handler *)
+      genome : string;  (** {!Abg_fuzz.Genome.encode} of the individual *)
+    }
+      (** one fitness evaluation of one scenario genome; the decoded
+          scenario is the job's single config *)
 
 type t = {
   kind : kind;
@@ -45,7 +53,8 @@ val expand : grid -> t list
 (** Raises [Invalid_argument] on an empty [kinds]/[ccas]/[seeds]. *)
 
 val kind_name : kind -> string
-(** ["collect"], ["synth"], ["classify"], ["noise"], ["probe"]. *)
+(** ["collect"], ["synth"], ["classify"], ["noise"], ["probe"],
+    ["fuzz"]. *)
 
 val kind_of_token : string -> (kind, string) result
 (** Parse a CLI kind token: ["collect"], ["synth"], ["synth:DSL"],

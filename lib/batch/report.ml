@@ -146,6 +146,20 @@ let probe_row doc_of (row : row) =
         (fmt_opt Fun.id (str_field doc "payload"))
         (fmt_opt (fun n -> string_of_int (int_of_float n)) (num_field doc "checksum"))
 
+let fuzz_row doc_of (row : row) =
+  let fitness =
+    match row.job.Job.kind with
+    | Job.Fuzz_eval { fitness; _ } -> fitness
+    | _ -> ""
+  in
+  match doc_of row with
+  | None ->
+      Printf.sprintf "  %-12s %-14s PENDING" row.job.Job.cca fitness
+  | Some doc ->
+      Printf.sprintf "  %-12s %-14s value=%-12s %s" row.job.Job.cca fitness
+        (fmt_opt fmt_dist (hex_field doc "value"))
+        (fmt_opt Fun.id (str_field doc "config"))
+
 let quarantined_row (row : row) =
   match row.entry with
   | Some { Journal.status = Journal.Quarantined; attempts; error; _ } ->
@@ -184,6 +198,7 @@ let render ?(verify = false) dir =
   section "Classification" "classify" (classify_row doc_of);
   section "Collection" "collect" (collect_row doc_of);
   section "Probes" "probe" (probe_row doc_of);
+  section "Fuzz evaluations" "fuzz" (fuzz_row doc_of);
   buf_section buf "Quarantined" (List.filter_map quarantined_row rows) Fun.id;
   let done_ = List.length (List.filter is_ok rows) in
   let quarantined = List.length (List.filter is_quarantined rows) in
@@ -204,7 +219,7 @@ let status ?(verify = false) dir =
     (Printf.sprintf "jobs: %d total, %d ok, %d quarantined, %d pending\n"
        (List.length rows) done_ quarantined
        (List.length rows - done_ - quarantined));
-  let kinds = [ "collect"; "synth"; "classify"; "noise"; "probe" ] in
+  let kinds = [ "collect"; "synth"; "classify"; "noise"; "probe"; "fuzz" ] in
   List.iter
     (fun kind ->
       let of_kind = List.filter (is_kind kind) rows in

@@ -140,6 +140,11 @@ let synthesis_fields (outcome : Abg_core.Synthesis.outcome option) =
         ("found", Jsonx.Bool true);
         ("dsl", Jsonx.Str o.Abg_core.Synthesis.dsl_name);
         ("handler", Jsonx.Str o.Abg_core.Synthesis.pretty);
+        (* Machine-readable handler: the pretty form is for humans, the
+           codec form round-trips losslessly (fuzz counterexample runs
+           feed it back into scenario evaluation). *)
+        ("handler_code",
+         Jsonx.Str (Abg_fuzz.Codec.encode_num o.Abg_core.Synthesis.handler));
         ("distance", Jsonx.hex o.Abg_core.Synthesis.distance);
         ("segments", Jsonx.Num (float_of_int o.Abg_core.Synthesis.segments_used));
         ("sketches",
@@ -243,6 +248,43 @@ let perform_probe ~attempt (job : Job.t) ~fail_attempts ~sleep_ms =
     (result_header "probe" job.Job.cca
     @ [ ("payload", Jsonx.Str "ok"); ("checksum", Jsonx.Num (float_of_int checksum)) ])
 
+(* One fitness evaluation of one scenario genome. The job's single
+   config *is* the decoded scenario; the genome string rides along as
+   the individual's identity so reports and the search can join results
+   back to genomes without re-decoding. *)
+let perform_fuzz_eval (job : Job.t) ~fitness ~cca_b ~handler ~genome =
+  let kind =
+    match Abg_fuzz.Fitness.kind_of_name fitness with
+    | Some k -> k
+    | None -> failwith (Printf.sprintf "unknown fuzz fitness %s" fitness)
+  in
+  let handler =
+    Option.map
+      (fun h ->
+        match Abg_fuzz.Codec.decode_num h with
+        | Some e -> e
+        | None -> failwith (Printf.sprintf "undecodable fuzz handler %S" h))
+      handler
+  in
+  let cfg =
+    match job.Job.configs with
+    | [ cfg ] -> cfg
+    | l ->
+        failwith
+          (Printf.sprintf "fuzz job wants exactly one config, got %d"
+             (List.length l))
+  in
+  let spec = { Abg_fuzz.Fitness.kind; cca = job.Job.cca; cca_b; handler } in
+  let value = Abg_fuzz.Fitness.evaluate spec cfg in
+  Jsonx.Obj
+    (result_header "fuzz" job.Job.cca
+    @ [
+        ("fitness", Jsonx.Str fitness);
+        ("genome", Jsonx.Str genome);
+        ("config", Jsonx.Str (Abg_netsim.Config.digest cfg));
+        ("value", Jsonx.hex value);
+      ])
+
 let perform ~settings ~store ~attempt (job : Job.t) =
   match job.Job.kind with
   | Job.Collect -> perform_collect ~store job
@@ -251,6 +293,8 @@ let perform ~settings ~store ~attempt (job : Job.t) =
   | Job.Noise { stddev; keep } -> perform_noise ~settings job ~stddev ~keep
   | Job.Probe { fail_attempts; sleep_ms } ->
       perform_probe ~attempt job ~fail_attempts ~sleep_ms
+  | Job.Fuzz_eval { fitness; cca_b; handler; genome } ->
+      perform_fuzz_eval job ~fitness ~cca_b ~handler ~genome
 
 (* -- retry loop -- *)
 

@@ -91,6 +91,12 @@ val shard_select : i:int -> n:int -> 'a list -> 'a list
 (** Deterministic shard partition: elements at index [≡ i (mod n)].
     Raises [Invalid_argument] unless [0 <= i < n]. *)
 
+val grid_path : string -> string
+(** [DIR/grid.json] — present iff the directory holds a run. *)
+
+val store_path : string -> string
+(** [DIR/store] — the run's content-addressed artifact store. *)
+
 val journal_paths : dir:string -> string list
 (** Every journal in the run directory ([journal*.jsonl]), sorted —
     one for a single-process run, one per worker after a coordinator

@@ -1,0 +1,142 @@
+(** Lossless wire codec for DSL handlers.
+
+    The DSL has a pretty-printer but no parser; the fuzzer needs one to
+    ship a synthesized handler through a serialized job spec (the
+    counterexample fitness scores scenarios against a *specific*
+    handler). The format is a minimal s-expression: leaves are atoms
+    ([cwnd], [sig:NAME], [mac:NAME], [const:HEXFLOAT], [hole:N]),
+    operators are parenthesized prefix forms. Constants render in [%h]
+    so the round trip is bit-exact. *)
+
+open Abg_dsl
+
+let rec encode_num = function
+  | Expr.Cwnd -> "cwnd"
+  | Expr.Signal s -> "sig:" ^ Signal.name s
+  | Expr.Macro m -> "mac:" ^ Macro.name m
+  | Expr.Const c -> Printf.sprintf "const:%h" c
+  | Expr.Hole i -> Printf.sprintf "hole:%d" i
+  | Expr.Add (a, b) -> binop "add" a b
+  | Expr.Sub (a, b) -> binop "sub" a b
+  | Expr.Mul (a, b) -> binop "mul" a b
+  | Expr.Div (a, b) -> binop "div" a b
+  | Expr.Ite (c, t, e) ->
+      Printf.sprintf "(ite %s %s %s)" (encode_bool c) (encode_num t)
+        (encode_num e)
+  | Expr.Cube a -> Printf.sprintf "(cube %s)" (encode_num a)
+  | Expr.Cbrt a -> Printf.sprintf "(cbrt %s)" (encode_num a)
+
+and binop op a b =
+  Printf.sprintf "(%s %s %s)" op (encode_num a) (encode_num b)
+
+and encode_bool = function
+  | Expr.Lt (a, b) -> binop "lt" a b
+  | Expr.Gt (a, b) -> binop "gt" a b
+  | Expr.Mod_eq (a, b) -> binop "modeq" a b
+
+(* -- decoding: tokenize, then recursive descent -- *)
+
+let tokenize s =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | ' ' | '\t' | '\n' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !tokens
+
+exception Bad of string
+
+let atom tok =
+  match String.index_opt tok ':' with
+  | None when tok = "cwnd" -> Expr.Cwnd
+  | None -> raise (Bad ("unknown atom " ^ tok))
+  | Some i -> (
+      let head = String.sub tok 0 i in
+      let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match head with
+      | "sig" -> (
+          match Signal.of_name rest with
+          | Some s -> Expr.Signal s
+          | None -> raise (Bad ("unknown signal " ^ rest)))
+      | "mac" -> (
+          match Macro.of_name rest with
+          | Some m -> Expr.Macro m
+          | None -> raise (Bad ("unknown macro " ^ rest)))
+      | "const" -> (
+          match float_of_string_opt rest with
+          | Some c -> Expr.Const c
+          | None -> raise (Bad ("bad const " ^ rest)))
+      | "hole" -> (
+          match int_of_string_opt rest with
+          | Some i -> Expr.Hole i
+          | None -> raise (Bad ("bad hole " ^ rest)))
+      | _ -> raise (Bad ("unknown atom " ^ tok)))
+
+let rec parse_num tokens =
+  match tokens with
+  | [] -> raise (Bad "unexpected end of input")
+  | "(" :: op :: rest -> (
+      match op with
+      | "add" | "sub" | "mul" | "div" ->
+          let a, rest = parse_num rest in
+          let b, rest = parse_num rest in
+          let rest = expect_close rest in
+          let node =
+            match op with
+            | "add" -> Expr.Add (a, b)
+            | "sub" -> Expr.Sub (a, b)
+            | "mul" -> Expr.Mul (a, b)
+            | _ -> Expr.Div (a, b)
+          in
+          (node, rest)
+      | "ite" ->
+          let c, rest = parse_bool rest in
+          let t, rest = parse_num rest in
+          let e, rest = parse_num rest in
+          (Expr.Ite (c, t, e), expect_close rest)
+      | "cube" ->
+          let a, rest = parse_num rest in
+          (Expr.Cube a, expect_close rest)
+      | "cbrt" ->
+          let a, rest = parse_num rest in
+          (Expr.Cbrt a, expect_close rest)
+      | _ -> raise (Bad ("unknown operator " ^ op)))
+  | ")" :: _ -> raise (Bad "unexpected )")
+  | tok :: rest -> (atom tok, rest)
+
+and parse_bool tokens =
+  match tokens with
+  | "(" :: op :: rest when op = "lt" || op = "gt" || op = "modeq" ->
+      let a, rest = parse_num rest in
+      let b, rest = parse_num rest in
+      let node =
+        match op with
+        | "lt" -> Expr.Lt (a, b)
+        | "gt" -> Expr.Gt (a, b)
+        | _ -> Expr.Mod_eq (a, b)
+      in
+      (node, expect_close rest)
+  | _ -> raise (Bad "expected boolean form")
+
+and expect_close = function
+  | ")" :: rest -> rest
+  | _ -> raise (Bad "expected )")
+
+let decode_num s =
+  match parse_num (tokenize s) with
+  | e, [] -> Some e
+  | _ -> None
+  | exception Bad _ -> None

@@ -1,0 +1,7 @@
+(** Lossless s-expression codec for DSL handlers, so a synthesized
+    handler can travel inside a serialized fuzz job. Bit-exact round
+    trip: [decode_num (encode_num e) = Some e] up to structural
+    equality. *)
+
+val encode_num : Abg_dsl.Expr.num -> string
+val decode_num : string -> Abg_dsl.Expr.num option

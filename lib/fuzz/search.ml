@@ -1,0 +1,161 @@
+(** The genetic search loop.
+
+    Deterministic by construction: generation [g]'s RNG is derived only
+    from (seed, g), per-individual operator draws come from child
+    streams split off it in index order, and the population of
+    generation [g+1] is a pure function of (params, population [g],
+    fitness [g]). Because fitness values persist in the batch journals,
+    *any* prefix of a run can be re-derived instantly — resume needs no
+    mutable search state on disk (DESIGN.md §12). *)
+
+open Abg_util
+
+type params = {
+  generations : int;
+  pop : int;
+  seed : int;
+  tournament : int;  (** tournament size (default 3) *)
+  elite : int;  (** individuals copied unchanged per generation *)
+  mutation_rate : float;  (** per-gene mutation probability *)
+}
+
+let default_params =
+  {
+    generations = 8;
+    pop = 16;
+    seed = 42;
+    tournament = 3;
+    elite = 2;
+    mutation_rate = 0.25;
+  }
+
+type gen_stats = {
+  gen : int;
+  best : float;
+  mean : float;
+  best_index : int;
+  best_genome : Genome.t;
+}
+
+type result = {
+  champion : Genome.t;
+  champion_fitness : float;
+  champion_gen : int;
+  history : gen_stats list;  (** in generation order *)
+}
+
+let obs_improvements = Abg_obs.Obs.Counter.make "fuzz.improvements"
+
+let obs_elite_replacements =
+  Abg_obs.Obs.Counter.make "fuzz.elite_replacements"
+
+(* Generation RNG: a splitmix-style seed mix, so streams of different
+   generations (and different run seeds) never overlap. *)
+let gen_rng params g =
+  Rng.create ((params.seed + ((g + 1) * 0x9e3779b1)) land max_int)
+
+let sanitize f = if Float.is_nan f then neg_infinity else f
+
+(* Indices ranked best-first; ties broken toward the lower index so
+   ranking is total and reproducible. *)
+let ranked fitness =
+  let idx = Array.init (Array.length fitness) Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare (sanitize fitness.(b)) (sanitize fitness.(a)) with
+      | 0 -> compare a b
+      | c -> c)
+    idx;
+  idx
+
+let tournament_select rng params fitness =
+  let n = Array.length fitness in
+  let best = ref (Rng.int rng n) in
+  for _ = 2 to params.tournament do
+    let c = Rng.int rng n in
+    if
+      sanitize fitness.(c) > sanitize fitness.(!best)
+      || (sanitize fitness.(c) = sanitize fitness.(!best) && c < !best)
+    then best := c
+  done;
+  !best
+
+let initial_population params =
+  let rng = gen_rng params 0 in
+  Array.init params.pop (fun _ -> Genome.random (Rng.split rng))
+
+(** [next_generation params ~gen population fitness] — elitism plus
+    tournament-selected, crossed-over, mutated offspring. [gen] is the
+    generation being *built* (>= 1). *)
+let next_generation params ~gen population fitness =
+  let rng = gen_rng params gen in
+  let order = ranked fitness in
+  let elite = Stdlib.min params.elite params.pop in
+  Array.init params.pop (fun i ->
+      if i < elite then Array.copy population.(order.(i))
+      else begin
+        let child = Rng.split rng in
+        let p1 = tournament_select child params fitness in
+        let p2 = tournament_select child params fitness in
+        Genome.mutate ~rate:params.mutation_rate child
+          (Genome.crossover child population.(p1) population.(p2))
+      end)
+
+(** [run ~params ~evaluate] — evolve for [params.generations]
+    generations; [evaluate ~gen genomes] scores a whole population
+    (in-process or as batch jobs). The champion is the best individual
+    ever evaluated, earliest (generation, index) winning ties. *)
+let run ~params ~evaluate =
+  let population = ref (initial_population params) in
+  let history = ref [] in
+  let champion = ref None in
+  let prev_elite = ref [] in
+  for g = 0 to params.generations - 1 do
+    let fitness = evaluate ~gen:g !population in
+    let order = ranked fitness in
+    let best_index = order.(0) in
+    let best = sanitize fitness.(best_index) in
+    let finite = Array.map sanitize fitness in
+    let mean =
+      Array.fold_left
+        (fun acc f -> acc +. Float.max f 0.0)
+        0.0 finite
+      /. float_of_int (Stdlib.max 1 (Array.length finite))
+    in
+    history :=
+      {
+        gen = g;
+        best;
+        mean;
+        best_index;
+        best_genome = Array.copy !population.(best_index);
+      }
+      :: !history;
+    (match !champion with
+    | Some (_, f, _) when best <= f -> ()
+    | _ ->
+        if !champion <> None then Abg_obs.Obs.Counter.incr obs_improvements;
+        champion := Some (Array.copy !population.(best_index), best, g));
+    (* Elite turnover accounting (by genome identity). *)
+    let elite_n = Stdlib.min params.elite params.pop in
+    let elite_now =
+      List.init elite_n (fun i -> Genome.fingerprint !population.(order.(i)))
+    in
+    List.iter
+      (fun fp ->
+        if not (List.mem fp !prev_elite) then
+          Abg_obs.Obs.Counter.incr obs_elite_replacements)
+      elite_now;
+    prev_elite := elite_now;
+    if g < params.generations - 1 then
+      population := next_generation params ~gen:(g + 1) !population fitness
+  done;
+  match !champion with
+  | None -> failwith "fuzz: empty run"
+  | Some (champion, champion_fitness, champion_gen) ->
+      {
+        champion;
+        champion_fitness;
+        champion_gen;
+        history = List.rev !history;
+      }

@@ -1,0 +1,42 @@
+(** Deterministic genetic search over scenario genomes. Generation [g]'s
+    operator draws derive only from (seed, g); the next population is a
+    pure function of (params, population, fitness) — so a run can be
+    re-derived from its seed plus the persisted fitness values alone. *)
+
+type params = {
+  generations : int;
+  pop : int;
+  seed : int;
+  tournament : int;
+  elite : int;
+  mutation_rate : float;
+}
+
+val default_params : params
+
+type gen_stats = {
+  gen : int;
+  best : float;
+  mean : float;
+  best_index : int;
+  best_genome : Genome.t;
+}
+
+type result = {
+  champion : Genome.t;
+  champion_fitness : float;
+  champion_gen : int;
+  history : gen_stats list;
+}
+
+val initial_population : params -> Genome.t array
+
+val next_generation :
+  params -> gen:int -> Genome.t array -> float array -> Genome.t array
+
+val run :
+  params:params ->
+  evaluate:(gen:int -> Genome.t array -> float array) ->
+  result
+(** Evolve; [evaluate] scores whole populations (in-process or as batch
+    jobs). Champion = best individual ever seen; earliest wins ties. *)

@@ -49,15 +49,20 @@ let null_observer = { on_ack_obs = ignore; on_loss_obs = (fun ~time:_ -> ()) }
    cumulative point and the Karn sample-validity bit (false when the
    triggering segment was ever retransmitted: such RTT samples are
    ambiguous and discarded); its send timestamp travels in the event
-   queue's unboxed aux float channel. *)
-let tag_deliver = 0 (* arg = segment [seq] reaching the receiver *)
+   queue's unboxed aux float channel. A delivery's argument carries the
+   sequence number and a "late" bit marking a packet already reordered
+   once (so it cannot be re-held forever). *)
+let tag_deliver = 0 (* arg = (seq lsl 1) lor late *)
 let tag_ack = 1 (* arg = (cum lsl 1) lor sample_ok; aux = sent_at *)
 let tag_rto = 2 (* arg unused; the timer state lives on the simulator *)
+let tag_cross = 3 (* arg = cross-flow index; next packet of that flow *)
 
-let encode_deliver seq = (seq lsl 2) lor tag_deliver
+let encode_deliver ?(late = false) seq =
+  (((seq lsl 1) lor (if late then 1 else 0)) lsl 2) lor tag_deliver
 let encode_ack ~cum ~sample_ok =
   (((cum lsl 1) lor (if sample_ok then 1 else 0)) lsl 2) lor tag_ack
 let encode_rto arg = (arg lsl 2) lor tag_rto
+let encode_cross idx = (idx lsl 2) lor tag_cross
 
 type t = {
   cfg : Config.t;
@@ -87,6 +92,21 @@ type t = {
   mutable retransmitted : bool array;
   (* Link state. *)
   mutable link_free : float;
+  (* Extended-scenario state (all inert for neutral configs). The current
+     serialization time tracks the bandwidth step schedule; pending steps
+     are consumed in time order by the event loop. Outages are a
+     precomputed sorted [(start, end)] schedule from a dedicated RNG
+     stream (so they never perturb the impairment draws of the main
+     stream); [outage_idx] is the next one to take effect. [avg_queue] is
+     RED's EWMA occupancy estimate. *)
+  mutable cur_serialize : float;
+  mutable steps_pending : (float * float) list;
+  cross_flows : Config.cross_flow array;
+  outages : (float * float) array;
+  mutable outage_idx : int;
+  mutable avg_queue : float;
+  mutable cross_delivered : int;
+  mutable cross_dropped : int;
   (* Receiver state: [received.(seq)] once segment [seq] has arrived
      (never cleared — sequence numbers are not reused, so a flat flag
      array replaces the former out-of-order hash table). *)
@@ -103,6 +123,27 @@ type t = {
 
 let serialize_time cfg = cfg.Config.mss *. 8.0 /. cfg.Config.bandwidth_bps
 let one_way cfg = cfg.Config.rtt_prop /. 2.0
+
+(* The outage schedule is drawn up front from its own seeded stream:
+   Poisson arrivals at [outage_rate] per second, each darkening the link
+   for [outage_duration]. A separate stream keeps the main RNG's draw
+   sequence (loss, jitter, RED, reordering) independent of how many
+   outages happen to fall in the run. *)
+let make_outages cfg =
+  if cfg.Config.outage_rate <= 0.0 || cfg.Config.outage_duration <= 0.0 then
+    [||]
+  else begin
+    let rng = Rng.create (cfg.Config.seed lxor 0x00517a6e) in
+    let acc = ref [] in
+    let t = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      t := !t +. Rng.exponential rng ~rate:cfg.Config.outage_rate;
+      if !t >= cfg.Config.duration then continue := false
+      else acc := (!t, !t +. cfg.Config.outage_duration) :: !acc
+    done;
+    Array.of_list (List.rev !acc)
+  end
 
 let create cfg cca =
   {
@@ -134,6 +175,16 @@ let create cfg cca =
     drops = 0;
     losses_detected = 0;
     events_processed = 0;
+    cur_serialize = serialize_time cfg;
+    steps_pending =
+      List.sort (fun (a, _) (b, _) -> Float.compare a b)
+        cfg.Config.bandwidth_steps;
+    cross_flows = Array.of_list cfg.Config.cross;
+    outages = make_outages cfg;
+    outage_idx = 0;
+    avg_queue = 0.0;
+    cross_delivered = 0;
+    cross_dropped = 0;
   }
 
 let ensure_seq_capacity sim seq =
@@ -154,20 +205,61 @@ let ensure_seq_capacity sim seq =
 let queue_length sim =
   let backlog = sim.link_free -. sim.now in
   if backlog <= 0.0 then 0
-  else int_of_float (Float.ceil (backlog /. serialize_time sim.cfg))
+  else int_of_float (Float.ceil (backlog /. sim.cur_serialize))
 
-(* Transmit segment [seq]: DropTail admission, serialization, delivery. *)
+(* Fold every outage that has started by [now] into the link: the link
+   serves nothing until the outage ends, so the free time is floored at
+   the outage's end. Packets admitted meanwhile pile up behind it —
+   occupancy (and with it DropTail/RED pressure) spikes, which is the
+   bufferbloat signature a real outage produces. *)
+let apply_outages sim =
+  let n = Array.length sim.outages in
+  while
+    sim.outage_idx < n && fst sim.outages.(sim.outage_idx) <= sim.now
+  do
+    let _, until = sim.outages.(sim.outage_idx) in
+    if until > sim.link_free then sim.link_free <- until;
+    sim.outage_idx <- sim.outage_idx + 1
+  done
+
+(** RED's drop probability as a pure function of the EWMA queue estimate:
+    0 below [min_th], ramping linearly to [max_p] at [max_th], 1 above.
+    Exposed for the monotonicity unit test. *)
+let red_drop_probability ~min_th ~max_th ~max_p avg =
+  let lo = float_of_int min_th and hi = float_of_int max_th in
+  if avg < lo then 0.0
+  else if avg >= hi then 1.0
+  else max_p *. (avg -. lo) /. Float.max (hi -. lo) 1e-9
+
+(* Queue-discipline admission test shared by the CCA flow and cross
+   traffic. DropTail is the original check, byte-for-byte; RED
+   additionally updates its EWMA occupancy estimate (weight 0.05) on
+   every admission attempt and drops probabilistically. *)
+let queue_dropped sim =
+  if Array.length sim.outages > 0 then apply_outages sim;
+  match sim.cfg.Config.qdisc with
+  | Config.Droptail -> queue_length sim >= sim.cfg.Config.queue_capacity
+  | Config.Red { min_th; max_th; max_p } ->
+      let q = queue_length sim in
+      sim.avg_queue <-
+        sim.avg_queue +. (0.05 *. (float_of_int q -. sim.avg_queue));
+      q >= sim.cfg.Config.queue_capacity
+      ||
+      let p = red_drop_probability ~min_th ~max_th ~max_p sim.avg_queue in
+      p > 0.0 && Rng.float sim.rng < p
+
+(* Transmit segment [seq]: qdisc admission, serialization, delivery. *)
 let transmit sim seq =
   ensure_seq_capacity sim seq;
   sim.sent_at.(seq) <- sim.now;
   let dropped =
-    queue_length sim >= sim.cfg.Config.queue_capacity
+    queue_dropped sim
     || (sim.cfg.Config.loss_rate > 0.0 && Rng.float sim.rng < sim.cfg.Config.loss_rate)
   in
   if dropped then sim.drops <- sim.drops + 1
   else begin
     let start = Float.max sim.now sim.link_free in
-    let departure = start +. serialize_time sim.cfg in
+    let departure = start +. sim.cur_serialize in
     sim.link_free <- departure;
     Event_queue.push sim.events
       ~time:(departure +. one_way sim.cfg)
@@ -348,6 +440,71 @@ let handle_ack sim observer ~cum ~sent_at ~sample_ok =
     else fill_window ~force_rtx:sim.in_recovery sim
   end
 
+(* Delivery-side reordering: with probability [reorder_prob] a data
+   packet is pulled out of line on arrival and re-injected
+   [reorder_delay] later, behind whatever was delivered meanwhile. The
+   "late" bit stops a packet from being re-held, so every packet arrives
+   eventually. *)
+let handle_deliver sim arg =
+  let seq = arg lsr 1 in
+  let late = arg land 1 = 1 in
+  if
+    (not late)
+    && sim.cfg.Config.reorder_prob > 0.0
+    && Rng.float sim.rng < sim.cfg.Config.reorder_prob
+  then
+    Event_queue.push sim.events
+      ~time:(sim.now +. sim.cfg.Config.reorder_delay)
+      ~aux:0.0
+      (encode_deliver ~late:true seq)
+  else receive sim seq
+
+(* One cross-traffic packet of flow [idx] arrives at the bottleneck: it
+   contends for the same queue (same admission test, same link
+   occupancy) but terminates at the bottleneck — no delivery or ACK
+   events. The flow then schedules its own next packet: back-to-back at
+   [rate_bps] for constant flows; on-off flows skip ahead to the next
+   on-window whenever the next slot falls in a silence. *)
+let handle_cross sim idx =
+  (match sim.cross_flows.(idx) with
+  | Config.Constant _ | Config.On_off _ ->
+      if queue_dropped sim then sim.cross_dropped <- sim.cross_dropped + 1
+      else begin
+        let start = Float.max sim.now sim.link_free in
+        sim.link_free <- start +. sim.cur_serialize;
+        sim.cross_delivered <- sim.cross_delivered + 1
+      end);
+  let rate_bps =
+    match sim.cross_flows.(idx) with
+    | Config.Constant { rate_bps } | Config.On_off { rate_bps; _ } -> rate_bps
+  in
+  if rate_bps > 0.0 then begin
+    let dt = sim.cfg.Config.mss *. 8.0 /. rate_bps in
+    let next = sim.now +. dt in
+    let next =
+      match sim.cross_flows.(idx) with
+      | Config.Constant _ -> next
+      | Config.On_off { on_s; off_s; _ } ->
+          let period = on_s +. off_s in
+          if period <= 0.0 || Float.rem next period < on_s then next
+          else (Float.floor (next /. period) +. 1.0) *. period
+    in
+    if next <= sim.cfg.Config.duration then
+      Event_queue.push sim.events ~time:next ~aux:0.0 (encode_cross idx)
+  end
+
+(* Consume any bandwidth steps due by [sim.now]: subsequent serializations
+   (CCA and cross alike) run at the new rate; packets already on the link
+   keep their departure times. *)
+let rec apply_bandwidth_steps sim =
+  match sim.steps_pending with
+  | (t, bps) :: rest when t <= sim.now ->
+      if bps > 0.0 then
+        sim.cur_serialize <- sim.cfg.Config.mss *. 8.0 /. bps;
+      sim.steps_pending <- rest;
+      apply_bandwidth_steps sim
+  | _ -> ()
+
 let handle_rto sim observer =
   sim.rto_outstanding <- infinity;
   if sim.now < sim.rto_deadline then begin
@@ -373,6 +530,9 @@ type stats = {
   loss_events : int;
   final_time : float;
   delivered_bytes : float;
+  cross_delivered_bytes : float;
+      (** cross-traffic bytes that made it through the bottleneck *)
+  cross_dropped : int;  (** cross-traffic packets the queue rejected *)
   events_processed : int;  (** events dequeued by the run loop *)
   heap_peak : int;  (** event-queue high-water mark *)
 }
@@ -403,6 +563,13 @@ let run ?(observer = null_observer) cfg cca =
   in
   fill_window sim;
   arm_rto sim;
+  (* Cross flows start contending at t=0 (on-off flows begin in their
+     on-window) and self-reschedule from then on. *)
+  Array.iteri
+    (fun idx _ ->
+      Event_queue.push sim.events ~time:0.0 ~aux:0.0 (encode_cross idx))
+    sim.cross_flows;
+  let stepped = sim.steps_pending <> [] in
   let events = sim.events in
   let continue = ref true in
   while !continue do
@@ -413,15 +580,17 @@ let run ?(observer = null_observer) cfg cca =
       if time > cfg.Config.duration then continue := false
       else begin
         sim.now <- time;
+        if stepped then apply_bandwidth_steps sim;
         sim.events_processed <- sim.events_processed + 1;
         let tag = code land 3 in
         let arg = code lsr 2 in
-        if tag = tag_deliver then receive sim arg
+        if tag = tag_deliver then handle_deliver sim arg
         else if tag = tag_ack then
           handle_ack sim counting_observer ~cum:(arg lsr 1)
             ~sent_at:(Event_queue.popped_aux events)
             ~sample_ok:(arg land 1 = 1)
-        else handle_rto sim counting_observer
+        else if tag = tag_rto then handle_rto sim counting_observer
+        else handle_cross sim arg
       end
     end
   done;
@@ -436,6 +605,8 @@ let run ?(observer = null_observer) cfg cca =
     loss_events = sim.losses_detected;
     final_time = sim.now;
     delivered_bytes = float_of_int sim.delivered *. cfg.Config.mss;
+    cross_delivered_bytes = float_of_int sim.cross_delivered *. cfg.Config.mss;
+    cross_dropped = sim.cross_dropped;
     events_processed = sim.events_processed;
     heap_peak = Event_queue.heap_peak sim.events;
   }

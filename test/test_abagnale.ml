@@ -4,4 +4,5 @@ let () =
     (Test_util.suites @ Test_sat.suites @ Test_dsl.suites @ Test_netsim.suites
    @ Test_cca.suites @ Test_trace.suites @ Test_distance.suites
    @ Test_enum.suites @ Test_analysis.suites @ Test_classifier.suites
-   @ Test_core.suites @ Test_obs.suites @ Test_batch.suites @ Test_serve.suites)
+   @ Test_core.suites @ Test_obs.suites @ Test_batch.suites @ Test_fuzz.suites
+   @ Test_serve.suites)

@@ -129,24 +129,41 @@ let test_config_grid_pinned_n5 () =
     (Config.digest (List.hd grid))
 
 let test_config_digest_covers_every_field () =
-  let base = Config.testbed_grid ~n:1 () |> List.hd in
-  let variants =
-    [
-      { base with Config.bandwidth_bps = base.Config.bandwidth_bps +. 1.0 };
-      { base with Config.rtt_prop = base.Config.rtt_prop +. 1e-6 };
-      { base with Config.queue_capacity = base.Config.queue_capacity + 1 };
-      { base with Config.mss = base.Config.mss +. 1.0 };
-      { base with Config.duration = base.Config.duration +. 1.0 };
-      { base with Config.seed = base.Config.seed + 1 };
-      { base with Config.loss_rate = base.Config.loss_rate +. 1e-4 };
-      { base with Config.ack_jitter = base.Config.ack_jitter +. 1e-6 };
-    ]
+  (* [Config.perturbations] is the exhaustiveness pact: one named
+     single-field variant per record field (the compiler forces new
+     fields through [rebuild], review forces them here). Check against
+     both a plain §3.2 base and an already-extended one, so the v2
+     digest section is exercised too. *)
+  let extended =
+    {
+      Config.default with
+      Config.bandwidth_steps = [ (2.0, 8e6) ];
+      cross = [ Config.Constant { rate_bps = 1e6 } ];
+      outage_rate = 0.1;
+      outage_duration = 0.1;
+      reorder_prob = 0.02;
+      reorder_delay = 0.01;
+      qdisc = Config.Red { min_th = 4; max_th = 12; max_p = 0.1 };
+    }
   in
   List.iter
-    (fun v ->
-      Alcotest.(check bool) "digest changes with the field" false
-        (String.equal (Config.digest base) (Config.digest v)))
-    variants;
+    (fun base ->
+      let variants = Config.perturbations base in
+      Alcotest.(check bool) "one perturbation per field" true
+        (List.length variants >= 15);
+      List.iter
+        (fun (field, v) ->
+          Alcotest.(check bool)
+            (field ^ " changes the digest")
+            false
+            (String.equal (Config.digest base) (Config.digest v)))
+        variants;
+      let digests = List.map (fun (_, v) -> Config.digest v) variants in
+      Alcotest.(check int) "perturbed digests pairwise distinct"
+        (List.length digests)
+        (List.length (List.sort_uniq String.compare digests)))
+    [ Config.testbed_grid ~n:1 () |> List.hd; extended ];
+  let base = Config.testbed_grid ~n:1 () |> List.hd in
   (* In particular ack_jitter: an ULP-sized nudge must show. *)
   let nudged =
     { base with Config.ack_jitter = Float.succ base.Config.ack_jitter }
@@ -164,7 +181,24 @@ let test_config_of_digest_roundtrip () =
             (Config.digest cfg');
           Alcotest.(check bool) "structurally equal" true (cfg = cfg'))
     (Config.testbed_grid ~n:25 ()
-    @ [ { Config.default with Config.loss_rate = 0.015; ack_jitter = 0.25e-3 } ]);
+    @ [
+        { Config.default with Config.loss_rate = 0.015; ack_jitter = 0.25e-3 };
+        (* extended configs round-trip through the v2 digest section *)
+        {
+          Config.default with
+          Config.bandwidth_steps = [ (1.5, 4e6); (3.0, 12e6) ];
+          cross =
+            [
+              Config.Constant { rate_bps = 2e6 };
+              Config.On_off { rate_bps = 5e6; on_s = 1.0; off_s = 0.5 };
+            ];
+          outage_rate = 0.2;
+          outage_duration = 0.15;
+          reorder_prob = 0.03;
+          reorder_delay = 0.02;
+          qdisc = Config.Red { min_th = 5; max_th = 15; max_p = 0.1 };
+        };
+      ]);
   Alcotest.(check bool) "garbage rejected" true
     (Config.of_digest "not|a|config" = None)
 
@@ -283,6 +317,98 @@ let test_sim_jitter_does_not_stall () =
   in
   Alcotest.(check bool) "jittered run still fills link" true (utilization > 0.7)
 
+(* -- extended scenario space (cross traffic, reordering, RED, steps,
+   outages) -- *)
+
+let run_cfg cfg = Sim.run cfg (Abg_cca.Reno.create ~mss:cfg.Config.mss ())
+
+let test_sim_cross_conservation () =
+  let base = quick_config ~duration:10.0 () in
+  let cfg =
+    { base with Config.cross = [ Config.Constant { rate_bps = 6e6 } ] }
+  in
+  let stats = run_cfg cfg in
+  Alcotest.(check bool) "cross traffic flows" true
+    (stats.Sim.cross_delivered_bytes > 0.0);
+  Alcotest.(check bool) "cca + cross never exceed the link" true
+    ((stats.Sim.delivered_bytes +. stats.Sim.cross_delivered_bytes) *. 8.0
+    <= cfg.Config.bandwidth_bps *. cfg.Config.duration *. 1.02);
+  let alone = run_cfg base in
+  Alcotest.(check bool) "competing flow squeezes the cca flow" true
+    (stats.Sim.delivered_bytes < alone.Sim.delivered_bytes)
+
+let test_sim_reordering_reorders () =
+  (* A big queue rules out drops, yet held-back deliveries fire dup-ack
+     runs: the loss signals can only come from actual reordering. *)
+  let cfg =
+    {
+      (quick_config ~duration:10.0 ()) with
+      Config.queue_capacity = 10_000;
+      reorder_prob = 0.2;
+      reorder_delay = 0.03;
+    }
+  in
+  let stats = run_cfg cfg in
+  Alcotest.(check int) "nothing dropped" 0 stats.Sim.packets_dropped;
+  Alcotest.(check bool) "spurious loss signals observed" true
+    (stats.Sim.loss_events > 0)
+
+let test_sim_reorder_zero_knob_inert () =
+  (* reorder_prob = 0 draws nothing even with a delay configured: the
+     run is field-for-field identical to the seed simulator's. *)
+  let base = quick_config ~duration:5.0 () in
+  let cfg = { base with Config.reorder_delay = 0.02 } in
+  Alcotest.(check bool) "bit-identical stats" true (run_cfg base = run_cfg cfg)
+
+let test_sim_red_monotone () =
+  let p = Sim.red_drop_probability ~min_th:5 ~max_th:15 ~max_p:0.1 in
+  Alcotest.(check (float 0.0)) "zero below min_th" 0.0 (p 4.99);
+  Alcotest.(check (float 0.0)) "certain above max_th" 1.0 (p 15.0);
+  Alcotest.(check bool) "ramp caps at max_p" true (p 14.999 <= 0.1);
+  let prev = ref 0.0 in
+  let q = ref 0.0 in
+  while !q <= 20.0 do
+    let v = p !q in
+    Alcotest.(check bool) "monotone in occupancy" true (v >= !prev);
+    prev := v;
+    q := !q +. 0.125
+  done
+
+let test_sim_red_drops_early () =
+  (* With a hard capacity far beyond what the flow can build up, a
+     DropTail queue admits everything — so every drop under an
+     aggressive RED profile at the same capacity is probabilistic early
+     dropping, not overflow. *)
+  let base =
+    { (quick_config ~duration:10.0 ()) with Config.queue_capacity = 10_000 }
+  in
+  let red =
+    { base with Config.qdisc = Config.Red { min_th = 2; max_th = 20; max_p = 0.5 } }
+  in
+  let s_droptail = run_cfg base and s_red = run_cfg red in
+  Alcotest.(check int) "droptail never overflows" 0
+    s_droptail.Sim.packets_dropped;
+  Alcotest.(check bool) "red sheds before the queue fills" true
+    (s_red.Sim.packets_dropped > 0)
+
+let test_sim_bandwidth_step_throttles () =
+  let base = quick_config ~duration:10.0 () in
+  let cfg = { base with Config.bandwidth_steps = [ (2.0, 1e6) ] } in
+  let s = run_cfg cfg and s0 = run_cfg base in
+  Alcotest.(check bool) "post-step ceiling binds" true
+    (s.Sim.delivered_bytes < s0.Sim.delivered_bytes);
+  Alcotest.(check bool) "stays within the stepped capacity" true
+    (s.Sim.delivered_bytes <= Config.capacity_bytes cfg *. 1.02)
+
+let test_sim_outages_stall () =
+  let base = quick_config ~duration:10.0 () in
+  let cfg = { base with Config.outage_rate = 0.4; outage_duration = 0.25 } in
+  let s = run_cfg cfg and s0 = run_cfg base in
+  Alcotest.(check bool) "outages cost throughput" true
+    (s.Sim.delivered_bytes < s0.Sim.delivered_bytes);
+  Alcotest.(check bool) "link recovers between outages" true
+    (s.Sim.delivered_bytes > 0.0)
+
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let suites =
@@ -320,5 +446,19 @@ let suites =
         Alcotest.test_case "observer stream" `Quick test_sim_observer_sees_acks;
         Alcotest.test_case "rtt floor" `Quick test_sim_rtt_at_least_propagation;
         Alcotest.test_case "jitter no stall" `Quick test_sim_jitter_does_not_stall;
+      ] );
+    ( "netsim.extended",
+      [
+        Alcotest.test_case "cross-traffic conservation" `Quick
+          test_sim_cross_conservation;
+        Alcotest.test_case "reordering reorders" `Quick
+          test_sim_reordering_reorders;
+        Alcotest.test_case "zero reorder knob inert" `Quick
+          test_sim_reorder_zero_knob_inert;
+        Alcotest.test_case "red ramp monotone" `Quick test_sim_red_monotone;
+        Alcotest.test_case "red drops early" `Quick test_sim_red_drops_early;
+        Alcotest.test_case "bandwidth step throttles" `Quick
+          test_sim_bandwidth_step_throttles;
+        Alcotest.test_case "outages stall" `Quick test_sim_outages_stall;
       ] );
   ]

@@ -86,6 +86,29 @@ let test_rng_split_independent () =
   let a = Rng.float rng and b = Rng.float child in
   Alcotest.(check bool) "different streams" true (a <> b)
 
+(* Splitting is the fuzzer's per-individual stream derivation: two
+   children of one parent must be disjoint streams, and each must be
+   individually reproducible from the same parent seed. *)
+let test_rng_split_streams () =
+  let draw rng n = List.init n (fun _ -> Rng.float rng) in
+  let children seed =
+    let parent = Rng.create seed in
+    let c1 = Rng.split parent in
+    let c2 = Rng.split parent in
+    (draw c1 64, draw c2 64)
+  in
+  let a1, a2 = children 1234 in
+  let b1, b2 = children 1234 in
+  Alcotest.(check (list (float 0.0))) "first child reproducible" a1 b1;
+  Alcotest.(check (list (float 0.0))) "second child reproducible" a2 b2;
+  Alcotest.(check bool) "sibling streams disjoint" true
+    (List.for_all2 (fun x y -> x <> y) a1 a2);
+  (* and neither shadows the parent's own continuation *)
+  let parent = Rng.create 1234 in
+  let _ = Rng.split parent and _ = Rng.split parent in
+  Alcotest.(check bool) "parent stream unexhausted" true
+    (List.for_all2 (fun x y -> x <> y) (draw parent 64) a1)
+
 (* -- Stats -- *)
 
 let test_stats_mean () = check_close "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
@@ -355,6 +378,7 @@ let suites =
         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
         Alcotest.test_case "sample w/o replacement" `Quick test_rng_sample_without_replacement;
         Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "split streams" `Quick test_rng_split_streams;
       ]
       @ qcheck [ prop_rng_int_in_bounds ] );
     ( "util.stats",
